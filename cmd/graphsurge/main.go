@@ -1,0 +1,217 @@
+// Command graphsurge is the Graphsurge CLI: load property graphs from CSV,
+// execute GVDL statements to create views, view collections and aggregate
+// views, and run analytics computations over them with the diff-only,
+// scratch or adaptive execution strategies.
+//
+// Usage:
+//
+//	graphsurge load -name Calls -nodes nodes.csv -edges edges.csv [-data dir]
+//	graphsurge query -data dir 'create view ... / create view collection ...'
+//	graphsurge run -data dir -collection NAME -algorithm wcc [-mode adaptive]
+//
+// The -data directory persists loaded graphs AND materialized views between
+// invocations (the paper's Graph Store and View Store): a collection defined
+// by `query` can be run later by `run -collection`.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"graphsurge/internal/analytics"
+	"graphsurge/internal/core"
+	"graphsurge/internal/view"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "load":
+		err = cmdLoad(os.Args[2:])
+	case "query":
+		err = cmdQuery(os.Args[2:])
+	case "run":
+		err = cmdRun(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "graphsurge: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  graphsurge load  -name NAME -edges FILE [-nodes FILE] [-data DIR]
+  graphsurge query -data DIR [-ordering optimize] 'GVDL statements...'
+  graphsurge run   -data DIR (-collection NAME | -view NAME) -algorithm ALG [-gvdl STMTS]
+                   [-mode diff|scratch|adaptive] [-workers N] [-weight PROP]
+                   [-source ID] [-ordering optimize]
+algorithms: wcc, bfs, sssp, pagerank, scc, degree`)
+}
+
+func cmdLoad(args []string) error {
+	fs := flag.NewFlagSet("load", flag.ExitOnError)
+	name := fs.String("name", "", "graph name")
+	nodes := fs.String("nodes", "", "node CSV file (optional)")
+	edges := fs.String("edges", "", "edge CSV file")
+	data := fs.String("data", "graphsurge-data", "data directory")
+	fs.Parse(args)
+	if *name == "" || *edges == "" {
+		return fmt.Errorf("load: -name and -edges are required")
+	}
+	e, err := core.NewEngine(core.Options{DataDir: *data})
+	if err != nil {
+		return err
+	}
+	g, err := e.LoadGraphCSV(*name, *nodes, *edges)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("loaded %s: %d nodes, %d edges\n", g.Name, g.NumNodes, g.NumEdges())
+	return nil
+}
+
+func engineFor(data string, ordering string, workers int) (*core.Engine, error) {
+	mode := view.OrderAsWritten
+	if ordering == "optimize" {
+		mode = view.OrderOptimized
+	}
+	return core.NewEngine(core.Options{DataDir: data, Workers: workers, Ordering: mode})
+}
+
+func cmdQuery(args []string) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	data := fs.String("data", "graphsurge-data", "data directory")
+	ordering := fs.String("ordering", "", `"optimize" to run the collection ordering optimizer`)
+	workers := fs.Int("workers", 1, "dataflow workers")
+	fs.Parse(args)
+	if fs.NArg() < 1 {
+		return fmt.Errorf("query: GVDL statements required")
+	}
+	e, err := engineFor(*data, *ordering, *workers)
+	if err != nil {
+		return err
+	}
+	out, err := e.Execute(strings.Join(fs.Args(), " "))
+	for _, line := range out {
+		fmt.Println(line)
+	}
+	return err
+}
+
+func algorithm(name string, source uint64) (analytics.Computation, error) {
+	switch name {
+	case "wcc":
+		return analytics.WCC{}, nil
+	case "bfs":
+		return analytics.BFS{Source: source}, nil
+	case "sssp", "bellman-ford":
+		return analytics.SSSP{Source: source}, nil
+	case "pagerank", "pr":
+		return analytics.PageRank{}, nil
+	case "scc":
+		return &analytics.SCC{}, nil
+	case "degree":
+		return analytics.Degree{}, nil
+	}
+	return nil, fmt.Errorf("unknown algorithm %q", name)
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	data := fs.String("data", "graphsurge-data", "data directory")
+	gvdlSrc := fs.String("gvdl", "", "GVDL statements to execute before running")
+	collection := fs.String("collection", "", "view collection to run over")
+	viewName := fs.String("view", "", "individual filtered view to run over (instead of -collection)")
+	algName := fs.String("algorithm", "wcc", "analytics computation")
+	modeName := fs.String("mode", "adaptive", "diff | scratch | adaptive")
+	workers := fs.Int("workers", 1, "dataflow workers")
+	weight := fs.String("weight", "", "integer edge property used as weight")
+	source := fs.Uint64("source", 0, "source vertex for bfs/sssp")
+	ordering := fs.String("ordering", "", `"optimize" to run the collection ordering optimizer`)
+	top := fs.Int("top", 10, "print the top-N result vertices")
+	fs.Parse(args)
+	if *collection == "" && *viewName == "" {
+		return fmt.Errorf("run: -collection or -view is required")
+	}
+	e, err := engineFor(*data, *ordering, *workers)
+	if err != nil {
+		return err
+	}
+	if *gvdlSrc != "" {
+		if _, err := e.Execute(*gvdlSrc); err != nil {
+			return err
+		}
+	}
+	comp, err := algorithm(*algName, *source)
+	if err != nil {
+		return err
+	}
+	if *viewName != "" {
+		fv, ok := e.View(*viewName)
+		if !ok {
+			return fmt.Errorf("run: no view named %q (define it with -gvdl or query)", *viewName)
+		}
+		results, dur, err := core.RunView(fv, comp, *workers, *weight)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s on view %s (%d edges): %v, %d result vertices\n",
+			comp.Name(), *viewName, fv.NumEdges(), dur.Round(1000), len(results))
+		printResults(results, *top)
+		return nil
+	}
+	var mode core.ExecMode
+	switch *modeName {
+	case "diff", "diff-only":
+		mode = core.DiffOnly
+	case "scratch":
+		mode = core.Scratch
+	case "adaptive":
+		mode = core.Adaptive
+	default:
+		return fmt.Errorf("unknown mode %q", *modeName)
+	}
+	res, err := e.RunCollection(*collection, comp, core.RunOptions{
+		Mode:       mode,
+		Workers:    *workers,
+		WeightProp: *weight,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s on %s (%s): %v total, %d splits\n",
+		res.Computation, res.Collection, res.Mode, res.Total.Round(1000), res.Splits)
+	for _, st := range res.Stats {
+		fmt.Printf("  view %-3d %-16s %-8s |GV|=%-8d |dC|=%-8d out-diffs=%-8d %v\n",
+			st.Index, st.Name, st.Mode, st.ViewSize, st.DiffSize, st.OutputDiffs, st.Duration.Round(1000))
+	}
+	printResults(res.FinalResults(), *top)
+	return nil
+}
+
+// printResults prints up to n per-vertex results, ordered by vertex ID.
+func printResults(final map[analytics.VertexValue]int64, n int) {
+	items := make([]analytics.VertexValue, 0, len(final))
+	for v := range final {
+		items = append(items, v)
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].V < items[j].V })
+	if n > len(items) {
+		n = len(items)
+	}
+	fmt.Printf("results (%d vertices, first %d):\n", len(items), n)
+	for _, it := range items[:n] {
+		fmt.Printf("  vertex %-10d value %d\n", it.V, it.Val)
+	}
+}

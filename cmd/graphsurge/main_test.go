@@ -1,0 +1,85 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"graphsurge/internal/analytics"
+)
+
+func TestAlgorithmSelection(t *testing.T) {
+	for _, name := range []string{"wcc", "bfs", "sssp", "bellman-ford", "pagerank", "pr", "scc", "degree"} {
+		comp, err := algorithm(name, 3)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if comp.Name() == "" {
+			t.Fatalf("%s: empty name", name)
+		}
+	}
+	if _, err := algorithm("nope", 0); err == nil {
+		t.Fatal("expected error for unknown algorithm")
+	}
+	comp, _ := algorithm("bfs", 42)
+	if comp.(analytics.BFS).Source != 42 {
+		t.Fatal("source not threaded through")
+	}
+}
+
+func TestCommandsEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	data := filepath.Join(dir, "data")
+	nodes := filepath.Join(dir, "nodes.csv")
+	edges := filepath.Join(dir, "edges.csv")
+	if err := os.WriteFile(nodes, []byte("id,kind:string\na,x\nb,x\nc,y\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(edges, []byte("src,dst,w:int\na,b,1\nb,c,2\nc,a,3\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := cmdLoad([]string{"-name", "g", "-nodes", nodes, "-edges", edges, "-data", data}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdQuery([]string{"-data", data, "create view v on g edges where w > 1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdRun([]string{
+		"-data", data,
+		"-gvdl", "create view collection c on g [a: w >= 1], [b: w >= 2]",
+		"-collection", "c",
+		"-algorithm", "wcc",
+		"-mode", "diff",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Individual view runs.
+	if err := cmdRun([]string{
+		"-data", data,
+		"-gvdl", "create view heavy on g edges where w >= 2",
+		"-view", "heavy",
+		"-algorithm", "degree",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdRun([]string{"-data", data, "-view", "nope", "-algorithm", "wcc"}); err == nil {
+		t.Fatal("expected error for unknown view")
+	}
+	// Error paths.
+	if err := cmdLoad([]string{"-edges", edges}); err == nil {
+		t.Fatal("expected error for missing -name")
+	}
+	if err := cmdRun([]string{"-data", data}); err == nil {
+		t.Fatal("expected error for missing -collection")
+	}
+	if err := cmdRun([]string{"-data", data, "-collection", "c", "-mode", "bogus"}); err == nil {
+		t.Fatal("expected error for bad mode")
+	}
+	if err := cmdRun([]string{"-data", data, "-collection", "c", "-algorithm", "bogus"}); err == nil {
+		t.Fatal("expected error for bad algorithm")
+	}
+	if err := cmdQuery([]string{"-data", data}); err == nil {
+		t.Fatal("expected error for missing statements")
+	}
+}

@@ -1,0 +1,278 @@
+// Package aggregate implements Graphsurge's aggregate views (paper §6), the
+// Graph OLAP-style summaries: nodes are grouped into super-nodes either by
+// the values of a set of node properties or by membership in an ordered list
+// of predicates, original edges are rolled up into super-edges between the
+// groups, and aggregate properties (count, sum, min, max, avg) are computed
+// on both. Evaluation runs as a dataflow over the engine at a single version,
+// matching the paper's Timely-based aggregation operators.
+package aggregate
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"graphsurge/internal/dataflow"
+	"graphsurge/internal/graph"
+	"graphsurge/internal/gvdl"
+)
+
+// SuperNode is one node group of an aggregate view.
+type SuperNode struct {
+	ID   uint64
+	Key  string // property values ("LA") or predicate text for display
+	Size int64  // number of member nodes
+	Aggs []int64
+}
+
+// SuperEdge is the rollup of original edges between two groups.
+type SuperEdge struct {
+	Src, Dst uint64
+	Count    int64 // number of original edges aggregated
+	Aggs     []int64
+}
+
+// View is a materialized aggregate view.
+type View struct {
+	Name       string
+	NodeAggs   []gvdl.Aggregation
+	EdgeAggs   []gvdl.Aggregation
+	SuperNodes []SuperNode
+	SuperEdges []SuperEdge
+}
+
+// Evaluate computes an aggregate view over a graph.
+func Evaluate(g *graph.Graph, stmt *gvdl.CreateAggView, workers int) (*View, error) {
+	groups, keys, err := groupNodes(g, stmt)
+	if err != nil {
+		return nil, err
+	}
+	nodeCols, err := aggColumns(g, g.NodeProps, stmt.NodeAggs, "node")
+	if err != nil {
+		return nil, err
+	}
+	edgeCols, err := aggColumns(g, g.EdgeProps, stmt.EdgeAggs, "edge")
+	if err != nil {
+		return nil, err
+	}
+
+	v := &View{Name: stmt.Name, NodeAggs: stmt.NodeAggs, EdgeAggs: stmt.EdgeAggs}
+
+	// Dataflow: one pass for node aggregates keyed by group, one for edge
+	// aggregates keyed by (group(src), group(dst)).
+	s := dataflow.NewScope(workers)
+	type nodeRec struct {
+		Group uint64
+		Node  uint64
+	}
+	type edgeRec struct {
+		Src, Dst uint64 // groups
+		Edge     uint64 // edge index
+	}
+	nIn, nCol := dataflow.NewInput[nodeRec](s)
+	eIn, eCol := dataflow.NewInput[edgeRec](s)
+
+	nKeyed := dataflow.Map(nCol, func(r nodeRec) dataflow.KV[uint64, uint64] {
+		return dataflow.KV[uint64, uint64]{K: r.Group, V: r.Node}
+	})
+	nAgg := dataflow.Reduce(nKeyed, "node-aggs", func(gid uint64, vals []dataflow.VD[uint64]) []aggRow {
+		return []aggRow{aggregateRows(vals, stmt.NodeAggs, nodeCols)}
+	})
+	nCap := dataflow.NewCapture(nAgg)
+
+	type gpair struct{ S, D uint64 }
+	eKeyed := dataflow.Map(eCol, func(r edgeRec) dataflow.KV[gpair, uint64] {
+		return dataflow.KV[gpair, uint64]{K: gpair{r.Src, r.Dst}, V: r.Edge}
+	})
+	eAgg := dataflow.Reduce(eKeyed, "edge-aggs", func(k gpair, vals []dataflow.VD[uint64]) []aggRow {
+		return []aggRow{aggregateRows(vals, stmt.EdgeAggs, edgeCols)}
+	})
+	eCap := dataflow.NewCapture(eAgg)
+
+	var nUps []dataflow.Update[nodeRec]
+	for n := 0; n < g.NumNodes; n++ {
+		if gid := groups[n]; gid >= 0 {
+			nUps = append(nUps, dataflow.Update[nodeRec]{Rec: nodeRec{Group: uint64(gid), Node: uint64(n)}, D: 1})
+		}
+	}
+	nIn.SendAt(0, nUps)
+	var eUps []dataflow.Update[edgeRec]
+	for i := 0; i < g.NumEdges(); i++ {
+		gs, gd := groups[g.Srcs[i]], groups[g.Dsts[i]]
+		if gs >= 0 && gd >= 0 {
+			eUps = append(eUps, dataflow.Update[edgeRec]{Rec: edgeRec{Src: uint64(gs), Dst: uint64(gd), Edge: uint64(i)}, D: 1})
+		}
+	}
+	eIn.SendAt(0, eUps)
+	s.Drain()
+
+	for kv := range nCap.At(0) {
+		v.SuperNodes = append(v.SuperNodes, SuperNode{
+			ID:   kv.K,
+			Key:  keys[kv.K],
+			Size: kv.V.Count,
+			Aggs: kv.V.Values(),
+		})
+	}
+	sort.Slice(v.SuperNodes, func(i, j int) bool { return v.SuperNodes[i].ID < v.SuperNodes[j].ID })
+	for kv := range eCap.At(0) {
+		v.SuperEdges = append(v.SuperEdges, SuperEdge{
+			Src:   kv.K.S,
+			Dst:   kv.K.D,
+			Count: kv.V.Count,
+			Aggs:  kv.V.Values(),
+		})
+	}
+	sort.Slice(v.SuperEdges, func(i, j int) bool {
+		if v.SuperEdges[i].Src != v.SuperEdges[j].Src {
+			return v.SuperEdges[i].Src < v.SuperEdges[j].Src
+		}
+		return v.SuperEdges[i].Dst < v.SuperEdges[j].Dst
+	})
+	return v, nil
+}
+
+// aggRow is the fixed-size aggregate output of one group (comparable so it
+// can flow through the engine).
+type aggRow struct {
+	Count int64
+	N     int
+	A     [4]int64 // up to 4 aggregations per clause
+}
+
+// Values returns the aggregation results as a slice.
+func (r aggRow) Values() []int64 { return append([]int64(nil), r.A[:r.N]...) }
+
+// MaxAggs is the maximum number of aggregations per aggregate clause.
+const MaxAggs = 4
+
+// aggColumns resolves aggregation property references to integer columns.
+func aggColumns(g *graph.Graph, pt *graph.PropTable, aggs []gvdl.Aggregation, what string) ([]*graph.Column, error) {
+	if len(aggs) > MaxAggs {
+		return nil, fmt.Errorf("aggregate view: at most %d aggregations per clause, got %d", MaxAggs, len(aggs))
+	}
+	cols := make([]*graph.Column, len(aggs))
+	for i, a := range aggs {
+		if a.Prop == "" {
+			if a.Func != gvdl.AggCount {
+				return nil, fmt.Errorf("aggregate view: %s requires a property", a.Func)
+			}
+			continue
+		}
+		ci, ok := pt.ColumnIndex(a.Prop)
+		if !ok {
+			return nil, fmt.Errorf("aggregate view: no %s property %q on graph %s", what, a.Prop, g.Name)
+		}
+		col := &pt.Cols[ci]
+		if col.Type != graph.TypeInt {
+			return nil, fmt.Errorf("aggregate view: %s property %q must be an integer for %s", what, a.Prop, a.Func)
+		}
+		cols[i] = col
+	}
+	return cols, nil
+}
+
+// aggregateRows folds the rows (node or edge indices) of one group.
+func aggregateRows(vals []dataflow.VD[uint64], aggs []gvdl.Aggregation, cols []*graph.Column) aggRow {
+	row := aggRow{N: len(aggs)}
+	type acc struct {
+		sum, min, max, n int64
+		seen             bool
+	}
+	accs := make([]acc, len(aggs))
+	for _, vd := range vals {
+		if vd.D <= 0 {
+			continue
+		}
+		row.Count += vd.D
+		for i, a := range aggs {
+			if cols[i] == nil {
+				continue
+			}
+			x := cols[i].Ints[vd.V]
+			ac := &accs[i]
+			ac.sum += x * vd.D
+			ac.n += vd.D
+			if !ac.seen || x < ac.min {
+				ac.min = x
+			}
+			if !ac.seen || x > ac.max {
+				ac.max = x
+			}
+			ac.seen = true
+			_ = a
+		}
+	}
+	for i, a := range aggs {
+		switch a.Func {
+		case gvdl.AggCount:
+			row.A[i] = row.Count
+		case gvdl.AggSum:
+			row.A[i] = accs[i].sum
+		case gvdl.AggMin:
+			row.A[i] = accs[i].min
+		case gvdl.AggMax:
+			row.A[i] = accs[i].max
+		case gvdl.AggAvg:
+			if accs[i].n > 0 {
+				row.A[i] = accs[i].sum / accs[i].n
+			}
+		}
+	}
+	return row
+}
+
+// groupNodes assigns every node to a super-node group, or -1 when dropped.
+// Returns the mapping and per-group display keys.
+func groupNodes(g *graph.Graph, stmt *gvdl.CreateAggView) ([]int32, map[uint64]string, error) {
+	groups := make([]int32, g.NumNodes)
+	keys := make(map[uint64]string)
+
+	if len(stmt.Grouping.Predicates) > 0 {
+		preds := make([]gvdl.NodePredicate, len(stmt.Grouping.Predicates))
+		for i, e := range stmt.Grouping.Predicates {
+			p, err := gvdl.CompileNodePredicate(g, e)
+			if err != nil {
+				return nil, nil, fmt.Errorf("aggregate view %s: %w", stmt.Name, err)
+			}
+			preds[i] = p
+			keys[uint64(i)] = e.String()
+		}
+		for n := 0; n < g.NumNodes; n++ {
+			groups[n] = -1
+			for i, p := range preds {
+				if p(n) {
+					groups[n] = int32(i)
+					break
+				}
+			}
+		}
+		return groups, keys, nil
+	}
+
+	cols := make([]*graph.Column, len(stmt.Grouping.Props))
+	for i, prop := range stmt.Grouping.Props {
+		ci, ok := g.NodeProps.ColumnIndex(prop)
+		if !ok {
+			return nil, nil, fmt.Errorf("aggregate view %s: no node property %q", stmt.Name, prop)
+		}
+		cols[i] = &g.NodeProps.Cols[ci]
+	}
+	ids := make(map[string]int32)
+	var parts []string
+	for n := 0; n < g.NumNodes; n++ {
+		parts = parts[:0]
+		for _, c := range cols {
+			parts = append(parts, c.Value(n).String())
+		}
+		key := strings.Join(parts, "|")
+		gid, ok := ids[key]
+		if !ok {
+			gid = int32(len(ids))
+			ids[key] = gid
+			keys[uint64(gid)] = key
+		}
+		groups[n] = gid
+	}
+	return groups, keys, nil
+}

@@ -1,0 +1,208 @@
+// Package analytics implements Graphsurge's analytics computation API and
+// algorithm library. A Computation is the Go equivalent of the paper's
+// GraphSurgeComputation trait (Listing 2): it wires an arbitrary differential
+// dataflow whose input is the edge stream of a graph view and whose output is
+// a per-vertex result stream. The same dataflow instance is fed one view of a
+// collection at a time; Differential Dataflow semantics make the computation
+// incremental across views automatically.
+//
+// The library ships the paper's five evaluation algorithms — weakly connected
+// components, breadth-first search, single-source shortest paths
+// (Bellman-Ford), PageRank, strongly connected components (the
+// doubly-iterative coloring algorithm) and multiple-pair shortest paths —
+// plus a non-iterative degree computation.
+package analytics
+
+import (
+	"fmt"
+	"time"
+
+	"graphsurge/internal/dataflow"
+	"graphsurge/internal/graph"
+)
+
+// VertexValue is the (vertex, result) output record of a computation, the
+// paper's (VID, ResultValue) stream.
+type VertexValue struct {
+	V   uint64
+	Val int64
+}
+
+// Builder exposes a computation's inputs and output registration during
+// dataflow construction.
+type Builder struct {
+	scope  *dataflow.Scope
+	edges  *dataflow.Collection[graph.Triple]
+	output *dataflow.Capture[VertexValue]
+}
+
+// Scope returns the dataflow scope being built.
+func (b *Builder) Scope() *dataflow.Scope { return b.scope }
+
+// Edges returns the view's edge stream: (src, dst, weight) triples.
+func (b *Builder) Edges() *dataflow.Collection[graph.Triple] { return b.edges }
+
+// Output registers the computation's result stream. Must be called exactly
+// once by Build.
+func (b *Builder) Output(col *dataflow.Collection[VertexValue]) {
+	if b.output != nil {
+		panic("analytics: Output called twice")
+	}
+	b.output = dataflow.NewCapture(col)
+}
+
+// Computation is a graph analytics program over a view's edge stream.
+type Computation interface {
+	// Name identifies the computation in logs and results.
+	Name() string
+	// Build wires the computation's dataflow. It must call b.Output once.
+	Build(b *Builder)
+}
+
+// Runner executes a computation over the versions of a view collection. The
+// standard Runner is Instance (one dataflow); built-ins with chained
+// fixpoints (SCC) provide staged runners of several dataflows executed in
+// sequence per version.
+type Runner interface {
+	// Step advances to the next version with the given edge changes and
+	// runs to quiescence, returning the elapsed time.
+	Step(adds, dels []graph.Triple) time.Duration
+	// Version returns the last version fed, if any.
+	Version() (uint32, bool)
+	// OutputDiffs returns the output difference-set size at version v.
+	OutputDiffs(v uint32) int
+	// Results returns the accumulated per-vertex results at the last
+	// version.
+	Results() map[VertexValue]int64
+	// DropOutputsBefore bounds output history memory.
+	DropOutputsBefore(v uint32)
+	// WorkCounts returns per-worker work counters (scaling proxy).
+	WorkCounts() []int64
+	// IterCapHit reports whether any fixpoint hit the iteration safety cap.
+	IterCapHit() bool
+}
+
+// Program is implemented by computations that need a custom runner instead
+// of a single dataflow instance.
+type Program interface {
+	Name() string
+	NewRunner(workers int) (Runner, error)
+}
+
+// NewRunner builds the appropriate runner for a computation: a custom one if
+// the computation implements Program, otherwise a single-dataflow Instance.
+func NewRunner(comp Computation, workers int) (Runner, error) {
+	if p, ok := comp.(Program); ok {
+		return p.NewRunner(workers)
+	}
+	return NewInstance(comp, workers)
+}
+
+// Instance is one instantiated dataflow for a computation: a scope, its edge
+// input, and the captured output. The executor feeds it one view (or view
+// difference) per version.
+type Instance struct {
+	comp   Computation
+	scope  *dataflow.Scope
+	input  *dataflow.Input[graph.Triple]
+	output *dataflow.Capture[VertexValue]
+	next   uint32
+}
+
+// NewInstance builds a fresh dataflow for the computation.
+func NewInstance(comp Computation, workers int) (*Instance, error) {
+	s := dataflow.NewScope(workers)
+	input, edges := dataflow.NewInput[graph.Triple](s)
+	b := &Builder{scope: s, edges: edges}
+	comp.Build(b)
+	if b.output == nil {
+		return nil, fmt.Errorf("analytics: computation %q did not register an output", comp.Name())
+	}
+	return &Instance{comp: comp, scope: s, input: input, output: b.output}, nil
+}
+
+// Step advances the instance by one version, applying the given edge
+// additions and deletions, and runs the dataflow to quiescence. It returns
+// the elapsed wall-clock time (the per-view runtime the splitting optimizer
+// observes).
+func (inst *Instance) Step(adds, dels []graph.Triple) time.Duration {
+	start := time.Now()
+	ups := make([]dataflow.Update[graph.Triple], 0, len(adds)+len(dels))
+	for _, t := range adds {
+		ups = append(ups, dataflow.Update[graph.Triple]{Rec: t, D: 1})
+	}
+	for _, t := range dels {
+		ups = append(ups, dataflow.Update[graph.Triple]{Rec: t, D: -1})
+	}
+	v := inst.next
+	inst.input.SendAt(v, ups)
+	inst.scope.Drain()
+	inst.scope.Compact(v)
+	inst.next++
+	return time.Since(start)
+}
+
+// Version returns the last version fed, or false if none has been.
+func (inst *Instance) Version() (uint32, bool) {
+	if inst.next == 0 {
+		return 0, false
+	}
+	return inst.next - 1, true
+}
+
+// OutputDiffs returns the size of the output difference set at version v.
+func (inst *Instance) OutputDiffs(v uint32) int { return inst.output.DiffCount(v) }
+
+// Results returns the accumulated per-vertex results at the last version.
+func (inst *Instance) Results() map[VertexValue]int64 {
+	v, ok := inst.Version()
+	if !ok {
+		return map[VertexValue]int64{}
+	}
+	return inst.output.At(v)
+}
+
+// DropOutputsBefore folds output history below version v, bounding memory on
+// long collections.
+func (inst *Instance) DropOutputsBefore(v uint32) { inst.output.Drop(v) }
+
+// WorkCounts implements Runner.
+func (inst *Instance) WorkCounts() []int64 { return inst.scope.WorkCounts() }
+
+// IterCapHit implements Runner.
+func (inst *Instance) IterCapHit() bool { return inst.scope.IterCapHit.Load() }
+
+// Scope exposes the underlying scope (work counters, iteration caps).
+func (inst *Instance) Scope() *dataflow.Scope { return inst.scope }
+
+// Shared sub-dataflows used by several algorithms.
+
+// nodes derives the set of vertices present in the edge stream.
+func nodes(edges *dataflow.Collection[graph.Triple]) *dataflow.Collection[uint64] {
+	return dataflow.Distinct(dataflow.FlatMap(edges, func(t graph.Triple, emit func(uint64)) {
+		emit(t.Src)
+		emit(t.Dst)
+	}))
+}
+
+// dstW is a (destination, weight) pair, the value of an edge keyed by
+// source.
+type dstW struct {
+	Dst uint64
+	W   int64
+}
+
+// edgesBySrc keys the edge stream by source vertex.
+func edgesBySrc(edges *dataflow.Collection[graph.Triple]) *dataflow.Collection[dataflow.KV[uint64, dstW]] {
+	return dataflow.Map(edges, func(t graph.Triple) dataflow.KV[uint64, dstW] {
+		return dataflow.KV[uint64, dstW]{K: t.Src, V: dstW{Dst: t.Dst, W: t.W}}
+	})
+}
+
+// edgesSymmetric keys each edge by both endpoints (undirected adjacency).
+func edgesSymmetric(edges *dataflow.Collection[graph.Triple]) *dataflow.Collection[dataflow.KV[uint64, uint64]] {
+	return dataflow.FlatMap(edges, func(t graph.Triple, emit func(dataflow.KV[uint64, uint64])) {
+		emit(dataflow.KV[uint64, uint64]{K: t.Src, V: t.Dst})
+		emit(dataflow.KV[uint64, uint64]{K: t.Dst, V: t.Src})
+	})
+}

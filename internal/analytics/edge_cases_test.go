@@ -1,0 +1,185 @@
+package analytics
+
+import (
+	"testing"
+
+	"graphsurge/internal/graph"
+)
+
+func TestEmptyViewThenGrow(t *testing.T) {
+	// Feeding an empty first view then growing must not wedge any
+	// algorithm.
+	comps := []Computation{WCC{}, BFS{Source: 1}, SSSP{Source: 1}, PageRank{Iterations: 4}, Degree{}}
+	for _, comp := range comps {
+		inst, err := NewRunner(comp, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst.Step(nil, nil)
+		if got := inst.Results(); len(got) != 0 {
+			t.Fatalf("%s: results on empty view: %v", comp.Name(), got)
+		}
+		inst.Step([]graph.Triple{{Src: 1, Dst: 2, W: 3}}, nil)
+		if got := inst.Results(); len(got) == 0 {
+			t.Fatalf("%s: no results after growth", comp.Name())
+		}
+		// Shrink back to empty.
+		inst.Step(nil, []graph.Triple{{Src: 1, Dst: 2, W: 3}})
+		if got := inst.Results(); len(got) != 0 {
+			t.Fatalf("%s: results after emptying: %v", comp.Name(), got)
+		}
+	}
+}
+
+func TestSelfLoopsAndParallelEdges(t *testing.T) {
+	edges := []graph.Triple{
+		{Src: 1, Dst: 1, W: 5}, // self loop
+		{Src: 1, Dst: 2, W: 3},
+		{Src: 1, Dst: 2, W: 7}, // parallel edge, different weight
+		{Src: 2, Dst: 3, W: 1},
+	}
+	inst, err := NewInstance(SSSP{Source: 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst.Step(edges, nil)
+	want := spOracle(edges, 1, true)
+	got := inst.Results()
+	if len(got) != len(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	for vv := range got {
+		if want[vv.V] != vv.Val {
+			t.Fatalf("vertex %d: got %d want %d", vv.V, vv.Val, want[vv.V])
+		}
+	}
+
+	// WCC with a duplicated edge, then removing one copy: the component
+	// must survive until the second copy goes.
+	w, err := NewInstance(WCC{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dup := graph.Triple{Src: 5, Dst: 6, W: 1}
+	w.Step([]graph.Triple{dup, dup}, nil)
+	if len(w.Results()) != 2 {
+		t.Fatalf("results %v", w.Results())
+	}
+	w.Step(nil, []graph.Triple{dup})
+	if got := w.Results(); len(got) != 2 || got[VertexValue{V: 6, Val: 5}] != 1 {
+		t.Fatalf("after removing one copy: %v", got)
+	}
+	w.Step(nil, []graph.Triple{dup})
+	if got := w.Results(); len(got) != 0 {
+		t.Fatalf("after removing both copies: %v", got)
+	}
+}
+
+func TestBFSDisconnectedSource(t *testing.T) {
+	inst, err := NewInstance(BFS{Source: 99}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst.Step([]graph.Triple{{Src: 1, Dst: 2, W: 1}}, nil)
+	if got := inst.Results(); len(got) != 0 {
+		t.Fatalf("unreachable source produced %v", got)
+	}
+	// Source appears later.
+	inst.Step([]graph.Triple{{Src: 99, Dst: 1, W: 1}}, nil)
+	want := map[uint64]int64{99: 0, 1: 1, 2: 2}
+	got := inst.Results()
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for vv := range got {
+		if want[vv.V] != vv.Val {
+			t.Fatalf("vertex %d = %d", vv.V, vv.Val)
+		}
+	}
+}
+
+func TestSCCInsufficientPhasesIsDetectable(t *testing.T) {
+	// A long chain of singleton SCCs needs one phase per color layer; with
+	// too few phases the runner must report unassigned vertices rather than
+	// wrong answers.
+	runner, err := NewRunner(&SCC{Phases: 2}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var edges []graph.Triple
+	for i := uint64(0); i < 10; i++ {
+		edges = append(edges, graph.Triple{Src: i + 1, Dst: i, W: 1}) // descending chain
+	}
+	runner.Step(edges, nil)
+	rem := runner.(*sccRunner).RemainingCount()
+	got := runner.Results()
+	if rem == 0 {
+		t.Fatal("expected unassigned vertices with 2 phases on a 11-chain")
+	}
+	// Everything assigned so far must match the oracle.
+	want := sccOracle(edges)
+	for vv, d := range got {
+		if d != 1 || want[vv.V] != vv.Val {
+			t.Fatalf("vertex %d = %d, oracle %d", vv.V, vv.Val, want[vv.V])
+		}
+	}
+	if len(got)+rem != 11 {
+		t.Fatalf("assigned %d + remaining %d != 11", len(got), rem)
+	}
+}
+
+func TestSCCLargeCycles(t *testing.T) {
+	// Two large cycles joined by a one-way bridge: exactly two SCCs.
+	var edges []graph.Triple
+	for i := uint64(0); i < 50; i++ {
+		edges = append(edges, graph.Triple{Src: i, Dst: (i + 1) % 50, W: 1})
+		edges = append(edges, graph.Triple{Src: 100 + i, Dst: 100 + (i+1)%50, W: 1})
+	}
+	edges = append(edges, graph.Triple{Src: 0, Dst: 100, W: 1})
+	runner, err := NewRunner(&SCC{Phases: 4}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner.Step(edges, nil)
+	if rem := runner.(*sccRunner).RemainingCount(); rem != 0 {
+		t.Fatalf("%d unassigned", rem)
+	}
+	got := runner.Results()
+	want := sccOracle(edges)
+	if len(got) != len(want) {
+		t.Fatalf("%d results, oracle %d", len(got), len(want))
+	}
+	for vv := range got {
+		if want[vv.V] != vv.Val {
+			t.Fatalf("vertex %d = %d want %d", vv.V, vv.Val, want[vv.V])
+		}
+	}
+}
+
+func TestPageRankDefaults(t *testing.T) {
+	inst, err := NewInstance(PageRank{}, 1) // default 10 iterations
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := []graph.Triple{{Src: 1, Dst: 2, W: 1}, {Src: 2, Dst: 1, W: 1}}
+	inst.Step(edges, nil)
+	want := prOracle(edges, 10)
+	for vv := range inst.Results() {
+		if want[vv.V] != vv.Val {
+			t.Fatalf("vertex %d = %d want %d", vv.V, vv.Val, want[vv.V])
+		}
+	}
+}
+
+func TestMPSPSamePairEndpoints(t *testing.T) {
+	// A pair whose src == dst has distance 0 once the vertex exists.
+	inst, err := NewInstance(MPSP{Pairs: []Pair{{Src: 3, Dst: 3}}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst.Step([]graph.Triple{{Src: 3, Dst: 4, W: 2}}, nil)
+	got := inst.Results()
+	if got[VertexValue{V: MPSPVertex(0, 3), Val: 0}] != 1 {
+		t.Fatalf("got %v", got)
+	}
+}

@@ -1,0 +1,193 @@
+package analytics
+
+// Plain-Go reference implementations used to validate the differential
+// algorithms. Each oracle recomputes from scratch on an explicit edge list.
+
+import (
+	"graphsurge/internal/graph"
+)
+
+// wccOracle labels every endpoint vertex with the minimum vertex ID of its
+// undirected component (union-find).
+func wccOracle(edges []graph.Triple) map[uint64]int64 {
+	parent := make(map[uint64]uint64)
+	var find func(x uint64) uint64
+	find = func(x uint64) uint64 {
+		p, ok := parent[x]
+		if !ok || p == x {
+			parent[x] = x
+			return x
+		}
+		r := find(p)
+		parent[x] = r
+		return r
+	}
+	union := func(a, b uint64) { parent[find(a)] = find(b) }
+	for _, e := range edges {
+		union(e.Src, e.Dst)
+	}
+	minOf := make(map[uint64]uint64)
+	for v := range parent {
+		r := find(v)
+		if m, ok := minOf[r]; !ok || v < m {
+			minOf[r] = v
+		}
+	}
+	out := make(map[uint64]int64)
+	for v := range parent {
+		out[v] = int64(minOf[find(v)])
+	}
+	return out
+}
+
+// spOracle computes shortest-path distances from src (Bellman-Ford over the
+// explicit edge list). weighted=false counts hops.
+func spOracle(edges []graph.Triple, src uint64, weighted bool) map[uint64]int64 {
+	present := false
+	for _, e := range edges {
+		if e.Src == src || e.Dst == src {
+			present = true
+			break
+		}
+	}
+	if !present {
+		return map[uint64]int64{}
+	}
+	dist := map[uint64]int64{src: 0}
+	for {
+		changed := false
+		for _, e := range edges {
+			d, ok := dist[e.Src]
+			if !ok {
+				continue
+			}
+			w := int64(1)
+			if weighted {
+				w = e.W
+			}
+			if nd, ok2 := dist[e.Dst]; !ok2 || d+w < nd {
+				dist[e.Dst] = d + w
+				changed = true
+			}
+		}
+		if !changed {
+			return dist
+		}
+	}
+}
+
+// prOracle mirrors PageRank's integer fixed-point arithmetic exactly.
+func prOracle(edges []graph.Triple, iters int) map[uint64]int64 {
+	verts := make(map[uint64]bool)
+	deg := make(map[uint64]int64)
+	for _, e := range edges {
+		verts[e.Src], verts[e.Dst] = true, true
+		deg[e.Src]++
+	}
+	rank := make(map[uint64]int64, len(verts))
+	for v := range verts {
+		rank[v] = PRScale
+	}
+	base := int64(15 * PRScale / 100)
+	for i := 0; i < iters; i++ {
+		next := make(map[uint64]int64, len(verts))
+		for v := range verts {
+			next[v] = base
+		}
+		for _, e := range edges {
+			// Matches the dataflow: share is computed once per source and
+			// sent along each edge; integer division happens before fan-out.
+			next[e.Dst] += rank[e.Src] * 85 / 100 / deg[e.Src]
+		}
+		rank = next
+	}
+	return rank
+}
+
+// sccOracle labels every endpoint vertex with the maximum vertex ID of its
+// strongly connected component (iterative Tarjan).
+func sccOracle(edges []graph.Triple) map[uint64]int64 {
+	adj := make(map[uint64][]uint64)
+	verts := make(map[uint64]bool)
+	for _, e := range edges {
+		adj[e.Src] = append(adj[e.Src], e.Dst)
+		verts[e.Src], verts[e.Dst] = true, true
+	}
+	index := make(map[uint64]int)
+	low := make(map[uint64]int)
+	onStack := make(map[uint64]bool)
+	var stack []uint64
+	next := 0
+	comp := make(map[uint64]int64)
+
+	type frame struct {
+		v  uint64
+		ei int
+	}
+	for v0 := range verts {
+		if _, seen := index[v0]; seen {
+			continue
+		}
+		var call []frame
+		call = append(call, frame{v0, 0})
+		index[v0], low[v0] = next, next
+		next++
+		stack = append(stack, v0)
+		onStack[v0] = true
+		for len(call) > 0 {
+			f := &call[len(call)-1]
+			if f.ei < len(adj[f.v]) {
+				w := adj[f.v][f.ei]
+				f.ei++
+				if _, seen := index[w]; !seen {
+					index[w], low[w] = next, next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					call = append(call, frame{w, 0})
+				} else if onStack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+				continue
+			}
+			if low[f.v] == index[f.v] {
+				var members []uint64
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					members = append(members, w)
+					if w == f.v {
+						break
+					}
+				}
+				maxID := members[0]
+				for _, m := range members {
+					if m > maxID {
+						maxID = m
+					}
+				}
+				for _, m := range members {
+					comp[m] = int64(maxID)
+				}
+			}
+			call = call[:len(call)-1]
+			if len(call) > 0 {
+				p := call[len(call)-1].v
+				if low[f.v] < low[p] {
+					low[p] = low[f.v]
+				}
+			}
+		}
+	}
+	return comp
+}
+
+// degreeOracle counts out-degrees.
+func degreeOracle(edges []graph.Triple) map[uint64]int64 {
+	out := make(map[uint64]int64)
+	for _, e := range edges {
+		out[e.Src]++
+	}
+	return out
+}

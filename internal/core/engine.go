@@ -1,0 +1,247 @@
+// Package core ties Graphsurge together: the engine facade that owns the
+// graph store and view catalogs, executes GVDL statements, and runs
+// analytics computations over view collections with the paper's three
+// execution strategies — diff-only, scratch, and the adaptive splitting
+// optimizer (§3, §5, §7).
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"graphsurge/internal/aggregate"
+	"graphsurge/internal/graph"
+	"graphsurge/internal/gvdl"
+	"graphsurge/internal/view"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// DataDir persists graphs when non-empty.
+	DataDir string
+	// Workers is the default dataflow parallelism (minimum 1).
+	Workers int
+	// Ordering is the default collection-ordering mode for Execute.
+	Ordering view.OrderingMode
+}
+
+// Engine is a Graphsurge instance: graph store, view store, executors.
+type Engine struct {
+	opts  Options
+	store *graph.Store
+
+	mu          sync.RWMutex
+	views       map[string]*view.Filtered
+	collections map[string]*view.Collection
+	aggViews    map[string]*aggregate.View
+}
+
+// NewEngine creates an engine.
+func NewEngine(opts Options) (*Engine, error) {
+	if opts.Workers < 1 {
+		opts.Workers = 1
+	}
+	st, err := graph.NewStore(opts.DataDir)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{
+		opts:        opts,
+		store:       st,
+		views:       make(map[string]*view.Filtered),
+		collections: make(map[string]*view.Collection),
+		aggViews:    make(map[string]*aggregate.View),
+	}, nil
+}
+
+// LoadGraphCSV imports a graph from CSV files and registers it.
+func (e *Engine) LoadGraphCSV(name, nodesPath, edgesPath string) (*graph.Graph, error) {
+	g, err := graph.LoadCSV(name, nodesPath, edgesPath)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.store.Add(g); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// AddGraph registers an in-memory graph (datagen, tests).
+func (e *Engine) AddGraph(g *graph.Graph) error { return e.store.Add(g) }
+
+// Graph looks up a base graph.
+func (e *Engine) Graph(name string) (*graph.Graph, error) { return e.store.Graph(name) }
+
+// View looks up a materialized filtered view, falling back to the view
+// store on disk when the engine has a data directory.
+func (e *Engine) View(name string) (*view.Filtered, bool) {
+	e.mu.RLock()
+	v, ok := e.views[name]
+	e.mu.RUnlock()
+	if ok || e.opts.DataDir == "" {
+		return v, ok
+	}
+	loaded, err := view.LoadFiltered(e.opts.DataDir, name, e.store.Graph)
+	if err != nil {
+		return nil, false
+	}
+	e.mu.Lock()
+	e.views[name] = loaded
+	e.mu.Unlock()
+	return loaded, true
+}
+
+// Collection looks up a materialized view collection, falling back to the
+// view store on disk when the engine has a data directory.
+func (e *Engine) Collection(name string) (*view.Collection, bool) {
+	e.mu.RLock()
+	c, ok := e.collections[name]
+	e.mu.RUnlock()
+	if ok || e.opts.DataDir == "" {
+		return c, ok
+	}
+	loaded, err := view.LoadCollection(e.opts.DataDir, name, e.store.Graph)
+	if err != nil {
+		return nil, false
+	}
+	e.mu.Lock()
+	e.collections[name] = loaded
+	e.mu.Unlock()
+	return loaded, true
+}
+
+// AggView looks up a materialized aggregate view.
+func (e *Engine) AggView(name string) (*aggregate.View, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	v, ok := e.aggViews[name]
+	return v, ok
+}
+
+// resolveTarget resolves a statement's "on" clause to a base graph plus an
+// optional edge restriction (when the target is itself a filtered view —
+// GVDL supports views over views).
+func (e *Engine) resolveTarget(name string) (*graph.Graph, *view.Filtered, error) {
+	e.mu.RLock()
+	fv, ok := e.views[name]
+	e.mu.RUnlock()
+	if ok {
+		return fv.Base, fv, nil
+	}
+	g, err := e.store.Graph(name)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: target %q is neither a graph nor a view", name)
+	}
+	return g, nil, nil
+}
+
+// restrictPredicate limits a compiled predicate to a view's edge subset.
+func restrictPredicate(p gvdl.EdgePredicate, fv *view.Filtered, numEdges int) gvdl.EdgePredicate {
+	if fv == nil {
+		return p
+	}
+	member := view.NewBitset(numEdges)
+	for _, idx := range fv.Edges {
+		member.Set(int(idx))
+	}
+	return func(i int) bool { return member.Get(i) && p(i) }
+}
+
+// Execute parses and runs GVDL statements, materializing the views they
+// define. It returns a short description per statement.
+func (e *Engine) Execute(src string) ([]string, error) {
+	stmts, err := gvdl.ParseAll(src)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, stmt := range stmts {
+		desc, err := e.executeStmt(stmt)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, desc)
+	}
+	return out, nil
+}
+
+func (e *Engine) executeStmt(stmt gvdl.Statement) (string, error) {
+	switch s := stmt.(type) {
+	case *gvdl.CreateView:
+		g, fv, err := e.resolveTarget(s.On)
+		if err != nil {
+			return "", err
+		}
+		pred, err := gvdl.CompileEdgePredicate(g, s.Where)
+		if err != nil {
+			return "", fmt.Errorf("view %s: %w", s.Name, err)
+		}
+		pred = restrictPredicate(pred, fv, g.NumEdges())
+		mv := &view.Filtered{Name: s.Name, Base: g}
+		for i := 0; i < g.NumEdges(); i++ {
+			if pred(i) {
+				mv.Edges = append(mv.Edges, uint32(i))
+			}
+		}
+		e.mu.Lock()
+		e.views[s.Name] = mv
+		e.mu.Unlock()
+		if e.opts.DataDir != "" {
+			if err := view.SaveFiltered(e.opts.DataDir, mv); err != nil {
+				return "", err
+			}
+		}
+		return fmt.Sprintf("view %s: %d edges", s.Name, mv.NumEdges()), nil
+
+	case *gvdl.CreateCollection:
+		g, fv, err := e.resolveTarget(s.On)
+		if err != nil {
+			return "", err
+		}
+		names := make([]string, len(s.Views))
+		preds := make([]gvdl.EdgePredicate, len(s.Views))
+		for i, v := range s.Views {
+			p, err := gvdl.CompileEdgePredicate(g, v.Pred)
+			if err != nil {
+				return "", fmt.Errorf("collection %s, view %s: %w", s.Name, v.Name, err)
+			}
+			names[i], preds[i] = v.Name, restrictPredicate(p, fv, g.NumEdges())
+		}
+		col, err := view.MaterializeFromPredicates(s.Name, g, names, preds, view.Options{
+			Workers: e.opts.Workers,
+			Mode:    e.opts.Ordering,
+		})
+		if err != nil {
+			return "", err
+		}
+		e.mu.Lock()
+		e.collections[s.Name] = col
+		e.mu.Unlock()
+		if e.opts.DataDir != "" {
+			if err := view.SaveCollection(e.opts.DataDir, col); err != nil {
+				return "", err
+			}
+		}
+		return fmt.Sprintf("collection %s: %d views, %d diffs (created in %v)",
+			s.Name, col.Stream.NumViews(), col.Stream.TotalDiffs(), col.Timings.Total()), nil
+
+	case *gvdl.CreateAggView:
+		g, fv, err := e.resolveTarget(s.On)
+		if err != nil {
+			return "", err
+		}
+		if fv != nil {
+			return "", fmt.Errorf("aggregate view %s: aggregate views over filtered views are not supported; target a base graph", s.Name)
+		}
+		av, err := aggregate.Evaluate(g, s, e.opts.Workers)
+		if err != nil {
+			return "", err
+		}
+		e.mu.Lock()
+		e.aggViews[s.Name] = av
+		e.mu.Unlock()
+		return fmt.Sprintf("aggregate view %s: %d super-nodes, %d super-edges",
+			s.Name, len(av.SuperNodes), len(av.SuperEdges)), nil
+	}
+	return "", fmt.Errorf("core: unknown statement type %T", stmt)
+}

@@ -1,0 +1,238 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"graphsurge/internal/analytics"
+	"graphsurge/internal/graph"
+	"graphsurge/internal/splitting"
+	"graphsurge/internal/view"
+)
+
+// ExecMode selects the collection execution strategy (paper §5, §7.2-7.3).
+type ExecMode uint8
+
+const (
+	// DiffOnly runs every view differentially on top of its predecessors.
+	DiffOnly ExecMode = iota
+	// Scratch runs every view from scratch (iterations still shared
+	// differentially within each view).
+	Scratch
+	// Adaptive lets the splitting optimizer choose per batch of views.
+	Adaptive
+)
+
+func (m ExecMode) String() string {
+	switch m {
+	case DiffOnly:
+		return "diff-only"
+	case Scratch:
+		return "scratch"
+	case Adaptive:
+		return "adaptive"
+	}
+	return fmt.Sprintf("ExecMode(%d)", uint8(m))
+}
+
+// RunOptions configures a computation run over a collection.
+type RunOptions struct {
+	Mode ExecMode
+	// Workers overrides the engine default when > 0.
+	Workers int
+	// WeightProp names the integer edge property used as edge weight; empty
+	// means unit weights.
+	WeightProp string
+	// BatchSize overrides the adaptive optimizer's ℓ (default 10).
+	BatchSize int
+	// KeepOutputs retains full per-version output history (memory grows
+	// with the collection; default folds history as versions complete).
+	KeepOutputs bool
+}
+
+// ViewStats records one view's execution.
+type ViewStats struct {
+	Index       int
+	Name        string
+	Mode        splitting.Mode
+	Duration    time.Duration
+	ViewSize    int // |GV|
+	DiffSize    int // |δC|
+	OutputDiffs int // output difference-set size
+}
+
+// RunResult summarizes a collection run.
+type RunResult struct {
+	Computation string
+	Collection  string
+	Mode        ExecMode
+	Stats       []ViewStats
+	Total       time.Duration
+	Splits      int // number of from-scratch runs after view 0
+
+	runner analytics.Runner
+}
+
+// FinalResults returns the per-vertex results of the last view.
+func (r *RunResult) FinalResults() map[analytics.VertexValue]int64 { return r.runner.Results() }
+
+// MaxWork returns the maximum per-worker work counter of the final runner, a
+// critical-path proxy for distributed scaling (see DESIGN.md on Figure 10).
+func (r *RunResult) MaxWork() int64 {
+	var m int64
+	for _, c := range r.runner.WorkCounts() {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// IterCapHit reports whether any fixpoint hit the safety cap during the run.
+func (r *RunResult) IterCapHit() bool { return r.runner.IterCapHit() }
+
+// RunCollection executes a computation over a named materialized collection.
+func (e *Engine) RunCollection(collection string, comp analytics.Computation, opts RunOptions) (*RunResult, error) {
+	col, ok := e.Collection(collection)
+	if !ok {
+		return nil, fmt.Errorf("core: no collection named %q", collection)
+	}
+	if opts.Workers == 0 {
+		opts.Workers = e.opts.Workers
+	}
+	return RunCollection(col, comp, opts)
+}
+
+// RunCollection executes a computation over all views of a materialized
+// collection, in the collection's order, sharing computation across views
+// according to the chosen mode.
+func RunCollection(col *view.Collection, comp analytics.Computation, opts RunOptions) (*RunResult, error) {
+	if opts.Workers < 1 {
+		opts.Workers = 1
+	}
+	g := col.Graph
+	wc, err := g.WeightColumn(opts.WeightProp)
+	if err != nil {
+		return nil, err
+	}
+	stream := col.Stream
+	k := stream.NumViews()
+	sizes := stream.ViewSizes()
+
+	runner, err := analytics.NewRunner(comp, opts.Workers)
+	if err != nil {
+		return nil, err
+	}
+	res := &RunResult{
+		Computation: comp.Name(),
+		Collection:  col.Name,
+		Mode:        opts.Mode,
+		Stats:       make([]ViewStats, 0, k),
+		runner:      runner,
+	}
+	optimizer := &splitting.Optimizer{BatchSize: opts.BatchSize}
+
+	// Current view membership, for seeding from-scratch runs.
+	member := make([]bool, g.NumEdges())
+
+	triples := func(idxs []uint32) []graph.Triple {
+		out := make([]graph.Triple, len(idxs))
+		for i, idx := range idxs {
+			out[i] = g.Triple(int(idx), wc)
+		}
+		return out
+	}
+
+	for t := 0; t < k; t++ {
+		adds, dels := stream.Adds[t], stream.Dels[t]
+		for _, idx := range adds {
+			member[idx] = true
+		}
+		for _, idx := range dels {
+			member[idx] = false
+		}
+
+		var mode splitting.Mode
+		switch opts.Mode {
+		case DiffOnly:
+			mode = splitting.ModeDiff
+		case Scratch:
+			mode = splitting.ModeScratch
+		case Adaptive:
+			mode = optimizer.Decide(t, sizes[t], stream.DiffSize(t))
+		}
+
+		var dur time.Duration
+		if mode == splitting.ModeScratch && t > 0 {
+			// Split: fresh dataflow seeded with the full view. Construction
+			// time is part of the cost of splitting and is measured.
+			start := time.Now()
+			fresh, err := analytics.NewRunner(comp, opts.Workers)
+			if err != nil {
+				return nil, err
+			}
+			full := make([]uint32, 0, sizes[t])
+			for idx, in := range member {
+				if in {
+					full = append(full, uint32(idx))
+				}
+			}
+			fresh.Step(triples(full), nil)
+			dur = time.Since(start)
+			runner = fresh
+			res.runner = fresh
+			res.Splits++
+		} else {
+			// View 0 always loads the first view in full; it counts as the
+			// initial from-scratch run for the optimizer's bootstrap.
+			dur = runner.Step(triples(adds), triples(dels))
+		}
+
+		v, _ := runner.Version()
+		st := ViewStats{
+			Index:       t,
+			Name:        stream.Names[t],
+			Mode:        mode,
+			Duration:    dur,
+			ViewSize:    sizes[t],
+			DiffSize:    stream.DiffSize(t),
+			OutputDiffs: runner.OutputDiffs(v),
+		}
+		res.Stats = append(res.Stats, st)
+		res.Total += dur
+
+		if opts.Mode == Adaptive {
+			if mode == splitting.ModeScratch || t == 0 {
+				optimizer.ObserveScratch(sizes[t], dur)
+			} else {
+				optimizer.ObserveDiff(stream.DiffSize(t), dur)
+			}
+		}
+		if !opts.KeepOutputs {
+			runner.DropOutputsBefore(v)
+		}
+	}
+	return res, nil
+}
+
+// RunView executes a computation once over an individual filtered view and
+// returns its results and runtime.
+func RunView(fv *view.Filtered, comp analytics.Computation, workers int, weightProp string) (map[analytics.VertexValue]int64, time.Duration, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	wc, err := fv.Base.WeightColumn(weightProp)
+	if err != nil {
+		return nil, 0, err
+	}
+	runner, err := analytics.NewRunner(comp, workers)
+	if err != nil {
+		return nil, 0, err
+	}
+	ts := make([]graph.Triple, len(fv.Edges))
+	for i, idx := range fv.Edges {
+		ts[i] = fv.Base.Triple(int(idx), wc)
+	}
+	dur := runner.Step(ts, nil)
+	return runner.Results(), dur, nil
+}

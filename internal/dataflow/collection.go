@@ -1,0 +1,59 @@
+package dataflow
+
+// Collection is a differential stream of records of type R: a multiset that
+// evolves over the (version, iteration) time lattice. Collections are wiring
+// points in the dataflow graph; they hold no data themselves. Operators
+// subscribe to a collection and receive every delta batch emitted into it.
+type Collection[R comparable] struct {
+	s    *Scope
+	subs []func(w int, batch []Delta[R])
+}
+
+func newCollection[R comparable](s *Scope) *Collection[R] {
+	return &Collection[R]{s: s}
+}
+
+// Scope returns the scope the collection belongs to.
+func (c *Collection[R]) Scope() *Scope { return c.s }
+
+// subscribe registers a receiver. Must happen during graph construction,
+// before any data flows.
+func (c *Collection[R]) subscribe(f func(w int, batch []Delta[R])) {
+	c.subs = append(c.subs, f)
+}
+
+// emit fans a batch out to all subscribers. Called by the producing operator
+// on worker w; subscribers either transform-and-forward (fused linear
+// operators) or enqueue into a node's pending shards.
+func (c *Collection[R]) emit(w int, batch []Delta[R]) {
+	if len(batch) == 0 {
+		return
+	}
+	for _, f := range c.subs {
+		f(w, batch)
+	}
+}
+
+// keyedSubscriber returns a receiver that routes each delta to the worker
+// owning its key and pushes it into p.
+func keyedSubscriber[K comparable, V comparable](s *Scope, p *pendings[KV[K, V]]) func(int, []Delta[KV[K, V]]) {
+	if s.workers == 1 {
+		return func(_ int, batch []Delta[KV[K, V]]) { p.push(0, batch) }
+	}
+	return func(_ int, batch []Delta[KV[K, V]]) {
+		parts := make([][]Delta[KV[K, V]], s.workers)
+		for _, d := range batch {
+			tw := partition(s, d.Rec.K)
+			parts[tw] = append(parts[tw], d)
+		}
+		for tw, pb := range parts {
+			p.push(tw, pb)
+		}
+	}
+}
+
+// localSubscriber returns a receiver that keeps deltas on the worker that
+// produced them.
+func localSubscriber[R comparable](p *pendings[R]) func(int, []Delta[R]) {
+	return func(w int, batch []Delta[R]) { p.push(w, batch) }
+}

@@ -1,0 +1,105 @@
+package dataflow
+
+import (
+	"graphsurge/internal/timestamp"
+)
+
+// delayNode advances each delta by one iteration and feeds it into a target
+// collection. It is the feedback edge of a loop: making it a scheduler node
+// (rather than a fused closure) guarantees the cycle always yields to the
+// scheduler, which processes iterations in order.
+type delayNode[R comparable] struct {
+	s      *Scope
+	target *Collection[R]
+	p      *pendings[R]
+	// cut, when non-zero, drops deltas whose advanced Inner would exceed it
+	// (fixed-iteration loops). Zero means run to fixpoint, bounded only by
+	// Scope.MaxIter.
+	cut uint32
+}
+
+func (n *delayNode[R]) name() string { return "delay" }
+
+func (n *delayNode[R]) run(w int, t timestamp.Time) {
+	batch := n.p.take(w, t)
+	if len(batch) == 0 {
+		return
+	}
+	limit := n.cut
+	if limit == 0 {
+		limit = n.s.MaxIter
+		if t.Inner+1 > limit {
+			n.s.IterCapHit.Store(true)
+			return
+		}
+	} else if t.Inner+1 > limit {
+		return
+	}
+	for i := range batch {
+		batch[i].T = batch[i].T.Step()
+	}
+	n.target.emit(w, batch)
+}
+
+func (n *delayNode[R]) hasPending(w int, t timestamp.Time) bool { return n.p.has(w, t) }
+
+func (n *delayNode[R]) minPending(w int) (timestamp.Time, bool) { return n.p.min(w) }
+
+// Iterate runs body to fixpoint within each version and returns the loop's
+// result stream.
+//
+// It wires the differential variable X = I ⊕ delay(N) ⊖ delay(I), where I is
+// the initial collection and N = body(X): cumulatively X at iteration i
+// equals N at iteration i−1, so the loop computes N = body^i(I) until the
+// deltas circulating through the feedback edge cancel out — automatic
+// fixpoint detection, exactly as in Differential Dataflow. The result keeps
+// its (version, iteration) times; consolidating over iterations (as Capture
+// does) yields the per-version fixpoint.
+//
+// Several Iterate loops may be chained sequentially in one scope: they share
+// the iteration coordinate, which changes the schedule but not the quiescent
+// state, since differential operator equations hold at every time
+// regardless. Body must contain at least one stateful operator (Reduce),
+// which every converging fixpoint needs anyway.
+func Iterate[R comparable](initial *Collection[R], body func(*Collection[R]) *Collection[R]) *Collection[R] {
+	return iterate(initial, 0, body)
+}
+
+// IterateN runs exactly n applications of body per version (no fixpoint
+// test), e.g. a fixed number of PageRank iterations. The result consolidates
+// to body^n(I) at each version; differential sharing across versions still
+// applies.
+func IterateN[R comparable](initial *Collection[R], n uint32, body func(*Collection[R]) *Collection[R]) *Collection[R] {
+	if n == 0 {
+		return initial
+	}
+	if n == 1 {
+		// A single application needs no feedback: X = I, N = body(I).
+		return body(initial)
+	}
+	// delay forwards deltas with advanced Inner ≤ n−1, so the accumulated
+	// result is body^n(I).
+	return iterate(initial, n-1, body)
+}
+
+func iterate[R comparable](initial *Collection[R], cut uint32, body func(*Collection[R]) *Collection[R]) *Collection[R] {
+	s := initial.s
+	x := newCollection[R](s)
+	delay := &delayNode[R]{s: s, target: x, p: newPendings[R](s.workers), cut: cut}
+	s.addNode(delay)
+
+	// X receives I directly...
+	initial.subscribe(func(w int, batch []Delta[R]) { x.emit(w, batch) })
+	// ...and −I through the delay,
+	initial.subscribe(func(w int, batch []Delta[R]) {
+		nb := make([]Delta[R], len(batch))
+		for i, d := range batch {
+			nb[i] = Delta[R]{d.Rec, d.T, -d.D}
+		}
+		delay.p.push(w, nb)
+	})
+	// ...and +N through the delay.
+	n := body(x)
+	n.subscribe(func(w int, batch []Delta[R]) { delay.p.push(w, batch) })
+	return n
+}

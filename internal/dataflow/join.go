@@ -1,0 +1,166 @@
+package dataflow
+
+import (
+	"graphsurge/internal/timestamp"
+)
+
+// joinNode implements the bilinear differential join. A delta arriving at
+// time a on one side pairs with every stored delta at time b on the other
+// side, emitting at Join(a, b) with multiplied diffs; each (δA, δB) pair is
+// counted exactly once because whichever delta is processed later does the
+// pairing against the stored history of the other side.
+// trace is one key's history on one side of a join.
+type trace[V comparable] struct {
+	list []vtd[V]
+	adv  uint32 // 1 + the outer coordinate last advanced to
+}
+
+// advance lazily compacts the trace to the compaction frontier.
+func (tr *trace[V]) advance(outer uint32) {
+	if tr.adv >= outer+1 {
+		return
+	}
+	tr.adv = outer + 1
+	if l, changed := advanceVTD(tr.list, outer); changed {
+		tr.list = l
+	}
+}
+
+type joinNode[K comparable, A comparable, B comparable, O comparable] struct {
+	s   *Scope
+	out *Collection[O]
+	f   func(K, A, B) O
+
+	pl *pendings[KV[K, A]]
+	pr *pendings[KV[K, B]]
+
+	left  []map[K]*trace[A] // per-worker traces
+	right []map[K]*trace[B]
+}
+
+// JoinMap joins two keyed streams, emitting f(k, a, b) for every matching
+// pair. It is the engine's equivalent of DD's join_map and the JoinMsg
+// operator in the paper's Bellman-Ford dataflow (Figure 2).
+func JoinMap[K comparable, A comparable, B comparable, O comparable](
+	l *Collection[KV[K, A]], r *Collection[KV[K, B]], f func(K, A, B) O,
+) *Collection[O] {
+	s := l.s
+	n := &joinNode[K, A, B, O]{
+		s:     s,
+		out:   newCollection[O](s),
+		f:     f,
+		pl:    newPendings[KV[K, A]](s.workers),
+		pr:    newPendings[KV[K, B]](s.workers),
+		left:  make([]map[K]*trace[A], s.workers),
+		right: make([]map[K]*trace[B], s.workers),
+	}
+	for w := 0; w < s.workers; w++ {
+		n.left[w] = make(map[K]*trace[A])
+		n.right[w] = make(map[K]*trace[B])
+	}
+	l.subscribe(keyedSubscriber(s, n.pl))
+	r.subscribe(keyedSubscriber(s, n.pr))
+	s.addNode(n)
+	return n.out
+}
+
+// Semijoin keeps the (k, v) pairs of l whose key appears in the set r,
+// multiplied by r's multiplicities (r should carry multiplicity one per key,
+// e.g. a Distinct output).
+func Semijoin[K comparable, V comparable](l *Collection[KV[K, V]], r *Collection[KV[K, struct{}]]) *Collection[KV[K, V]] {
+	return JoinMap(l, r, func(k K, v V, _ struct{}) KV[K, V] { return KV[K, V]{k, v} })
+}
+
+// Antijoin keeps the (k, v) pairs of l whose key does NOT appear in the set
+// r: l ⊖ (l ⋉ r). r must carry multiplicity one per present key (e.g. a
+// DistinctKeys output), so the subtraction cancels exactly.
+func Antijoin[K comparable, V comparable](l *Collection[KV[K, V]], r *Collection[KV[K, struct{}]]) *Collection[KV[K, V]] {
+	return Concat(l, Negate(Semijoin(l, r)))
+}
+
+func (n *joinNode[K, A, B, O]) name() string { return "join" }
+
+func (n *joinNode[K, A, B, O]) run(w int, t timestamp.Time) {
+	lb := n.pl.take(w, t)
+	rb := n.pr.take(w, t)
+	if len(lb) == 0 && len(rb) == 0 {
+		return
+	}
+	left, right := n.left[w], n.right[w]
+	outer, compacting := n.s.compactionOuter()
+	getL := func(k K) *trace[A] {
+		tr := left[k]
+		if tr == nil {
+			tr = &trace[A]{}
+			left[k] = tr
+		}
+		if compacting {
+			tr.advance(outer)
+		}
+		return tr
+	}
+	getR := func(k K) *trace[B] {
+		tr := right[k]
+		if tr == nil {
+			tr = &trace[B]{}
+			right[k] = tr
+		}
+		if compacting {
+			tr.advance(outer)
+		}
+		return tr
+	}
+	var ob []Delta[O]
+	pairs := 0
+	// New left deltas pair against the stored right history (which does not
+	// yet include this round's right batch).
+	for _, d := range lb {
+		k := d.Rec.K
+		for _, e := range getR(k).list {
+			ob = append(ob, Delta[O]{n.f(k, d.Rec.V, e.v), t.Join(e.t), d.D * e.d})
+			pairs++
+		}
+	}
+	for _, d := range lb {
+		k := d.Rec.K
+		tr := getL(k)
+		tr.list = append(tr.list, vtd[A]{d.Rec.V, t, d.D})
+	}
+	// New right deltas pair against the full left history, including this
+	// round's left batch, so each (δL, δR) pair is counted exactly once.
+	for _, d := range rb {
+		k := d.Rec.K
+		for _, e := range getL(k).list {
+			ob = append(ob, Delta[O]{n.f(k, e.v, d.Rec.V), t.Join(e.t), e.d * d.D})
+			pairs++
+		}
+	}
+	for _, d := range rb {
+		k := d.Rec.K
+		tr := getR(k)
+		tr.list = append(tr.list, vtd[B]{d.Rec.V, t, d.D})
+	}
+	n.s.addWork(w, len(lb)+len(rb)+pairs)
+	n.out.emit(w, Consolidate(ob))
+}
+
+func (n *joinNode[K, A, B, O]) hasPending(w int, t timestamp.Time) bool {
+	return n.pl.has(w, t) || n.pr.has(w, t)
+}
+
+func (n *joinNode[K, A, B, O]) minPending(w int) (timestamp.Time, bool) {
+	lt, lok := n.pl.min(w)
+	rt, rok := n.pr.min(w)
+	switch {
+	case lok && rok:
+		if lt.LexLess(rt) {
+			return lt, true
+		}
+		return rt, true
+	case lok:
+		return lt, true
+	case rok:
+		return rt, true
+	}
+	return timestamp.Time{}, false
+}

@@ -1,0 +1,95 @@
+package dataflow
+
+// Linear operators are fused: they transform delta batches inline inside
+// subscription closures and never materialize state or become scheduler
+// nodes. This mirrors how Timely/Differential pipelines fuse map/filter
+// chains between exchanges.
+
+// Map applies f to every record, preserving times and diffs.
+func Map[A comparable, B comparable](in *Collection[A], f func(A) B) *Collection[B] {
+	out := newCollection[B](in.s)
+	in.subscribe(func(w int, batch []Delta[A]) {
+		ob := make([]Delta[B], len(batch))
+		for i, d := range batch {
+			ob[i] = Delta[B]{f(d.Rec), d.T, d.D}
+		}
+		out.emit(w, Consolidate(ob))
+	})
+	return out
+}
+
+// Filter keeps records satisfying pred.
+func Filter[R comparable](in *Collection[R], pred func(R) bool) *Collection[R] {
+	out := newCollection[R](in.s)
+	in.subscribe(func(w int, batch []Delta[R]) {
+		ob := make([]Delta[R], 0, len(batch))
+		for _, d := range batch {
+			if pred(d.Rec) {
+				ob = append(ob, d)
+			}
+		}
+		out.emit(w, ob)
+	})
+	return out
+}
+
+// FlatMap applies f to every record; f calls emit zero or more times per
+// record. Each emitted record inherits the input's time and diff.
+func FlatMap[A comparable, B comparable](in *Collection[A], f func(rec A, emit func(B))) *Collection[B] {
+	out := newCollection[B](in.s)
+	in.subscribe(func(w int, batch []Delta[A]) {
+		ob := make([]Delta[B], 0, len(batch))
+		for _, d := range batch {
+			f(d.Rec, func(b B) {
+				ob = append(ob, Delta[B]{b, d.T, d.D})
+			})
+		}
+		out.emit(w, Consolidate(ob))
+	})
+	return out
+}
+
+// Concat merges two streams (multiset union).
+func Concat[R comparable](a, b *Collection[R]) *Collection[R] {
+	out := newCollection[R](a.s)
+	fwd := func(w int, batch []Delta[R]) { out.emit(w, batch) }
+	a.subscribe(fwd)
+	b.subscribe(fwd)
+	return out
+}
+
+// ConcatAll merges any number of streams.
+func ConcatAll[R comparable](cols ...*Collection[R]) *Collection[R] {
+	out := newCollection[R](cols[0].s)
+	fwd := func(w int, batch []Delta[R]) { out.emit(w, batch) }
+	for _, c := range cols {
+		c.subscribe(fwd)
+	}
+	return out
+}
+
+// Negate flips the sign of every diff (multiset negation).
+func Negate[R comparable](in *Collection[R]) *Collection[R] {
+	out := newCollection[R](in.s)
+	in.subscribe(func(w int, batch []Delta[R]) {
+		ob := make([]Delta[R], len(batch))
+		for i, d := range batch {
+			ob[i] = Delta[R]{d.Rec, d.T, -d.D}
+		}
+		out.emit(w, ob)
+	})
+	return out
+}
+
+// Inspect invokes f on every delta flowing through, for debugging, and
+// forwards the stream unchanged.
+func Inspect[R comparable](in *Collection[R], f func(Delta[R])) *Collection[R] {
+	out := newCollection[R](in.s)
+	in.subscribe(func(w int, batch []Delta[R]) {
+		for _, d := range batch {
+			f(d)
+		}
+		out.emit(w, batch)
+	})
+	return out
+}

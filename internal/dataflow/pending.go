@@ -1,0 +1,73 @@
+package dataflow
+
+import (
+	"sync"
+
+	"graphsurge/internal/timestamp"
+)
+
+// pendings buffers undelivered deltas for one operator input, sharded per
+// worker and grouped by timestamp. Producers on any worker may push into any
+// shard (guarded by a per-shard mutex); only the owning worker drains it.
+type pendings[R comparable] struct {
+	mu []sync.Mutex
+	q  []map[timestamp.Time][]Delta[R]
+}
+
+func newPendings[R comparable](workers int) *pendings[R] {
+	p := &pendings[R]{
+		mu: make([]sync.Mutex, workers),
+		q:  make([]map[timestamp.Time][]Delta[R], workers),
+	}
+	for w := range p.q {
+		p.q[w] = make(map[timestamp.Time][]Delta[R])
+	}
+	return p
+}
+
+// push appends a batch to worker w's shard, grouping by each delta's time.
+// Zero diffs are dropped.
+func (p *pendings[R]) push(w int, batch []Delta[R]) {
+	if len(batch) == 0 {
+		return
+	}
+	p.mu[w].Lock()
+	q := p.q[w]
+	for _, d := range batch {
+		if d.D == 0 {
+			continue
+		}
+		q[d.T] = append(q[d.T], d)
+	}
+	p.mu[w].Unlock()
+}
+
+// take removes and returns the consolidated batch at time t on worker w.
+func (p *pendings[R]) take(w int, t timestamp.Time) []Delta[R] {
+	p.mu[w].Lock()
+	b := p.q[w][t]
+	delete(p.q[w], t)
+	p.mu[w].Unlock()
+	return Consolidate(b)
+}
+
+func (p *pendings[R]) has(w int, t timestamp.Time) bool {
+	p.mu[w].Lock()
+	_, ok := p.q[w][t]
+	p.mu[w].Unlock()
+	return ok
+}
+
+// min returns the lexicographically smallest pending time on worker w.
+func (p *pendings[R]) min(w int) (timestamp.Time, bool) {
+	p.mu[w].Lock()
+	defer p.mu[w].Unlock()
+	var best timestamp.Time
+	found := false
+	for t := range p.q[w] {
+		if !found || t.LexLess(best) {
+			best, found = t, true
+		}
+	}
+	return best, found
+}

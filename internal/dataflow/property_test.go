@@ -1,0 +1,386 @@
+package dataflow
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"graphsurge/internal/timestamp"
+)
+
+// TestConsolidateMatchesMap checks the small-batch in-place consolidation
+// path against the map-based definition.
+func TestConsolidateMatchesMap(t *testing.T) {
+	f := func(seed int64, size uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := int(size) % 40 // exercises both the quadratic and map paths
+		batch := make([]Delta[int], 0, n)
+		for i := 0; i < n; i++ {
+			batch = append(batch, Delta[int]{
+				Rec: r.Intn(5),
+				T:   timestamp.Time{Outer: uint32(r.Intn(2)), Inner: uint32(r.Intn(2))},
+				D:   int64(r.Intn(5) - 2),
+			})
+		}
+		want := make(map[deltaKey[int]]Diff)
+		for _, d := range batch {
+			want[deltaKey[int]{d.Rec, d.T}] += d.D
+		}
+		got := Consolidate(append([]Delta[int](nil), batch...))
+		acc := make(map[deltaKey[int]]Diff)
+		for _, d := range got {
+			if d.D == 0 {
+				return false // zeros must be dropped
+			}
+			if _, dup := acc[deltaKey[int]{d.Rec, d.T}]; dup {
+				return false // keys must be unique
+			}
+			acc[deltaKey[int]{d.Rec, d.T}] = d.D
+		}
+		for k, d := range want {
+			if d != acc[k] {
+				return false
+			}
+			delete(acc, k)
+		}
+		for _, d := range acc {
+			if d != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConsolidateVTDMatchesMap checks the trace consolidation fast path the
+// same way.
+func TestConsolidateVTDMatchesMap(t *testing.T) {
+	f := func(seed int64, size uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := int(size) % 60
+		list := make([]vtd[int], 0, n)
+		for i := 0; i < n; i++ {
+			list = append(list, vtd[int]{
+				v: r.Intn(4),
+				t: timestamp.Time{Outer: uint32(r.Intn(2)), Inner: uint32(r.Intn(3))},
+				d: int64(r.Intn(3) - 1),
+			})
+		}
+		want := make(map[vtdKey[int]]Diff)
+		for _, e := range list {
+			want[vtdKey[int]{e.v, e.t}] += e.d
+		}
+		got := consolidateVTD(append([]vtd[int](nil), list...))
+		acc := make(map[vtdKey[int]]Diff)
+		for _, e := range got {
+			if e.d == 0 {
+				return false
+			}
+			acc[vtdKey[int]{e.v, e.t}] += e.d
+		}
+		for k, d := range want {
+			if d != acc[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// oracleGroupSum recomputes, per key, the diff-weighted sum of a multiset.
+func oracleGroupSum(cur map[KV[int, int64]]int64) map[int]int64 {
+	out := map[int]int64{}
+	seen := map[int]bool{}
+	for kv, mult := range cur {
+		out[kv.K] += kv.V * mult
+		seen[kv.K] = true
+	}
+	for k := range seen {
+		if _, ok := out[k]; !ok {
+			out[k] = 0
+		}
+	}
+	return out
+}
+
+// TestReduceSumRandomSequences drives ReduceSum through random update
+// sequences across versions and workers, checking cumulative results against
+// a from-scratch oracle. This is the strongest single test of the reduce
+// operator's join-closure machinery.
+func TestReduceSumRandomSequences(t *testing.T) {
+	run := func(seed int64, workers int) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := NewScope(workers)
+		in, col := NewInput[KV[int, int64]](s)
+		c := NewCapture(ReduceSum(col))
+		cur := map[KV[int, int64]]int64{}
+		for v := uint32(0); v < 6; v++ {
+			var ups []Update[KV[int, int64]]
+			for i := 0; i < 12; i++ {
+				kv := KV[int, int64]{r.Intn(4), int64(r.Intn(5))}
+				d := int64(r.Intn(3) - 1)
+				if cur[kv]+d < 0 {
+					d = -cur[kv] // keep multiplicities non-negative
+				}
+				if d == 0 {
+					continue
+				}
+				cur[kv] += d
+				if cur[kv] == 0 {
+					delete(cur, kv)
+				}
+				ups = append(ups, Update[KV[int, int64]]{kv, d})
+			}
+			in.SendAt(v, ups)
+			s.Drain()
+			got := c.At(v)
+			want := oracleGroupSum(cur)
+			keysWithRecords := map[int]bool{}
+			for kv := range cur {
+				keysWithRecords[kv.K] = true
+			}
+			for k, sum := range want {
+				if !keysWithRecords[k] {
+					continue
+				}
+				if got[KV[int, int64]{k, sum}] != 1 {
+					return false
+				}
+			}
+			// No spurious outputs.
+			n := 0
+			for _, d := range got {
+				if d != 0 {
+					n++
+				}
+			}
+			if n != len(keysWithRecords) {
+				return false
+			}
+			s.Compact(v)
+		}
+		return true
+	}
+	for seed := int64(0); seed < 25; seed++ {
+		for _, workers := range []int{1, 2} {
+			if !run(seed, workers) {
+				t.Fatalf("seed %d workers %d", seed, workers)
+			}
+		}
+	}
+}
+
+// TestWorkerCountInvariance checks that results are identical for any worker
+// count on a join+reduce+iterate pipeline.
+func TestWorkerCountInvariance(t *testing.T) {
+	build := func(workers int) (*Input[edge], *Capture[KV[uint32, uint32]], *Scope) {
+		s := NewScope(workers)
+		ei, ecol := NewInput[edge](s)
+		keyed := Map(ecol, func(e edge) KV[uint32, uint32] { return KV[uint32, uint32]{e.src, e.dst} })
+		seeds := Distinct(Map(ecol, func(e edge) KV[uint32, uint32] { return KV[uint32, uint32]{e.src, e.src} }))
+		labels := Iterate(seeds, func(x *Collection[KV[uint32, uint32]]) *Collection[KV[uint32, uint32]] {
+			msgs := JoinMap(x, keyed, func(_ uint32, lab uint32, dst uint32) KV[uint32, uint32] {
+				return KV[uint32, uint32]{dst, lab}
+			})
+			return ReduceMin(Concat(msgs, seeds))
+		})
+		return ei, NewCapture(labels), s
+	}
+
+	r := rand.New(rand.NewSource(77))
+	var versions [][]Update[edge]
+	cur := map[edge]bool{}
+	for v := 0; v < 4; v++ {
+		var ups []Update[edge]
+		for i := 0; i < 15; i++ {
+			e := edge{uint32(r.Intn(12)), uint32(r.Intn(12))}
+			if cur[e] {
+				cur[e] = false
+				ups = append(ups, Update[edge]{e, -1})
+			} else {
+				cur[e] = true
+				ups = append(ups, Update[edge]{e, 1})
+			}
+		}
+		versions = append(versions, ups)
+	}
+
+	var reference map[KV[uint32, uint32]]Diff
+	for _, workers := range []int{1, 2, 5} {
+		in, c, s := build(workers)
+		for v, ups := range versions {
+			in.SendAt(uint32(v), ups)
+			s.Drain()
+			s.Compact(uint32(v))
+		}
+		got := c.At(uint32(len(versions) - 1))
+		if reference == nil {
+			reference = got
+			continue
+		}
+		if len(got) != len(reference) {
+			t.Fatalf("workers=%d: %d results vs %d", workers, len(got), len(reference))
+		}
+		for k, d := range reference {
+			if got[k] != d {
+				t.Fatalf("workers=%d: %v = %d, want %d", workers, k, got[k], d)
+			}
+		}
+	}
+}
+
+func TestSemijoinAndDistinctKeys(t *testing.T) {
+	s := NewScope(1)
+	li, l := NewInput[KV[int, string]](s)
+	ri, rcol := NewInput[KV[int, int]](s)
+	filtered := Semijoin(l, DistinctKeys(rcol))
+	c := NewCapture(filtered)
+
+	li.SendAt(0, []Update[KV[int, string]]{{KV[int, string]{1, "a"}, 1}, {KV[int, string]{2, "b"}, 1}})
+	ri.SendAt(0, []Update[KV[int, int]]{{KV[int, int]{1, 10}, 1}, {KV[int, int]{1, 20}, 1}})
+	s.Drain()
+	got := c.At(0)
+	if len(got) != 1 || got[KV[int, string]{1, "a"}] != 1 {
+		t.Fatalf("got %v", got)
+	}
+	// Removing one of key 1's two right records keeps the semijoin output;
+	// removing both retracts it.
+	ri.SendAt(1, []Update[KV[int, int]]{{KV[int, int]{1, 10}, -1}})
+	s.Drain()
+	if got := c.At(1); got[KV[int, string]{1, "a"}] != 1 {
+		t.Fatalf("v1: got %v", got)
+	}
+	ri.SendAt(2, []Update[KV[int, int]]{{KV[int, int]{1, 20}, -1}})
+	s.Drain()
+	if got := c.At(2); len(got) != 0 {
+		t.Fatalf("v2: got %v", got)
+	}
+}
+
+func TestAntijoin(t *testing.T) {
+	s := NewScope(1)
+	li, l := NewInput[KV[int, string]](s)
+	ri, r := NewInput[KV[int, int]](s)
+	kept := Antijoin(l, DistinctKeys(r))
+	c := NewCapture(kept)
+
+	li.SendAt(0, []Update[KV[int, string]]{{KV[int, string]{1, "a"}, 1}, {KV[int, string]{2, "b"}, 1}})
+	ri.SendAt(0, []Update[KV[int, int]]{{KV[int, int]{1, 10}, 1}})
+	s.Drain()
+	if got := c.At(0); len(got) != 1 || got[KV[int, string]{2, "b"}] != 1 {
+		t.Fatalf("v0: %v", got)
+	}
+	// Key 1 leaves the filter set: its record reappears.
+	ri.SendAt(1, []Update[KV[int, int]]{{KV[int, int]{1, 10}, -1}})
+	s.Drain()
+	if got := c.At(1); len(got) != 2 {
+		t.Fatalf("v1: %v", got)
+	}
+	// Key 2 enters the filter set: its record disappears.
+	ri.SendAt(2, []Update[KV[int, int]]{{KV[int, int]{2, 5}, 1}})
+	s.Drain()
+	if got := c.At(2); len(got) != 1 || got[KV[int, string]{1, "a"}] != 1 {
+		t.Fatalf("v2: %v", got)
+	}
+}
+
+func TestConcatAllAndInspect(t *testing.T) {
+	s := NewScope(1)
+	a, acol := NewInput[int](s)
+	b, bcol := NewInput[int](s)
+	cIn, ccol := NewInput[int](s)
+	seen := 0
+	merged := Inspect(ConcatAll(acol, bcol, ccol), func(Delta[int]) { seen++ })
+	cap1 := NewCapture(merged)
+	a.SendOne(0, 1, 1)
+	b.SendOne(0, 2, 1)
+	cIn.SendOne(0, 3, 1)
+	s.Drain()
+	if got := cap1.At(0); len(got) != 3 {
+		t.Fatalf("got %v", got)
+	}
+	if seen != 3 {
+		t.Fatalf("inspect saw %d deltas", seen)
+	}
+}
+
+func TestCaptureVersionsAndDiffCounts(t *testing.T) {
+	s := NewScope(2)
+	in, col := NewInput[int](s)
+	c := NewCapture(col)
+	in.SendAt(0, []Update[int]{{1, 1}, {2, 1}})
+	s.Drain()
+	in.SendAt(2, []Update[int]{{1, -1}})
+	s.Drain()
+	vs := c.Versions()
+	if len(vs) != 2 {
+		t.Fatalf("versions %v", vs)
+	}
+	if c.DiffCount(0) != 2 || c.DiffCount(2) != 1 || c.DiffCount(1) != 0 {
+		t.Fatalf("diff counts %d %d %d", c.DiffCount(0), c.DiffCount(1), c.DiffCount(2))
+	}
+	vd := c.VersionDiff(2)
+	if vd[1] != -1 || len(vd) != 1 {
+		t.Fatalf("version diff %v", vd)
+	}
+}
+
+// TestPendingsBasics exercises the shard buffer directly.
+func TestPendingsBasics(t *testing.T) {
+	p := newPendings[int](2)
+	t0 := timestamp.Outer(0)
+	t1 := timestamp.Time{Outer: 0, Inner: 3}
+	p.push(0, []Delta[int]{{1, t0, 1}, {1, t0, 1}, {2, t1, 0}})
+	if !p.has(0, t0) {
+		t.Fatal("has")
+	}
+	if p.has(0, t1) {
+		t.Fatal("zero diffs must be dropped")
+	}
+	if p.has(1, t0) {
+		t.Fatal("wrong worker")
+	}
+	mt, ok := p.min(0)
+	if !ok || mt != t0 {
+		t.Fatalf("min %v %v", mt, ok)
+	}
+	b := p.take(0, t0)
+	if len(b) != 1 || b[0].D != 2 {
+		t.Fatalf("take %v", b)
+	}
+	if _, ok := p.min(0); ok {
+		t.Fatal("min after take")
+	}
+}
+
+func TestIterateNZero(t *testing.T) {
+	s := NewScope(1)
+	in, col := NewInput[int](s)
+	out := IterateN(col, 0, func(x *Collection[int]) *Collection[int] { return x })
+	c := NewCapture(out)
+	in.SendOne(0, 7, 1)
+	s.Drain()
+	if got := c.At(0); got[7] != 1 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestNegativeAndZeroDiffHandling(t *testing.T) {
+	s := NewScope(1)
+	in, col := NewInput[KV[int, int]](s)
+	c := NewCapture(ReduceMin(col))
+	// A negative-only multiset yields no output.
+	in.SendAt(0, []Update[KV[int, int]]{{KV[int, int]{1, 5}, 2}})
+	s.Drain()
+	in.SendAt(1, []Update[KV[int, int]]{{KV[int, int]{1, 5}, -2}})
+	s.Drain()
+	if got := c.At(1); len(got) != 0 {
+		t.Fatalf("got %v", got)
+	}
+}

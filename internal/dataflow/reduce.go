@@ -1,0 +1,369 @@
+package dataflow
+
+import (
+	"cmp"
+
+	"graphsurge/internal/timestamp"
+)
+
+// keyState is the per-key trace of a reduce: input history, output history,
+// and the set of distinct times at which the key has been (or is scheduled to
+// be) evaluated.
+type keyState[V comparable, O comparable] struct {
+	ins   []vtd[V]
+	outs  []vtd[O]
+	times []timestamp.Time
+	adv   uint32 // 1 + the outer coordinate the trace was last advanced to
+}
+
+func (ks *keyState[V, O]) hasTime(t timestamp.Time) bool {
+	for _, s := range ks.times {
+		if s == t {
+			return true
+		}
+	}
+	return false
+}
+
+// advance lazily compacts the key's history to the scope's frontier. Must
+// not run while the key has scheduled re-evaluations (its times would
+// diverge from the dirty map), which cannot happen here: the frontier only
+// moves between versions, when the scope is quiescent.
+func (ks *keyState[V, O]) advance(outer uint32) {
+	if ks.adv >= outer+1 {
+		return
+	}
+	ks.adv = outer + 1
+	ins, c1 := advanceVTD(ks.ins, outer)
+	outs, c2 := advanceVTD(ks.outs, outer)
+	if !c1 && !c2 {
+		return
+	}
+	ks.ins, ks.outs = ins, outs
+	seen := make(map[timestamp.Time]struct{}, len(ks.times))
+	ks.times = ks.times[:0]
+	for _, e := range ks.ins {
+		seen[e.t] = struct{}{}
+	}
+	for _, e := range ks.outs {
+		seen[e.t] = struct{}{}
+	}
+	for t := range seen {
+		ks.times = append(ks.times, t)
+	}
+}
+
+// reduceShard is one worker's share of a reduce's state.
+type reduceShard[K comparable, V comparable, O comparable] struct {
+	keys  map[K]*keyState[V, O]
+	dirty map[timestamp.Time]map[K]struct{}
+}
+
+// reduceNode groups a keyed stream by key and applies a per-key multiset
+// function. For each key with an input delta at time t, the node schedules
+// re-evaluation at t and at the lattice-join closure of t with the key's
+// existing times — the essential mechanism that lets differential computation
+// combine changes arriving along the version axis with history recorded along
+// the iteration axis. At each scheduled time it emits
+// f(accumulated input ≤ t) − accumulated output ≤ t.
+type reduceNode[K comparable, V comparable, O comparable] struct {
+	s   *Scope
+	out *Collection[KV[K, O]]
+	f   func(K, []VD[V]) []O
+	nm  string
+
+	p  *pendings[KV[K, V]]
+	st []*reduceShard[K, V, O]
+}
+
+// Reduce applies f to the consolidated multiset of values of each key. f
+// returns the output records for the key, each with multiplicity one; an
+// empty return means the key has no output. f must be deterministic and must
+// not retain vals. Reduce is the engine's equivalent of DD's reduce/group and
+// subsumes min, max, sum, count, distinct and threshold.
+func Reduce[K comparable, V comparable, O comparable](
+	in *Collection[KV[K, V]], name string, f func(k K, vals []VD[V]) []O,
+) *Collection[KV[K, O]] {
+	s := in.s
+	n := &reduceNode[K, V, O]{
+		s:   s,
+		out: newCollection[KV[K, O]](s),
+		f:   f,
+		nm:  name,
+		p:   newPendings[KV[K, V]](s.workers),
+		st:  make([]*reduceShard[K, V, O], s.workers),
+	}
+	for w := 0; w < s.workers; w++ {
+		n.st[w] = &reduceShard[K, V, O]{
+			keys:  make(map[K]*keyState[V, O]),
+			dirty: make(map[timestamp.Time]map[K]struct{}),
+		}
+	}
+	in.subscribe(keyedSubscriber(s, n.p))
+	s.addNode(n)
+	return n.out
+}
+
+// ReduceMin keeps, per key, the minimum value present with positive
+// multiplicity. The workhorse of label-propagation algorithms (WCC, BFS,
+// shortest paths): the paper's UnionMin operator.
+func ReduceMin[K comparable, V cmp.Ordered](in *Collection[KV[K, V]]) *Collection[KV[K, V]] {
+	return Reduce(in, "min", func(_ K, vals []VD[V]) []V {
+		var best V
+		found := false
+		for _, vd := range vals {
+			if vd.D <= 0 {
+				continue
+			}
+			if !found || vd.V < best {
+				best, found = vd.V, true
+			}
+		}
+		if !found {
+			return nil
+		}
+		return []V{best}
+	})
+}
+
+// ReduceMax keeps, per key, the maximum value present with positive
+// multiplicity (used by the SCC coloring algorithm).
+func ReduceMax[K comparable, V cmp.Ordered](in *Collection[KV[K, V]]) *Collection[KV[K, V]] {
+	return Reduce(in, "max", func(_ K, vals []VD[V]) []V {
+		var best V
+		found := false
+		for _, vd := range vals {
+			if vd.D <= 0 {
+				continue
+			}
+			if !found || vd.V > best {
+				best, found = vd.V, true
+			}
+		}
+		if !found {
+			return nil
+		}
+		return []V{best}
+	})
+}
+
+// ReduceSum emits, per key, the diff-weighted sum of the values (used by
+// PageRank to accumulate rank contributions).
+func ReduceSum[K comparable](in *Collection[KV[K, int64]]) *Collection[KV[K, int64]] {
+	return Reduce(in, "sum", func(_ K, vals []VD[int64]) []int64 {
+		var sum int64
+		for _, vd := range vals {
+			sum += vd.V * vd.D
+		}
+		return []int64{sum}
+	})
+}
+
+// ReduceCount emits, per key, the total multiplicity of its values (e.g.
+// vertex out-degrees from an edge stream keyed by source).
+func ReduceCount[K comparable, V comparable](in *Collection[KV[K, V]]) *Collection[KV[K, int64]] {
+	return Reduce(in, "count", func(_ K, vals []VD[V]) []int64 {
+		var c int64
+		for _, vd := range vals {
+			c += vd.D
+		}
+		if c == 0 {
+			return nil
+		}
+		return []int64{c}
+	})
+}
+
+// Distinct reduces a stream to multiplicity one per record present with
+// positive multiplicity.
+func Distinct[R comparable](in *Collection[R]) *Collection[R] {
+	keyed := Map(in, func(r R) KV[R, struct{}] { return KV[R, struct{}]{r, struct{}{}} })
+	reduced := Reduce(keyed, "distinct", func(_ R, vals []VD[struct{}]) []struct{} {
+		var c Diff
+		for _, vd := range vals {
+			c += vd.D
+		}
+		if c > 0 {
+			return []struct{}{{}}
+		}
+		return nil
+	})
+	return Map(reduced, func(kv KV[R, struct{}]) R { return kv.K })
+}
+
+// DistinctKeys reduces a keyed stream to one (key, struct{}{}) record per key
+// present, the shape Semijoin expects for its filter side.
+func DistinctKeys[K comparable, V comparable](in *Collection[KV[K, V]]) *Collection[KV[K, struct{}]] {
+	return Reduce(in, "distinct-keys", func(_ K, vals []VD[V]) []struct{} {
+		var c Diff
+		for _, vd := range vals {
+			c += vd.D
+		}
+		if c > 0 {
+			return []struct{}{{}}
+		}
+		return nil
+	})
+}
+
+func (n *reduceNode[K, V, O]) name() string { return "reduce:" + n.nm }
+
+func (n *reduceNode[K, V, O]) run(w int, t timestamp.Time) {
+	sh := n.st[w]
+	batch := n.p.take(w, t)
+	work := len(batch)
+
+	outer, compacting := n.s.compactionOuter()
+
+	// Ingest new input deltas and schedule the join closure of t with each
+	// touched key's known times.
+	for _, d := range batch {
+		k := d.Rec.K
+		ks := sh.keys[k]
+		if ks == nil {
+			ks = &keyState[V, O]{}
+			sh.keys[k] = ks
+		}
+		if compacting {
+			ks.advance(outer)
+		}
+		ks.ins = append(ks.ins, vtd[V]{d.Rec.V, t, d.D})
+		if ks.hasTime(t) {
+			// Time already known; it is either this run (scheduled below) or
+			// already scheduled.
+			sh.mark(t, k)
+			continue
+		}
+		// Compute the closure of {t} ∪ ks.times under Join.
+		frontier := []timestamp.Time{t}
+		for len(frontier) > 0 {
+			nt := frontier[len(frontier)-1]
+			frontier = frontier[:len(frontier)-1]
+			if ks.hasTime(nt) {
+				continue
+			}
+			for _, s := range ks.times {
+				j := nt.Join(s)
+				if j != nt && j != s && !ks.hasTime(j) {
+					frontier = append(frontier, j)
+				}
+			}
+			ks.times = append(ks.times, nt)
+			sh.mark(nt, k)
+		}
+	}
+
+	// Re-evaluate every key dirty at exactly t.
+	dk := sh.dirty[t]
+	if dk == nil {
+		return
+	}
+	delete(sh.dirty, t)
+	var ob []Delta[KV[K, O]]
+	var vals []VD[V]
+	var delta []VD[O]
+	for k := range dk {
+		ks := sh.keys[k]
+		// Accumulate input at t. Small traces merge by linear scan; large
+		// ones (hub vertices) through a map.
+		vals = vals[:0]
+		if len(ks.ins) <= 32 {
+			for _, e := range ks.ins {
+				if !e.t.Leq(t) {
+					continue
+				}
+				found := false
+				for i := range vals {
+					if vals[i].V == e.v {
+						vals[i].D += e.d
+						found = true
+						break
+					}
+				}
+				if !found {
+					vals = append(vals, VD[V]{e.v, e.d})
+				}
+			}
+			m := 0
+			for _, vd := range vals {
+				if vd.D != 0 {
+					vals[m] = vd
+					m++
+				}
+			}
+			vals = vals[:m]
+		} else {
+			accIn := make(map[V]Diff, len(ks.ins))
+			for _, e := range ks.ins {
+				if e.t.Leq(t) {
+					accIn[e.v] += e.d
+				}
+			}
+			for v, d := range accIn {
+				if d != 0 {
+					vals = append(vals, VD[V]{v, d})
+				}
+			}
+		}
+		// Desired output minus accumulated emitted output; output sets are
+		// tiny (usually one record), so a linear merge suffices.
+		delta = delta[:0]
+		if len(vals) > 0 {
+			for _, o := range n.f(k, vals) {
+				mergeVD(&delta, o, 1)
+			}
+		}
+		for _, e := range ks.outs {
+			if e.t.Leq(t) {
+				mergeVD(&delta, e.v, -e.d)
+			}
+		}
+		for _, od := range delta {
+			if od.D != 0 {
+				ks.outs = append(ks.outs, vtd[O]{od.V, t, od.D})
+				ob = append(ob, Delta[KV[K, O]]{KV[K, O]{k, od.V}, t, od.D})
+			}
+		}
+		work += len(ks.ins)
+	}
+	n.s.addWork(w, work)
+	n.out.emit(w, ob)
+}
+
+// mergeVD accumulates d into the entry for v, appending if absent.
+func mergeVD[V comparable](list *[]VD[V], v V, d Diff) {
+	for i := range *list {
+		if (*list)[i].V == v {
+			(*list)[i].D += d
+			return
+		}
+	}
+	*list = append(*list, VD[V]{v, d})
+}
+
+func (sh *reduceShard[K, V, O]) mark(t timestamp.Time, k K) {
+	m := sh.dirty[t]
+	if m == nil {
+		m = make(map[K]struct{})
+		sh.dirty[t] = m
+	}
+	m[k] = struct{}{}
+}
+
+func (n *reduceNode[K, V, O]) hasPending(w int, t timestamp.Time) bool {
+	if n.p.has(w, t) {
+		return true
+	}
+	_, ok := n.st[w].dirty[t]
+	return ok
+}
+
+func (n *reduceNode[K, V, O]) minPending(w int) (timestamp.Time, bool) {
+	best, found := n.p.min(w)
+	for t := range n.st[w].dirty {
+		if !found || t.LexLess(best) {
+			best, found = t, true
+		}
+	}
+	return best, found
+}

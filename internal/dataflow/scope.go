@@ -1,0 +1,223 @@
+package dataflow
+
+import (
+	"fmt"
+	"hash/maphash"
+	"sync"
+	"sync/atomic"
+
+	"graphsurge/internal/timestamp"
+)
+
+// DefaultMaxIter is the safety cap on fixpoint iterations; exceeding it sets
+// Scope.IterCapHit instead of looping forever on a diverging computation.
+const DefaultMaxIter = 1 << 20
+
+// node is one stateful operator instance in a scope's dataflow graph.
+// Stateless (linear) operators are fused into subscription closures and never
+// become nodes.
+type node interface {
+	// run processes all pending work at exactly time t on worker w. It may
+	// emit deltas at times ≥ t (in the partial order).
+	run(w int, t timestamp.Time)
+	// hasPending reports whether worker w has work at exactly time t.
+	hasPending(w int, t timestamp.Time) bool
+	// minPending returns worker w's lexicographically smallest pending time.
+	minPending(w int) (timestamp.Time, bool)
+	// name identifies the operator for diagnostics.
+	name() string
+}
+
+// Scope owns a dataflow graph and its multi-worker scheduler. Build the graph
+// with the operator constructors (Map, JoinMap, Reduce, Iterate, ...), feed
+// versions through Inputs, and call Drain to run to quiescence.
+//
+// A Scope is not safe for concurrent use by multiple goroutines: graph
+// construction, feeding and draining must happen from one driver goroutine.
+type Scope struct {
+	workers int
+	seed    maphash.Seed
+	nodes   []node
+
+	// MaxIter caps fixpoint iterations (safety against divergence).
+	MaxIter uint32
+	// IterCapHit is set if any loop exceeded MaxIter; results for that
+	// version are then incomplete.
+	IterCapHit atomic.Bool
+
+	// frontier is 1 + the last fully drained version; operator traces clamp
+	// historical times below it lazily, when a key is touched.
+	frontier atomic.Uint32
+
+	work []paddedCounter // per-worker records processed, for scaling proxies
+}
+
+type paddedCounter struct {
+	n int64
+	_ [7]int64 // avoid false sharing between worker counters
+}
+
+// NewScope creates a scope with the given worker count (minimum 1).
+func NewScope(workers int) *Scope {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Scope{
+		workers: workers,
+		seed:    maphash.MakeSeed(),
+		MaxIter: DefaultMaxIter,
+		work:    make([]paddedCounter, workers),
+	}
+}
+
+// Workers returns the number of workers in the scope.
+func (s *Scope) Workers() int { return s.workers }
+
+func (s *Scope) addNode(n node) { s.nodes = append(s.nodes, n) }
+
+func (s *Scope) addWork(w int, n int) { s.work[w].n += int64(n) }
+
+// WorkCounts returns per-worker counts of records processed by stateful
+// operators since the last ResetWork. The maximum over workers is the
+// critical-path proxy used by the scalability experiment.
+func (s *Scope) WorkCounts() []int64 {
+	out := make([]int64, s.workers)
+	for w := range out {
+		out[w] = s.work[w].n
+	}
+	return out
+}
+
+// ResetWork zeroes the per-worker work counters.
+func (s *Scope) ResetWork() {
+	for w := range s.work {
+		s.work[w].n = 0
+	}
+}
+
+// partition returns the worker owning a key.
+func partition[K comparable](s *Scope, k K) int {
+	if s.workers == 1 {
+		return 0
+	}
+	return int(maphash.Comparable(s.seed, k) % uint64(s.workers))
+}
+
+// minPendingTime scans all nodes and workers for the smallest pending time.
+// Only called while workers are idle.
+func (s *Scope) minPendingTime() (timestamp.Time, bool) {
+	var best timestamp.Time
+	found := false
+	for _, n := range s.nodes {
+		for w := 0; w < s.workers; w++ {
+			if t, ok := n.minPending(w); ok && (!found || t.LexLess(best)) {
+				best, found = t, true
+			}
+		}
+	}
+	return best, found
+}
+
+// Drain processes all outstanding work, in lexicographic time order, until
+// the scope is quiescent. Call after feeding inputs for a version.
+func (s *Scope) Drain() {
+	for {
+		t, ok := s.minPendingTime()
+		if !ok {
+			return
+		}
+		s.drainTime(t)
+	}
+}
+
+// drainTime runs rounds of worker-parallel processing at exactly time t until
+// no node on any worker has pending work at t. Cross-worker deliveries made
+// during a round are observed in the next round (the post-barrier check).
+func (s *Scope) drainTime(t timestamp.Time) {
+	if s.workers == 1 {
+		for {
+			progress := false
+			for _, n := range s.nodes {
+				if n.hasPending(0, t) {
+					n.run(0, t)
+					progress = true
+				}
+			}
+			if !progress {
+				return
+			}
+		}
+	}
+	for {
+		var wg sync.WaitGroup
+		for w := 0; w < s.workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for {
+					progress := false
+					for _, n := range s.nodes {
+						if n.hasPending(w, t) {
+							n.run(w, t)
+							progress = true
+						}
+					}
+					if !progress {
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		still := false
+	check:
+		for _, n := range s.nodes {
+			for w := 0; w < s.workers; w++ {
+				if n.hasPending(w, t) {
+					still = true
+					break check
+				}
+			}
+		}
+		if !still {
+			return
+		}
+	}
+}
+
+// Compact marks all versions ≤ outer as complete: historical trace times
+// with Outer < outer may be clamped to outer and merged. Sound once all
+// future work happens at versions > outer, i.e. call it after draining
+// version outer and before feeding version outer+1. This is the analogue of
+// Differential Dataflow's arrangement compaction and keeps per-key trace
+// sizes proportional to the number of distinct iteration depths rather than
+// the number of views.
+//
+// Compaction is lazy: this call only advances the frontier; stateful
+// operators clamp and merge a key's history the next time the key is
+// touched, so quiescent keys cost nothing per version.
+func (s *Scope) Compact(outer uint32) {
+	for {
+		cur := s.frontier.Load()
+		if outer+1 <= cur || s.frontier.CompareAndSwap(cur, outer+1) {
+			return
+		}
+	}
+}
+
+// compactionOuter returns the outer coordinate traces may clamp to, and
+// whether any compaction has been requested.
+func (s *Scope) compactionOuter() (uint32, bool) {
+	f := s.frontier.Load()
+	if f == 0 {
+		return 0, false
+	}
+	return f - 1, true
+}
+
+// checkQuiescent panics if any pending work remains; used by tests.
+func (s *Scope) checkQuiescent() {
+	if t, ok := s.minPendingTime(); ok {
+		panic(fmt.Sprintf("dataflow: scope not quiescent, pending work at %v", t))
+	}
+}

@@ -1,0 +1,300 @@
+// Package datagen generates the deterministic synthetic datasets this
+// reproduction substitutes for the paper's real-world graphs (DESIGN.md):
+//
+//   - Temporal: a preferential-attachment graph whose edges carry creation
+//     timestamps, standing in for the Stack Overflow temporal network (SO).
+//   - Citation: a citation DAG whose papers carry publication year and
+//     author count, standing in for the Semantic Scholar paper citations
+//     (PC).
+//   - Community: a planted-partition graph with ground-truth communities on
+//     nodes, standing in for com-LiveJournal (LJ) and wiki-topcats (WTC).
+//   - Social: a skewed-degree social graph, optionally with location node
+//     properties and an edge affinity weight, standing in for Orkut and
+//     Twitter (TW).
+//
+// All generators are seeded and deterministic: the same config yields the
+// same graph, which keeps experiments and tests reproducible. The structural
+// knobs the paper's experiments depend on — temporal ordering, community
+// structure, degree skew, property distributions — are explicit parameters.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"graphsurge/internal/graph"
+)
+
+// TemporalConfig parameterizes the SO-like temporal graph.
+type TemporalConfig struct {
+	Nodes int
+	Edges int
+	// Days is the timestamp range: edge timestamps are 0..Days-1,
+	// nondecreasing over the edge stream (like a crawl).
+	Days int
+	Seed int64
+}
+
+// Temporal generates a temporal interaction graph. Edge properties:
+// ts (int, the creation day), duration (int, 1..60).
+func Temporal(cfg TemporalConfig) *graph.Graph {
+	r := rand.New(rand.NewSource(cfg.Seed))
+	g := &graph.Graph{
+		Name:     fmt.Sprintf("temporal-%d", cfg.Seed),
+		NumNodes: cfg.Nodes,
+		EdgeProps: graph.NewPropTable([]graph.PropDef{
+			{Name: "ts", Type: graph.TypeInt},
+			{Name: "duration", Type: graph.TypeInt},
+		}),
+	}
+	ts := g.EdgeProps.Cols[0].Ints[:0]
+	dur := g.EdgeProps.Cols[1].Ints[:0]
+	for i := 0; i < cfg.Edges; i++ {
+		src, dst := prefAttachPair(r, cfg.Nodes, i, cfg.Edges)
+		g.Srcs = append(g.Srcs, src)
+		g.Dsts = append(g.Dsts, dst)
+		// Timestamps advance with the stream position plus jitter, so time
+		// windows select contiguous growth regions, like a real crawl.
+		day := int64(i) * int64(cfg.Days) / int64(cfg.Edges)
+		jitter := int64(r.Intn(3)) - 1
+		if day+jitter >= 0 && day+jitter < int64(cfg.Days) {
+			day += jitter
+		}
+		ts = append(ts, day)
+		dur = append(dur, int64(1+r.Intn(60)))
+	}
+	g.EdgeProps.Cols[0].Ints = ts
+	g.EdgeProps.Cols[1].Ints = dur
+	return g
+}
+
+// prefAttachPair draws an edge with skewed endpoint degrees: destinations
+// prefer earlier (high-degree) nodes.
+func prefAttachPair(r *rand.Rand, nodes, i, total int) (uint64, uint64) {
+	// Active node prefix grows with the stream, so early nodes accumulate
+	// degree.
+	active := 2 + (nodes-2)*(i+1)/total
+	src := uint64(r.Intn(active))
+	// Skew destination toward low IDs (the "hubs").
+	d := uint64(float64(active) * r.Float64() * r.Float64())
+	if d == src {
+		d = (d + 1) % uint64(active)
+	}
+	return src, d
+}
+
+// CitationConfig parameterizes the PC-like citation graph.
+type CitationConfig struct {
+	Papers    int
+	AvgCites  int
+	YearFrom  int
+	YearTo    int
+	MaxAuthor int
+	Seed      int64
+}
+
+// Citation generates a citation DAG: papers are ordered by publication
+// year and cite only earlier papers. Node properties: year (int), authors
+// (int). Edge property: w (int, always 1).
+func Citation(cfg CitationConfig) *graph.Graph {
+	if cfg.MaxAuthor == 0 {
+		cfg.MaxAuthor = 25
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	years := cfg.YearTo - cfg.YearFrom + 1
+	g := &graph.Graph{
+		Name:     fmt.Sprintf("citation-%d", cfg.Seed),
+		NumNodes: cfg.Papers,
+		NodeProps: graph.NewPropTable([]graph.PropDef{
+			{Name: "year", Type: graph.TypeInt},
+			{Name: "authors", Type: graph.TypeInt},
+		}),
+		EdgeProps: graph.NewPropTable([]graph.PropDef{
+			{Name: "w", Type: graph.TypeInt},
+		}),
+	}
+	yc := g.NodeProps.Cols[0].Ints[:0]
+	ac := g.NodeProps.Cols[1].Ints[:0]
+	for p := 0; p < cfg.Papers; p++ {
+		// Publication volume grows over time: paper index maps
+		// quadratically to year, like real corpora.
+		f := float64(p) / float64(cfg.Papers)
+		year := cfg.YearFrom + int(f*f*float64(years))
+		if year > cfg.YearTo {
+			year = cfg.YearTo
+		}
+		yc = append(yc, int64(year))
+		// Author counts skew small.
+		a := 1 + int(float64(cfg.MaxAuthor-1)*r.Float64()*r.Float64())
+		ac = append(ac, int64(a))
+	}
+	g.NodeProps.Cols[0].Ints = yc
+	g.NodeProps.Cols[1].Ints = ac
+
+	wcol := g.EdgeProps.Cols[0].Ints[:0]
+	for p := 1; p < cfg.Papers; p++ {
+		cites := r.Intn(2*cfg.AvgCites + 1)
+		for c := 0; c < cites; c++ {
+			// Cite mostly recent work: sample an offset skewed toward
+			// small values.
+			off := 1 + int(float64(p)*r.Float64()*r.Float64()*r.Float64())
+			if off > p {
+				off = p
+			}
+			g.Srcs = append(g.Srcs, uint64(p))
+			g.Dsts = append(g.Dsts, uint64(p-off))
+			wcol = append(wcol, 1)
+		}
+	}
+	g.EdgeProps.Cols[0].Ints = wcol
+	return g
+}
+
+// CommunityConfig parameterizes the LJ/WTC-like community graph.
+type CommunityConfig struct {
+	Nodes       int
+	Communities int
+	// IntraDeg is the average intra-community out-degree.
+	IntraDeg int
+	// InterDeg is the average cross-community out-degree.
+	InterDeg int
+	Seed     int64
+}
+
+// Community generates a planted-partition graph. Node property: community
+// (int, 0-based; community 0 is the largest). Edge property: w (int, 1..10).
+// Community sizes follow a geometric-ish decay so "the largest N
+// communities" is meaningful, as in the paper's perturbation experiments.
+func Community(cfg CommunityConfig) *graph.Graph {
+	r := rand.New(rand.NewSource(cfg.Seed))
+	g := &graph.Graph{
+		Name:     fmt.Sprintf("community-%d", cfg.Seed),
+		NumNodes: cfg.Nodes,
+		NodeProps: graph.NewPropTable([]graph.PropDef{
+			{Name: "community", Type: graph.TypeInt},
+		}),
+		EdgeProps: graph.NewPropTable([]graph.PropDef{
+			{Name: "w", Type: graph.TypeInt},
+		}),
+	}
+	// Assign sizes: community c gets a share proportional to 1/(c+2), then
+	// nodes are dealt out contiguously.
+	weights := make([]float64, cfg.Communities)
+	totalW := 0.0
+	for c := range weights {
+		weights[c] = 1 / float64(c+2)
+		totalW += weights[c]
+	}
+	comm := g.NodeProps.Cols[0].Ints[:0]
+	bounds := make([][2]int, cfg.Communities) // member node ranges
+	at := 0
+	for c := 0; c < cfg.Communities; c++ {
+		n := int(float64(cfg.Nodes) * weights[c] / totalW)
+		if c == cfg.Communities-1 {
+			n = cfg.Nodes - at
+		}
+		bounds[c] = [2]int{at, at + n}
+		for i := 0; i < n; i++ {
+			comm = append(comm, int64(c))
+		}
+		at += n
+	}
+	g.NodeProps.Cols[0].Ints = comm
+
+	wcol := g.EdgeProps.Cols[0].Ints[:0]
+	addEdge := func(s, d int) {
+		if s == d {
+			return
+		}
+		g.Srcs = append(g.Srcs, uint64(s))
+		g.Dsts = append(g.Dsts, uint64(d))
+		wcol = append(wcol, int64(1+r.Intn(10)))
+	}
+	for c := 0; c < cfg.Communities; c++ {
+		lo, hi := bounds[c][0], bounds[c][1]
+		n := hi - lo
+		if n < 2 {
+			continue
+		}
+		// A ring keeps each community connected, then random intra edges.
+		for i := lo; i < hi; i++ {
+			next := i + 1
+			if next == hi {
+				next = lo
+			}
+			addEdge(i, next)
+		}
+		for i := 0; i < n*(cfg.IntraDeg-1); i++ {
+			addEdge(lo+r.Intn(n), lo+r.Intn(n))
+		}
+	}
+	for i := 0; i < cfg.Nodes*cfg.InterDeg; i++ {
+		addEdge(r.Intn(cfg.Nodes), r.Intn(cfg.Nodes))
+	}
+	g.EdgeProps.Cols[0].Ints = wcol
+	return g
+}
+
+// SocialConfig parameterizes the Orkut/Twitter-like social graph.
+type SocialConfig struct {
+	Nodes int
+	Edges int
+	// Locations adds city/state/country node properties and an affinity
+	// edge property when > 0 (the Figure 10 workload); the value is the
+	// number of cities (states = cities/4, countries = cities/16, floored
+	// at 1).
+	Locations int
+	Seed      int64
+}
+
+// Social generates a skewed-degree directed social graph. Edge property: w
+// (int, 1..10) plus affinity (int, 0..2) when Locations > 0. Node
+// properties (when Locations > 0): city, state, country (ints).
+func Social(cfg SocialConfig) *graph.Graph {
+	r := rand.New(rand.NewSource(cfg.Seed))
+	g := &graph.Graph{
+		Name:     fmt.Sprintf("social-%d", cfg.Seed),
+		NumNodes: cfg.Nodes,
+	}
+	edefs := []graph.PropDef{{Name: "w", Type: graph.TypeInt}}
+	if cfg.Locations > 0 {
+		edefs = append(edefs, graph.PropDef{Name: "affinity", Type: graph.TypeInt})
+		g.NodeProps = graph.NewPropTable([]graph.PropDef{
+			{Name: "city", Type: graph.TypeInt},
+			{Name: "state", Type: graph.TypeInt},
+			{Name: "country", Type: graph.TypeInt},
+		})
+		cities := cfg.Locations
+		states := max(1, cities/4)
+		countries := max(1, cities/16)
+		cc := g.NodeProps.Cols[0].Ints[:0]
+		sc := g.NodeProps.Cols[1].Ints[:0]
+		oc := g.NodeProps.Cols[2].Ints[:0]
+		for n := 0; n < cfg.Nodes; n++ {
+			city := r.Intn(cities)
+			cc = append(cc, int64(city))
+			sc = append(sc, int64(city%states))
+			oc = append(oc, int64(city%countries))
+		}
+		g.NodeProps.Cols[0].Ints = cc
+		g.NodeProps.Cols[1].Ints = sc
+		g.NodeProps.Cols[2].Ints = oc
+	}
+	g.EdgeProps = graph.NewPropTable(edefs)
+	wcol := g.EdgeProps.Cols[0].Ints[:0]
+	var acol []int64
+	for i := 0; i < cfg.Edges; i++ {
+		src, dst := prefAttachPair(r, cfg.Nodes, i, cfg.Edges)
+		g.Srcs = append(g.Srcs, src)
+		g.Dsts = append(g.Dsts, dst)
+		wcol = append(wcol, int64(1+r.Intn(10)))
+		if cfg.Locations > 0 {
+			acol = append(acol, int64(r.Intn(3)))
+		}
+	}
+	g.EdgeProps.Cols[0].Ints = wcol
+	if cfg.Locations > 0 {
+		g.EdgeProps.Cols[1].Ints = acol
+	}
+	return g
+}

@@ -1,0 +1,166 @@
+package datagen
+
+import (
+	"testing"
+
+	"graphsurge/internal/graph"
+)
+
+func TestTemporalDeterministicAndValid(t *testing.T) {
+	cfg := TemporalConfig{Nodes: 500, Edges: 5000, Days: 100, Seed: 1}
+	g1 := Temporal(cfg)
+	g2 := Temporal(cfg)
+	if err := g1.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g1.NumEdges() != 5000 || g1.NumNodes != 500 {
+		t.Fatalf("%d nodes %d edges", g1.NumNodes, g1.NumEdges())
+	}
+	for i := range g1.Srcs {
+		if g1.Srcs[i] != g2.Srcs[i] || g1.Dsts[i] != g2.Dsts[i] {
+			t.Fatal("not deterministic")
+		}
+	}
+	// Timestamps are in range and broadly nondecreasing.
+	ci, _ := g1.EdgeProps.ColumnIndex("ts")
+	ts := g1.EdgeProps.Cols[ci].Ints
+	for i, v := range ts {
+		if v < 0 || v >= 100 {
+			t.Fatalf("ts[%d] = %d", i, v)
+		}
+	}
+	if ts[0] > 5 || ts[len(ts)-1] < 94 {
+		t.Fatalf("timestamps not spanning range: first=%d last=%d", ts[0], ts[len(ts)-1])
+	}
+}
+
+func TestCitationIsDAGWithGrowingYears(t *testing.T) {
+	g := Citation(CitationConfig{Papers: 2000, AvgCites: 4, YearFrom: 1936, YearTo: 2020, Seed: 2})
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	yi, _ := g.NodeProps.ColumnIndex("year")
+	years := g.NodeProps.Cols[yi].Ints
+	for i := range g.Srcs {
+		if g.Dsts[i] >= g.Srcs[i] {
+			t.Fatalf("edge %d cites forward: %d -> %d", i, g.Srcs[i], g.Dsts[i])
+		}
+		if years[g.Dsts[i]] > years[g.Srcs[i]] {
+			t.Fatalf("edge %d cites newer year", i)
+		}
+	}
+	if years[0] != 1936 || years[len(years)-1] != 2020 {
+		t.Fatalf("year range %d..%d", years[0], years[len(years)-1])
+	}
+	ai, _ := g.NodeProps.ColumnIndex("authors")
+	for _, a := range g.NodeProps.Cols[ai].Ints {
+		if a < 1 || a > 25 {
+			t.Fatalf("authors = %d", a)
+		}
+	}
+}
+
+func TestCommunityStructure(t *testing.T) {
+	g := Community(CommunityConfig{Nodes: 3000, Communities: 10, IntraDeg: 5, InterDeg: 1, Seed: 3})
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ci, _ := g.NodeProps.ColumnIndex("community")
+	comm := g.NodeProps.Cols[ci].Ints
+	sizes := make(map[int64]int)
+	for _, c := range comm {
+		sizes[c]++
+	}
+	if len(sizes) != 10 {
+		t.Fatalf("%d communities", len(sizes))
+	}
+	// Community 0 is the largest.
+	for c, n := range sizes {
+		if n > sizes[0] {
+			t.Fatalf("community %d larger than 0 (%d > %d)", c, n, sizes[0])
+		}
+	}
+	// Intra edges dominate.
+	intra, inter := 0, 0
+	for i := range g.Srcs {
+		if comm[g.Srcs[i]] == comm[g.Dsts[i]] {
+			intra++
+		} else {
+			inter++
+		}
+	}
+	if intra <= inter {
+		t.Fatalf("intra %d <= inter %d", intra, inter)
+	}
+}
+
+func TestSocialSkewAndLocations(t *testing.T) {
+	g := Social(SocialConfig{Nodes: 2000, Edges: 20000, Seed: 4})
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Degree skew: the top node has far more than the average degree.
+	deg := make([]int, g.NumNodes)
+	for _, d := range g.Dsts {
+		deg[d]++
+	}
+	maxDeg := 0
+	for _, d := range deg {
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	if maxDeg < 5*g.NumEdges()/g.NumNodes {
+		t.Fatalf("no degree skew: max=%d avg=%d", maxDeg, g.NumEdges()/g.NumNodes)
+	}
+	if g.NodeProps != nil {
+		t.Fatal("unexpected node props without locations")
+	}
+
+	gl := Social(SocialConfig{Nodes: 1000, Edges: 5000, Locations: 32, Seed: 5})
+	if err := gl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"city", "state", "country"} {
+		if _, ok := gl.NodeProps.ColumnIndex(name); !ok {
+			t.Fatalf("missing node property %s", name)
+		}
+	}
+	ai, ok := gl.EdgeProps.ColumnIndex("affinity")
+	if !ok {
+		t.Fatal("missing affinity")
+	}
+	for _, a := range gl.EdgeProps.Cols[ai].Ints {
+		if a < 0 || a > 2 {
+			t.Fatalf("affinity %d", a)
+		}
+	}
+	// city -> state -> country are consistent projections.
+	cc := gl.NodeProps.Cols[0].Ints
+	sc := gl.NodeProps.Cols[1].Ints
+	for i := range cc {
+		if sc[i] != cc[i]%8 {
+			t.Fatalf("state[%d] inconsistent", i)
+		}
+	}
+}
+
+func TestGeneratorsProduceUsableWeights(t *testing.T) {
+	for _, g := range []*graph.Graph{
+		Temporal(TemporalConfig{Nodes: 50, Edges: 200, Days: 10, Seed: 9}),
+		Citation(CitationConfig{Papers: 100, AvgCites: 2, YearFrom: 2000, YearTo: 2020, Seed: 9}),
+		Community(CommunityConfig{Nodes: 100, Communities: 4, IntraDeg: 3, InterDeg: 1, Seed: 9}),
+		Social(SocialConfig{Nodes: 100, Edges: 400, Seed: 9}),
+	} {
+		if g.NumEdges() == 0 {
+			t.Fatalf("%s: no edges", g.Name)
+		}
+		name := "w"
+		if _, ok := g.EdgeProps.ColumnIndex("w"); !ok {
+			name = "duration"
+		}
+		if _, err := g.WeightColumn(name); err != nil {
+			t.Fatalf("%s: %v", g.Name, err)
+		}
+	}
+}

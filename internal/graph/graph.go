@@ -1,0 +1,255 @@
+// Package graph implements Graphsurge's property graph store: directed
+// graphs with arbitrary typed key-value properties on nodes and edges
+// (string, integer and boolean, as in the paper), columnar property storage,
+// CSV import with typed headers, and binary persistence.
+//
+// Upon loading, every node receives a dense internal 64-bit ID (0..N-1);
+// external identifiers are retained for display. Edges are stored as a
+// struct-of-arrays edge stream — the (sID, dID, key1, val1, ...) tuples of
+// the paper — indexed by position so that views can reference base edges by
+// index.
+package graph
+
+import "fmt"
+
+// PropType enumerates the property value types Graphsurge supports.
+type PropType uint8
+
+const (
+	TypeInt PropType = iota
+	TypeString
+	TypeBool
+)
+
+func (t PropType) String() string {
+	switch t {
+	case TypeInt:
+		return "int"
+	case TypeString:
+		return "string"
+	case TypeBool:
+		return "bool"
+	}
+	return fmt.Sprintf("PropType(%d)", uint8(t))
+}
+
+// Value is a dynamically typed property value.
+type Value struct {
+	Type PropType
+	I    int64
+	S    string
+	B    bool
+}
+
+// IntValue returns an integer Value.
+func IntValue(i int64) Value { return Value{Type: TypeInt, I: i} }
+
+// StringValue returns a string Value.
+func StringValue(s string) Value { return Value{Type: TypeString, S: s} }
+
+// BoolValue returns a boolean Value.
+func BoolValue(b bool) Value { return Value{Type: TypeBool, B: b} }
+
+func (v Value) String() string {
+	switch v.Type {
+	case TypeInt:
+		return fmt.Sprintf("%d", v.I)
+	case TypeString:
+		return v.S
+	case TypeBool:
+		return fmt.Sprintf("%t", v.B)
+	}
+	return "?"
+}
+
+// Equal reports deep equality of two values (types must match).
+func (v Value) Equal(o Value) bool { return v == o }
+
+// PropDef declares one property column.
+type PropDef struct {
+	Name string
+	Type PropType
+}
+
+// Column is one typed property column. Exactly one of the slices is
+// populated, matching Type.
+type Column struct {
+	Type  PropType
+	Ints  []int64
+	Strs  []string
+	Bools []bool
+}
+
+// Value returns the value at a row.
+func (c *Column) Value(row int) Value {
+	switch c.Type {
+	case TypeInt:
+		return IntValue(c.Ints[row])
+	case TypeString:
+		return StringValue(c.Strs[row])
+	default:
+		return BoolValue(c.Bools[row])
+	}
+}
+
+// Append adds a value to the column; the value's type must match.
+func (c *Column) Append(v Value) error {
+	if v.Type != c.Type {
+		return fmt.Errorf("graph: column type %v, value type %v", c.Type, v.Type)
+	}
+	switch c.Type {
+	case TypeInt:
+		c.Ints = append(c.Ints, v.I)
+	case TypeString:
+		c.Strs = append(c.Strs, v.S)
+	default:
+		c.Bools = append(c.Bools, v.B)
+	}
+	return nil
+}
+
+// Len returns the number of rows.
+func (c *Column) Len() int {
+	switch c.Type {
+	case TypeInt:
+		return len(c.Ints)
+	case TypeString:
+		return len(c.Strs)
+	default:
+		return len(c.Bools)
+	}
+}
+
+// PropTable is a columnar table of properties; rows are node or edge
+// indices.
+type PropTable struct {
+	Names []string
+	Cols  []Column
+	index map[string]int
+}
+
+// NewPropTable creates an empty table with the given columns.
+func NewPropTable(defs []PropDef) *PropTable {
+	pt := &PropTable{index: make(map[string]int, len(defs))}
+	for _, d := range defs {
+		pt.Names = append(pt.Names, d.Name)
+		pt.Cols = append(pt.Cols, Column{Type: d.Type})
+		pt.index[d.Name] = len(pt.Names) - 1
+	}
+	return pt
+}
+
+// ColumnIndex resolves a property name to its column position.
+func (pt *PropTable) ColumnIndex(name string) (int, bool) {
+	if pt == nil {
+		return 0, false
+	}
+	if pt.index == nil {
+		pt.rebuildIndex()
+	}
+	i, ok := pt.index[name]
+	return i, ok
+}
+
+func (pt *PropTable) rebuildIndex() {
+	pt.index = make(map[string]int, len(pt.Names))
+	for i, n := range pt.Names {
+		pt.index[n] = i
+	}
+}
+
+// Value returns the property value at (row, column).
+func (pt *PropTable) Value(row, col int) Value { return pt.Cols[col].Value(row) }
+
+// AppendRow appends one row; vals must match the column order and types.
+func (pt *PropTable) AppendRow(vals []Value) error {
+	if len(vals) != len(pt.Cols) {
+		return fmt.Errorf("graph: row has %d values, table has %d columns", len(vals), len(pt.Cols))
+	}
+	for i, v := range vals {
+		if err := pt.Cols[i].Append(v); err != nil {
+			return fmt.Errorf("column %q: %w", pt.Names[i], err)
+		}
+	}
+	return nil
+}
+
+// Triple is the (source, destination, weight) projection of an edge, the
+// record type consumed by analytics computations.
+type Triple struct {
+	Src, Dst uint64
+	W        int64
+}
+
+// Graph is a directed property graph. Node IDs are dense internal IDs
+// 0..NumNodes-1; edges are parallel arrays indexed by edge position.
+type Graph struct {
+	Name     string
+	NumNodes int
+	ExtIDs   []string // external node identifiers from import, by node ID
+
+	NodeProps *PropTable // rows are node IDs
+	Srcs      []uint64
+	Dsts      []uint64
+	EdgeProps *PropTable // rows are edge indices
+}
+
+// NumEdges returns the number of edges.
+func (g *Graph) NumEdges() int { return len(g.Srcs) }
+
+// Triple projects edge i using the given weight column (-1 for unit
+// weights). The weight column must be an integer column.
+func (g *Graph) Triple(i int, weightCol int) Triple {
+	w := int64(1)
+	if weightCol >= 0 {
+		w = g.EdgeProps.Cols[weightCol].Ints[i]
+	}
+	return Triple{Src: g.Srcs[i], Dst: g.Dsts[i], W: w}
+}
+
+// WeightColumn resolves an edge property name to a weight column index.
+// Empty name yields -1 (unit weights).
+func (g *Graph) WeightColumn(prop string) (int, error) {
+	if prop == "" {
+		return -1, nil
+	}
+	c, ok := g.EdgeProps.ColumnIndex(prop)
+	if !ok {
+		return 0, fmt.Errorf("graph %s: no edge property %q", g.Name, prop)
+	}
+	if g.EdgeProps.Cols[c].Type != TypeInt {
+		return 0, fmt.Errorf("graph %s: weight property %q is not an integer", g.Name, prop)
+	}
+	return c, nil
+}
+
+// Validate checks internal consistency (parallel array lengths, endpoint
+// ranges) and returns the first violation found.
+func (g *Graph) Validate() error {
+	if len(g.Srcs) != len(g.Dsts) {
+		return fmt.Errorf("graph %s: %d sources but %d destinations", g.Name, len(g.Srcs), len(g.Dsts))
+	}
+	if g.NodeProps != nil {
+		for i, c := range g.NodeProps.Cols {
+			if c.Len() != g.NumNodes {
+				return fmt.Errorf("graph %s: node property %q has %d rows, want %d",
+					g.Name, g.NodeProps.Names[i], c.Len(), g.NumNodes)
+			}
+		}
+	}
+	if g.EdgeProps != nil {
+		for i, c := range g.EdgeProps.Cols {
+			if c.Len() != len(g.Srcs) {
+				return fmt.Errorf("graph %s: edge property %q has %d rows, want %d",
+					g.Name, g.EdgeProps.Names[i], c.Len(), len(g.Srcs))
+			}
+		}
+	}
+	for i := range g.Srcs {
+		if g.Srcs[i] >= uint64(g.NumNodes) || g.Dsts[i] >= uint64(g.NumNodes) {
+			return fmt.Errorf("graph %s: edge %d (%d->%d) out of node range %d",
+				g.Name, i, g.Srcs[i], g.Dsts[i], g.NumNodes)
+		}
+	}
+	return nil
+}

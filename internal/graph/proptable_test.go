@@ -1,0 +1,65 @@
+package graph
+
+import "testing"
+
+func TestColumnTypedAppendAndValue(t *testing.T) {
+	for _, tc := range []struct {
+		typ PropType
+		v   Value
+	}{
+		{TypeInt, IntValue(42)},
+		{TypeString, StringValue("hi")},
+		{TypeBool, BoolValue(true)},
+	} {
+		c := Column{Type: tc.typ}
+		if err := c.Append(tc.v); err != nil {
+			t.Fatal(err)
+		}
+		if c.Len() != 1 || !c.Value(0).Equal(tc.v) {
+			t.Fatalf("%v round trip failed", tc.v)
+		}
+		// Mismatched type is rejected.
+		wrong := IntValue(1)
+		if tc.typ == TypeInt {
+			wrong = StringValue("x")
+		}
+		if err := c.Append(wrong); err == nil {
+			t.Fatalf("type %v accepted %v", tc.typ, wrong)
+		}
+	}
+}
+
+func TestPropTableRowErrors(t *testing.T) {
+	pt := NewPropTable([]PropDef{{Name: "a", Type: TypeInt}, {Name: "b", Type: TypeString}})
+	if err := pt.AppendRow([]Value{IntValue(1)}); err == nil {
+		t.Fatal("short row accepted")
+	}
+	if err := pt.AppendRow([]Value{StringValue("x"), StringValue("y")}); err == nil {
+		t.Fatal("mistyped row accepted")
+	}
+	if err := pt.AppendRow([]Value{IntValue(1), StringValue("y")}); err != nil {
+		t.Fatal(err)
+	}
+	if got := pt.Value(0, 1); got.S != "y" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestColumnIndexRebuild(t *testing.T) {
+	// A table decoded from gob has no index; ColumnIndex must rebuild it.
+	pt := &PropTable{
+		Names: []string{"x", "y"},
+		Cols:  []Column{{Type: TypeInt}, {Type: TypeBool}},
+	}
+	i, ok := pt.ColumnIndex("y")
+	if !ok || i != 1 {
+		t.Fatalf("got %d %v", i, ok)
+	}
+	if _, ok := pt.ColumnIndex("z"); ok {
+		t.Fatal("phantom column")
+	}
+	var nilPT *PropTable
+	if _, ok := nilPT.ColumnIndex("x"); ok {
+		t.Fatal("nil table lookup")
+	}
+}

@@ -1,0 +1,109 @@
+package graph
+
+import (
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Store is Graphsurge's Graph Store: a catalog of named base graphs with
+// optional binary persistence (the paper persists loaded edge streams in
+// files). A Store with an empty directory is memory-only.
+type Store struct {
+	mu     sync.RWMutex
+	dir    string
+	graphs map[string]*Graph
+}
+
+// NewStore creates a store. If dir is non-empty it is created and used for
+// persistence.
+func NewStore(dir string) (*Store, error) {
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	return &Store{dir: dir, graphs: make(map[string]*Graph)}, nil
+}
+
+// Add registers a graph under its name, persisting it if the store has a
+// directory. Re-adding a name replaces the previous graph.
+func (s *Store) Add(g *Graph) error {
+	if g.Name == "" {
+		return fmt.Errorf("graph: cannot store unnamed graph")
+	}
+	if err := g.Validate(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.graphs[g.Name] = g
+	s.mu.Unlock()
+	if s.dir != "" {
+		return s.persist(g)
+	}
+	return nil
+}
+
+// Graph looks a graph up by name, falling back to disk when persisted.
+func (s *Store) Graph(name string) (*Graph, error) {
+	s.mu.RLock()
+	g, ok := s.graphs[name]
+	s.mu.RUnlock()
+	if ok {
+		return g, nil
+	}
+	if s.dir != "" {
+		g, err := s.load(name)
+		if err == nil {
+			s.mu.Lock()
+			s.graphs[name] = g
+			s.mu.Unlock()
+			return g, nil
+		}
+	}
+	return nil, fmt.Errorf("graph: no graph named %q", name)
+}
+
+// Names lists stored graph names in sorted order.
+func (s *Store) Names() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.graphs))
+	for n := range s.graphs {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (s *Store) path(name string) string {
+	return filepath.Join(s.dir, name+".graph.gob")
+}
+
+func (s *Store) persist(g *Graph) error {
+	f, err := os.Create(s.path(g.Name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := gob.NewEncoder(f).Encode(g); err != nil {
+		return fmt.Errorf("graph: persisting %q: %w", g.Name, err)
+	}
+	return nil
+}
+
+func (s *Store) load(name string) (*Graph, error) {
+	f, err := os.Open(s.path(name))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var g Graph
+	if err := gob.NewDecoder(f).Decode(&g); err != nil {
+		return nil, fmt.Errorf("graph: loading %q: %w", name, err)
+	}
+	return &g, nil
+}

@@ -1,0 +1,169 @@
+package gvdl
+
+import (
+	"strconv"
+	"strings"
+)
+
+// lexer tokenizes GVDL source. Identifiers may contain '-' (view names like
+// CA-Long-Calls, property names like num-phones); a '-' immediately followed
+// by a digit at the start of a token begins a negative integer literal
+// instead. Keywords are matched case-insensitively by the parser.
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.emit(token{kind: tokEOF, pos: l.pos})
+			return l.toks, nil
+		}
+		start := l.pos
+		c := l.src[l.pos]
+		switch {
+		case isLetter(c):
+			l.lexIdent(start)
+		case isDigit(c) || (c == '-' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1])):
+			if err := l.lexInt(start); err != nil {
+				return nil, err
+			}
+		case c == '\'' || c == '"':
+			if err := l.lexString(start, c); err != nil {
+				return nil, err
+			}
+		default:
+			if err := l.lexOperator(start); err != nil {
+				return nil, err
+			}
+		}
+	}
+}
+
+func (l *lexer) emit(t token) { l.toks = append(l.toks, t) }
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			l.pos++
+			continue
+		}
+		// Line comments: -- to end of line.
+		if c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-' {
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		}
+		return
+	}
+}
+
+func isLetter(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isIdentChar(c byte) bool { return isLetter(c) || isDigit(c) || c == '-' }
+
+func (l *lexer) lexIdent(start int) {
+	for l.pos < len(l.src) && isIdentChar(l.src[l.pos]) {
+		// A '-' only continues the identifier if followed by another
+		// identifier character, so "a-1" lexes as one identifier but
+		// "a - 1" and "a -1" do not swallow the minus.
+		if l.src[l.pos] == '-' && (l.pos+1 >= len(l.src) || !isIdentChar(l.src[l.pos+1])) {
+			break
+		}
+		l.pos++
+	}
+	l.emit(token{kind: tokIdent, text: l.src[start:l.pos], pos: start})
+}
+
+func (l *lexer) lexInt(start int) error {
+	l.pos++ // first digit or '-'
+	for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+		l.pos++
+	}
+	n, err := strconv.ParseInt(l.src[start:l.pos], 10, 64)
+	if err != nil {
+		return errAt(l.src, start, "bad integer literal %q", l.src[start:l.pos])
+	}
+	l.emit(token{kind: tokInt, num: n, pos: start})
+	return nil
+}
+
+func (l *lexer) lexString(start int, quote byte) error {
+	l.pos++
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == quote {
+			l.pos++
+			l.emit(token{kind: tokString, text: sb.String(), pos: start})
+			return nil
+		}
+		if c == '\\' && l.pos+1 < len(l.src) {
+			l.pos++
+			c = l.src[l.pos]
+		}
+		sb.WriteByte(c)
+		l.pos++
+	}
+	return errAt(l.src, start, "unterminated string literal")
+}
+
+func (l *lexer) lexOperator(start int) error {
+	c := l.src[l.pos]
+	two := ""
+	if l.pos+1 < len(l.src) {
+		two = l.src[l.pos : l.pos+2]
+	}
+	switch {
+	case two == "!=" || two == "<>":
+		l.pos += 2
+		l.emit(token{kind: tokNeq, pos: start})
+	case two == "<=":
+		l.pos += 2
+		l.emit(token{kind: tokLeq, pos: start})
+	case two == ">=":
+		l.pos += 2
+		l.emit(token{kind: tokGeq, pos: start})
+	default:
+		l.pos++
+		var k tokenKind
+		switch c {
+		case '(':
+			k = tokLParen
+		case ')':
+			k = tokRParen
+		case '[':
+			k = tokLBracket
+		case ']':
+			k = tokRBracket
+		case ',':
+			k = tokComma
+		case ':':
+			k = tokColon
+		case '.':
+			k = tokDot
+		case '*':
+			k = tokStar
+		case '=':
+			k = tokEq
+		case '<':
+			k = tokLt
+		case '>':
+			k = tokGt
+		default:
+			return errAt(l.src, start, "unexpected character %q", string(c))
+		}
+		l.emit(token{kind: k, pos: start})
+	}
+	return nil
+}

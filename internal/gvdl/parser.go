@@ -1,0 +1,430 @@
+package gvdl
+
+import (
+	"strings"
+
+	"graphsurge/internal/graph"
+)
+
+// Parse parses a single GVDL statement.
+func Parse(src string) (Statement, error) {
+	stmts, err := ParseAll(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(stmts) != 1 {
+		return nil, errAt(src, 0, "expected exactly one statement, got %d", len(stmts))
+	}
+	return stmts[0], nil
+}
+
+// ParseAll parses a sequence of GVDL statements. Statements need no
+// separator: each begins with "create".
+func ParseAll(src string) ([]Statement, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{src: src, toks: toks}
+	var stmts []Statement
+	for p.cur().kind != tokEOF {
+		s, err := p.parseStatement()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+	}
+	if len(stmts) == 0 {
+		return nil, errAt(src, 0, "empty input")
+	}
+	return stmts, nil
+}
+
+type parser struct {
+	src  string
+	toks []token
+	i    int
+}
+
+func (p *parser) cur() token { return p.toks[p.i] }
+func (p *parser) peek() token {
+	if p.i+1 < len(p.toks) {
+		return p.toks[p.i+1]
+	}
+	return p.toks[len(p.toks)-1]
+}
+func (p *parser) advance() token {
+	t := p.toks[p.i]
+	if p.i < len(p.toks)-1 {
+		p.i++
+	}
+	return t
+}
+
+// isKw reports whether the current token is the given keyword
+// (case-insensitive identifier match).
+func (p *parser) isKw(kw string) bool {
+	t := p.cur()
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}
+
+func (p *parser) expectKw(kw string) error {
+	if !p.isKw(kw) {
+		return errAt(p.src, p.cur().pos, "expected %q, got %s", kw, p.describe(p.cur()))
+	}
+	p.advance()
+	return nil
+}
+
+func (p *parser) expect(k tokenKind) (token, error) {
+	if p.cur().kind != k {
+		return token{}, errAt(p.src, p.cur().pos, "expected %s, got %s", k, p.describe(p.cur()))
+	}
+	return p.advance(), nil
+}
+
+func (p *parser) ident() (string, error) {
+	t, err := p.expect(tokIdent)
+	if err != nil {
+		return "", err
+	}
+	return t.text, nil
+}
+
+func (p *parser) describe(t token) string {
+	if t.kind == tokIdent {
+		return "\"" + t.text + "\""
+	}
+	return t.kind.String()
+}
+
+func (p *parser) parseStatement() (Statement, error) {
+	if err := p.expectKw("create"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("view"); err != nil {
+		return nil, err
+	}
+	if p.isKw("collection") {
+		p.advance()
+		return p.parseCollection()
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("on"); err != nil {
+		return nil, err
+	}
+	on, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case p.isKw("edges"):
+		p.advance()
+		if err := p.expectKw("where"); err != nil {
+			return nil, err
+		}
+		pred, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		return &CreateView{Name: name, On: on, Where: pred}, nil
+	case p.isKw("nodes"):
+		p.advance()
+		return p.parseAggView(name, on)
+	}
+	return nil, errAt(p.src, p.cur().pos, "expected \"edges\" or \"nodes\", got %s", p.describe(p.cur()))
+}
+
+func (p *parser) parseCollection() (Statement, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("on"); err != nil {
+		return nil, err
+	}
+	on, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	var views []NamedPredicate
+	for {
+		if _, err := p.expect(tokLBracket); err != nil {
+			return nil, err
+		}
+		vn, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokColon); err != nil {
+			return nil, err
+		}
+		pred, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRBracket); err != nil {
+			return nil, err
+		}
+		views = append(views, NamedPredicate{Name: vn, Pred: pred})
+		if p.cur().kind != tokComma {
+			break
+		}
+		p.advance()
+	}
+	if len(views) < 1 {
+		return nil, errAt(p.src, p.cur().pos, "view collection needs at least one view")
+	}
+	return &CreateCollection{Name: name, On: on, Views: views}, nil
+}
+
+func (p *parser) parseAggView(name, on string) (Statement, error) {
+	if err := p.expectKw("group"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("by"); err != nil {
+		return nil, err
+	}
+	s := &CreateAggView{Name: name, On: on}
+	if p.cur().kind == tokLBracket {
+		p.advance()
+		for {
+			if _, err := p.expect(tokLParen); err != nil {
+				return nil, err
+			}
+			pred, err := p.parseOr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokRParen); err != nil {
+				return nil, err
+			}
+			s.Grouping.Predicates = append(s.Grouping.Predicates, pred)
+			if p.cur().kind != tokComma {
+				break
+			}
+			p.advance()
+		}
+		if _, err := p.expect(tokRBracket); err != nil {
+			return nil, err
+		}
+	} else {
+		for {
+			prop, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			s.Grouping.Props = append(s.Grouping.Props, prop)
+			if p.cur().kind != tokComma {
+				break
+			}
+			p.advance()
+		}
+	}
+	if p.isKw("aggregate") {
+		p.advance()
+		aggs, err := p.parseAggList()
+		if err != nil {
+			return nil, err
+		}
+		s.NodeAggs = aggs
+	}
+	if p.isKw("edges") {
+		p.advance()
+		if err := p.expectKw("aggregate"); err != nil {
+			return nil, err
+		}
+		aggs, err := p.parseAggList()
+		if err != nil {
+			return nil, err
+		}
+		s.EdgeAggs = aggs
+	}
+	return s, nil
+}
+
+var aggFuncs = map[string]AggFunc{
+	"count": AggCount,
+	"sum":   AggSum,
+	"min":   AggMin,
+	"max":   AggMax,
+	"avg":   AggAvg,
+}
+
+func (p *parser) parseAggList() ([]Aggregation, error) {
+	var aggs []Aggregation
+	for {
+		var a Aggregation
+		first, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if p.cur().kind == tokColon {
+			p.advance()
+			a.OutName = first
+			first, err = p.ident()
+			if err != nil {
+				return nil, err
+			}
+		}
+		f, ok := aggFuncs[strings.ToLower(first)]
+		if !ok {
+			return nil, errAt(p.src, p.cur().pos, "unknown aggregate function %q", first)
+		}
+		a.Func = f
+		if _, err := p.expect(tokLParen); err != nil {
+			return nil, err
+		}
+		if p.cur().kind == tokStar {
+			p.advance()
+			if a.Func != AggCount {
+				return nil, errAt(p.src, p.cur().pos, "only count accepts *")
+			}
+		} else {
+			prop, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			a.Prop = prop
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		aggs = append(aggs, a)
+		if p.cur().kind != tokComma {
+			return aggs, nil
+		}
+		p.advance()
+	}
+}
+
+// parseOr implements the predicate grammar with standard precedence:
+// or < and < not < comparison.
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.isKw("or") {
+		p.advance()
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: OpOr, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.isKw("and") {
+		p.advance()
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: OpAnd, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.isKw("not") {
+		p.advance()
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &NotExpr{E: e}, nil
+	}
+	if p.cur().kind == tokLParen {
+		p.advance()
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *parser) parseComparison() (Expr, error) {
+	l, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	var op CmpOp
+	switch p.cur().kind {
+	case tokEq:
+		op = CmpEq
+	case tokNeq:
+		op = CmpNeq
+	case tokLt:
+		op = CmpLt
+	case tokLeq:
+		op = CmpLeq
+	case tokGt:
+		op = CmpGt
+	case tokGeq:
+		op = CmpGeq
+	default:
+		return nil, errAt(p.src, p.cur().pos, "expected comparison operator, got %s", p.describe(p.cur()))
+	}
+	p.advance()
+	r, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	return &Compare{Op: op, L: l, R: r}, nil
+}
+
+func (p *parser) parseOperand() (Operand, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokInt:
+		p.advance()
+		return Operand{Kind: OperandLit, Lit: graph.IntValue(t.num), pos: t.pos}, nil
+	case tokString:
+		p.advance()
+		return Operand{Kind: OperandLit, Lit: graph.StringValue(t.text), pos: t.pos}, nil
+	case tokIdent:
+		switch {
+		case strings.EqualFold(t.text, "true"):
+			p.advance()
+			return Operand{Kind: OperandLit, Lit: graph.BoolValue(true), pos: t.pos}, nil
+		case strings.EqualFold(t.text, "false"):
+			p.advance()
+			return Operand{Kind: OperandLit, Lit: graph.BoolValue(false), pos: t.pos}, nil
+		case strings.EqualFold(t.text, "src") && p.peek().kind == tokDot:
+			p.advance()
+			p.advance()
+			prop, err := p.ident()
+			if err != nil {
+				return Operand{}, err
+			}
+			return Operand{Kind: OperandSrcProp, Prop: prop, pos: t.pos}, nil
+		case strings.EqualFold(t.text, "dst") && p.peek().kind == tokDot:
+			p.advance()
+			p.advance()
+			prop, err := p.ident()
+			if err != nil {
+				return Operand{}, err
+			}
+			return Operand{Kind: OperandDstProp, Prop: prop, pos: t.pos}, nil
+		default:
+			p.advance()
+			return Operand{Kind: OperandEdgeProp, Prop: t.text, pos: t.pos}, nil
+		}
+	}
+	return Operand{}, errAt(p.src, t.pos, "expected literal or property reference, got %s", p.describe(t))
+}

@@ -1,0 +1,136 @@
+package gvdl
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestParserNeverPanics feeds the parser mutated and random inputs; it must
+// return errors, never panic.
+func TestParserNeverPanics(t *testing.T) {
+	seeds := []string{
+		"create view v on g edges where a = 1 and b = 'x' or not (c >= 2)",
+		"create view collection c on g [a: x = 1], [b: y < 2]",
+		"create view v on g nodes group by city aggregate n: count(*) edges aggregate s: sum(w)",
+	}
+	alphabet := "abcxyz01 ,:.()[]<>=!'\"-_\n"
+	r := rand.New(rand.NewSource(99))
+	for i := 0; i < 3000; i++ {
+		src := seeds[r.Intn(len(seeds))]
+		b := []byte(src)
+		for m := 0; m < 1+r.Intn(6); m++ {
+			switch r.Intn(3) {
+			case 0: // mutate a byte
+				b[r.Intn(len(b))] = alphabet[r.Intn(len(alphabet))]
+			case 1: // delete a span
+				at := r.Intn(len(b))
+				n := 1 + r.Intn(5)
+				if at+n > len(b) {
+					n = len(b) - at
+				}
+				b = append(b[:at], b[at+n:]...)
+				if len(b) == 0 {
+					b = []byte("x")
+				}
+			case 2: // duplicate a span
+				at := r.Intn(len(b))
+				n := 1 + r.Intn(5)
+				if at+n > len(b) {
+					n = len(b) - at
+				}
+				b = append(b[:at], append([]byte(string(b[at:at+n])), b[at:]...)...)
+			}
+		}
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("panic on %q: %v", b, p)
+				}
+			}()
+			_, _ = ParseAll(string(b))
+		}()
+	}
+}
+
+// TestParseRoundTripThroughString re-parses the String() form of parsed
+// filtered views; the predicate structure must survive.
+func TestParseRoundTripThroughString(t *testing.T) {
+	srcs := []string{
+		"create view v on g edges where a = 1",
+		"create view v on g edges where a = 1 and b = 2 or c = 3",
+		"create view v on g edges where not (src.x = 'a') and dst.y != false",
+		"create view v on g edges where a <= -5 or b >= 10",
+	}
+	for _, src := range srcs {
+		s1, err := Parse(src)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		printed := s1.String()
+		s2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("re-parsing %q: %v", printed, err)
+		}
+		if s1.(*CreateView).Where.String() != s2.(*CreateView).Where.String() {
+			t.Fatalf("round trip changed %q -> %q", s1, s2)
+		}
+	}
+}
+
+func TestLexerEdgeCases(t *testing.T) {
+	// Dashes: identifier continuation vs subtraction-like spacing vs
+	// negative literals.
+	toks, err := lex("a-b a -1 <= <> !=")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := make([]tokenKind, 0, len(toks))
+	texts := make([]string, 0, len(toks))
+	for _, tk := range toks {
+		kinds = append(kinds, tk.kind)
+		texts = append(texts, tk.text)
+	}
+	want := []tokenKind{tokIdent, tokIdent, tokInt, tokLeq, tokNeq, tokNeq, tokEOF}
+	if len(kinds) != len(want) {
+		t.Fatalf("kinds %v texts %v", kinds, texts)
+	}
+	for i, k := range want {
+		if kinds[i] != k {
+			t.Fatalf("token %d: got %v want %v (texts %v)", i, kinds[i], k, texts)
+		}
+	}
+	if texts[0] != "a-b" {
+		t.Fatalf("hyphenated identifier lexed as %q", texts[0])
+	}
+	// A dangling dash is a lex error (GVDL has no arithmetic), not a panic.
+	if _, err := lex("a- "); err == nil {
+		t.Fatal("expected error for dangling dash")
+	}
+	// Unterminated string and stray characters are errors.
+	if _, err := lex("'oops"); err == nil {
+		t.Fatal("expected unterminated string error")
+	}
+	if _, err := lex("@"); err == nil {
+		t.Fatal("expected stray character error")
+	}
+	// Escapes inside strings.
+	toks, err = lex(`'it\'s'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].text != "it's" {
+		t.Fatalf("escape: %q", toks[0].text)
+	}
+}
+
+func TestErrorMessagesAreActionable(t *testing.T) {
+	_, err := ParseAll("create view v on g edges where duration @ 10")
+	if err == nil || !strings.Contains(err.Error(), "line 1") {
+		t.Fatalf("err = %v", err)
+	}
+	_, err = ParseAll("create view v on g\nedges where duration >")
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("err = %v", err)
+	}
+}

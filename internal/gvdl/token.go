@@ -1,0 +1,118 @@
+// Package gvdl implements Graphsurge's Graph View Definition Language: a
+// small SQL-like declarative language for defining filtered views, view
+// collections and aggregate views over property graphs (paper §3.1, §3.2,
+// §6, Listings 1, 3 and 4).
+//
+// Example statements:
+//
+//	create view CA-Long-Calls on Calls
+//	edges where src.state = 'CA' and dst.state = 'CA'
+//	  and duration > 10 and year = 2019
+//
+//	create view collection call-analysis on Calls
+//	  [D1-Y2010: duration <= 1 and year <= 2010],
+//	  [D2-Y2010: duration <= 2 and year <= 2010]
+//
+//	create view City-Calls-City on Calls
+//	  nodes group by city aggregate num-phones: count(*)
+//	  edges aggregate total-duration: sum(duration)
+package gvdl
+
+import "fmt"
+
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokInt
+	tokString
+	tokLParen
+	tokRParen
+	tokLBracket
+	tokRBracket
+	tokComma
+	tokColon
+	tokDot
+	tokStar
+	tokEq  // =
+	tokNeq // != or <>
+	tokLt
+	tokLeq
+	tokGt
+	tokGeq
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokInt:
+		return "integer"
+	case tokString:
+		return "string"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokLBracket:
+		return "'['"
+	case tokRBracket:
+		return "']'"
+	case tokComma:
+		return "','"
+	case tokColon:
+		return "':'"
+	case tokDot:
+		return "'.'"
+	case tokStar:
+		return "'*'"
+	case tokEq:
+		return "'='"
+	case tokNeq:
+		return "'!='"
+	case tokLt:
+		return "'<'"
+	case tokLeq:
+		return "'<='"
+	case tokGt:
+		return "'>'"
+	case tokGeq:
+		return "'>='"
+	}
+	return fmt.Sprintf("token(%d)", uint8(k))
+}
+
+type token struct {
+	kind tokenKind
+	text string // identifier or string contents
+	num  int64  // integer value
+	pos  int    // byte offset, for error messages
+}
+
+// Error is a GVDL syntax or semantic error with source position context.
+type Error struct {
+	Pos  int
+	Line int
+	Col  int
+	Msg  string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("gvdl: line %d, column %d: %s", e.Line, e.Col, e.Msg)
+}
+
+func errAt(src string, pos int, format string, args ...any) *Error {
+	line, col := 1, 1
+	for i := 0; i < pos && i < len(src); i++ {
+		if src[i] == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+	}
+	return &Error{Pos: pos, Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,56 @@
+package ordering
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkTwoOptAblation quantifies the 2-opt design choice (DESIGN.md):
+// tour quality from the Christofides skeleton alone vs with cyclic 2-opt vs
+// with the additional path-objective 2-opt pass, on Hamming-metric
+// instances like the optimizer's real inputs. The reported metric is the
+// path cost (the COP objective) relative to a greedy-nearest-neighbor
+// floor.
+func BenchmarkTwoOptAblation(b *testing.B) {
+	const k = 60
+	dist := hammingMetric(k+1, 400, 3)
+
+	variants := []struct {
+		name string
+		run  func() []int
+	}{
+		{"christofides-only", func() []int {
+			return cutAtZeroColumn(christofides(k+1, dist), k)
+		}},
+		{"with-cyclic-2opt", func() []int {
+			return cutAtZeroColumn(twoOpt(christofides(k+1, dist), dist), k)
+		}},
+		{"full-order", func() []int {
+			return Order(k, dist)
+		}},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			var cost int64
+			for i := 0; i < b.N; i++ {
+				order := v.run()
+				cost = pathCost(order, k, dist)
+			}
+			b.ReportMetric(float64(cost), "path-cost")
+		})
+	}
+}
+
+// BenchmarkOrderScaling measures the optimizer across collection sizes,
+// covering the paper's "few hundred views" regime (the (k+1)² clique is
+// quadratic in views only).
+func BenchmarkOrderScaling(b *testing.B) {
+	for _, k := range []int{16, 64, 256} {
+		dist := hammingMetric(k+1, 256, int64(k))
+		b.Run(fmt.Sprintf("views-%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				Order(k, dist)
+			}
+		})
+	}
+}

@@ -1,0 +1,185 @@
+package ordering
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomMetric builds a random symmetric metric on n points by embedding
+// them on a line (absolute differences satisfy the triangle inequality).
+func randomMetric(n int, seed int64) DistFunc {
+	r := rand.New(rand.NewSource(seed))
+	pos := make([]int64, n)
+	for i := range pos {
+		pos[i] = int64(r.Intn(1000))
+	}
+	return func(i, j int) int64 {
+		d := pos[i] - pos[j]
+		if d < 0 {
+			return -d
+		}
+		return d
+	}
+}
+
+// hammingMetric builds a metric from random binary columns, matching the
+// optimizer's real input.
+func hammingMetric(n, rows int, seed int64) DistFunc {
+	r := rand.New(rand.NewSource(seed))
+	cols := make([][]bool, n)
+	for i := range cols {
+		cols[i] = make([]bool, rows)
+		for j := range cols[i] {
+			cols[i][j] = r.Intn(2) == 1
+		}
+	}
+	return func(i, j int) int64 {
+		var d int64
+		for k := 0; k < rows; k++ {
+			if cols[i][k] != cols[j][k] {
+				d++
+			}
+		}
+		return d
+	}
+}
+
+func TestOrderIsPermutation(t *testing.T) {
+	for _, k := range []int{1, 2, 3, 5, 10, 40} {
+		dist := hammingMetric(k+1, 30, int64(k))
+		order := Order(k, dist)
+		if len(order) != k {
+			t.Fatalf("k=%d: order length %d", k, len(order))
+		}
+		seen := make([]bool, k)
+		for _, v := range order {
+			if v < 0 || v >= k || seen[v] {
+				t.Fatalf("k=%d: invalid permutation %v", k, order)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestOrderZeroViews(t *testing.T) {
+	if got := Order(0, nil); got != nil {
+		t.Fatalf("Order(0) = %v", got)
+	}
+}
+
+// pathCost is the ordering objective the TSP reduction approximates: the
+// cost of entering the first view from the zero column plus consecutive
+// distances.
+func pathCost(order []int, k int, dist DistFunc) int64 {
+	c := dist(k, order[0])
+	for i := 0; i+1 < len(order); i++ {
+		c += dist(order[i], order[i+1])
+	}
+	return c
+}
+
+func TestOrderNearOptimalSmall(t *testing.T) {
+	// Compare the heuristic against brute force on small instances; the
+	// paper's guarantee is a constant factor, but on small metric instances
+	// the heuristic should be within 1.5x of optimal.
+	for seed := int64(0); seed < 12; seed++ {
+		k := 3 + int(seed)%5
+		dist := hammingMetric(k+1, 24, seed)
+		got := Order(k, dist)
+		best := BruteForce(k, func(order []int) int64 { return pathCost(order, k, dist) })
+		gc, bc := pathCost(got, k, dist), pathCost(best, k, dist)
+		if bc == 0 {
+			if gc != 0 {
+				t.Fatalf("seed %d: optimal 0, heuristic %d", seed, gc)
+			}
+			continue
+		}
+		if float64(gc) > 1.5*float64(bc) {
+			t.Fatalf("seed %d k=%d: heuristic %d > 1.5x optimal %d", seed, k, gc, bc)
+		}
+	}
+}
+
+func TestOrderRecoversLineOrder(t *testing.T) {
+	// Views at positions on a line: the optimal order is monotone. Hamming
+	// distances of nested windows behave exactly like this (the collection
+	// of Listing 3).
+	k := 8
+	dist := randomMetric(k+1, 7)
+	order := Order(k, dist)
+	c := pathCost(order, k, dist)
+	best := BruteForce(k, func(o []int) int64 { return pathCost(o, k, dist) })
+	if float64(c) > 1.5*float64(pathCost(best, k, dist))+1 {
+		t.Fatalf("line metric: heuristic %d optimal %d", c, pathCost(best, k, dist))
+	}
+}
+
+func TestChristofidesTourValid(t *testing.T) {
+	for _, n := range []int{3, 4, 7, 16} {
+		dist := hammingMetric(n, 20, int64(n))
+		tour := christofides(n, dist)
+		if len(tour) != n {
+			t.Fatalf("n=%d: tour %v", n, tour)
+		}
+		seen := make([]bool, n)
+		for _, v := range tour {
+			if seen[v] {
+				t.Fatalf("n=%d: repeated node in %v", n, tour)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestTwoOptImproves(t *testing.T) {
+	n := 12
+	dist := randomMetric(n, 3)
+	tour := make([]int, n)
+	for i := range tour {
+		tour[i] = i
+	}
+	// Shuffle to a bad tour.
+	r := rand.New(rand.NewSource(9))
+	r.Shuffle(n, func(i, j int) { tour[i], tour[j] = tour[j], tour[i] })
+	before := TourCost(tour, dist)
+	after := TourCost(twoOpt(tour, dist), dist)
+	if after > before {
+		t.Fatalf("2-opt worsened tour: %d -> %d", before, after)
+	}
+}
+
+func TestEulerTourUsesEveryEdge(t *testing.T) {
+	// Multigraph with all degrees even: doubled edges 0-1 and 1-2.
+	adj := [][]int{
+		{1, 1},
+		{0, 0, 2, 2},
+		{1, 1},
+	}
+	edges := 0
+	for _, vs := range adj {
+		edges += len(vs)
+	}
+	edges /= 2
+	tour := eulerTour(adj)
+	if len(tour) != edges+1 {
+		t.Fatalf("euler tour %v has %d edges, want %d", tour, len(tour)-1, edges)
+	}
+	if tour[0] != tour[len(tour)-1] {
+		t.Fatalf("euler tour %v is not a circuit", tour)
+	}
+}
+
+func TestBruteForce(t *testing.T) {
+	dist := randomMetric(4, 1)
+	best := BruteForce(3, func(o []int) int64 { return pathCost(o, 3, dist) })
+	if len(best) != 3 {
+		t.Fatal("brute force result length")
+	}
+	// Verify optimality by enumeration.
+	perms := [][]int{{0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0}}
+	for _, p := range perms {
+		if pathCost(p, 3, dist) < pathCost(best, 3, dist) {
+			t.Fatalf("brute force missed better order %v", p)
+		}
+	}
+}

@@ -1,0 +1,150 @@
+// Package splitting implements Graphsurge's adaptive collection splitting
+// optimizer (paper §5). Running every view of a collection differentially is
+// not always fastest: unstable computations (PageRank) or dissimilar
+// neighboring views can make differentially "fixing" the previous view's
+// computation footprint slower than rerunning from scratch. Splitting the
+// collection at view i means running view i from scratch (iterations are
+// still shared differentially within the view) and continuing differentially
+// from there.
+//
+// The optimizer observes two runtime signals — (|GV_i|, scratch time) and
+// (|δC_i|, differential time) — fits a simple linear model to each, and picks
+// the predicted-faster mode for each upcoming batch of ℓ views (ℓ = 10 by
+// default, matching the paper; batching keeps the engine's indexing efficient
+// when consecutive views run differentially). Bootstrap follows the paper:
+// view 1 runs from scratch, view 2 differentially, and models take over from
+// view 3.
+package splitting
+
+import "time"
+
+// Model is an online simple linear regression y ≈ a + b·x. With a single
+// observation it predicts proportionally through the origin; with none it
+// cannot predict.
+type Model struct {
+	n                        int
+	sumX, sumY, sumXY, sumXX float64
+}
+
+// Observe adds a data point.
+func (m *Model) Observe(x, y float64) {
+	m.n++
+	m.sumX += x
+	m.sumY += y
+	m.sumXY += x * y
+	m.sumXX += x * x
+}
+
+// Count returns the number of observations.
+func (m *Model) Count() int { return m.n }
+
+// Predict estimates y at x. ok is false with no observations.
+func (m *Model) Predict(x float64) (y float64, ok bool) {
+	switch {
+	case m.n == 0:
+		return 0, false
+	case m.n == 1:
+		if m.sumX == 0 {
+			return m.sumY, true
+		}
+		return m.sumY / m.sumX * x, true
+	}
+	den := float64(m.n)*m.sumXX - m.sumX*m.sumX
+	if den == 0 {
+		// All observations at the same x: predict their mean.
+		return m.sumY / float64(m.n), true
+	}
+	b := (float64(m.n)*m.sumXY - m.sumX*m.sumY) / den
+	a := (m.sumY - b*m.sumX) / float64(m.n)
+	p := a + b*x
+	if p < 0 {
+		p = 0
+	}
+	return p, true
+}
+
+// Mode is an execution mode for one view.
+type Mode uint8
+
+const (
+	// ModeDiff runs the view differentially on top of the previous views.
+	ModeDiff Mode = iota
+	// ModeScratch splits the collection: fresh dataflow seeded with the full
+	// view.
+	ModeScratch
+)
+
+func (m Mode) String() string {
+	if m == ModeScratch {
+		return "scratch"
+	}
+	return "diff"
+}
+
+// DefaultBatchSize is ℓ, the number of views per splitting decision.
+const DefaultBatchSize = 10
+
+// Optimizer makes per-batch splitting decisions from observed runtimes.
+type Optimizer struct {
+	// BatchSize overrides ℓ when > 0.
+	BatchSize int
+
+	scratch Model
+	diff    Model
+	decided int // views whose mode has been decided so far
+	mode    Mode
+}
+
+// ObserveScratch records a from-scratch run of a view with |GV| = size.
+func (o *Optimizer) ObserveScratch(size int, d time.Duration) {
+	o.scratch.Observe(float64(size), d.Seconds())
+}
+
+// ObserveDiff records a differential run of a view with |δC| = size.
+func (o *Optimizer) ObserveDiff(size int, d time.Duration) {
+	o.diff.Observe(float64(size), d.Seconds())
+}
+
+// Models exposes the fitted models (observability, tests).
+func (o *Optimizer) Models() (scratch, diff *Model) { return &o.scratch, &o.diff }
+
+func (o *Optimizer) batch() int {
+	if o.BatchSize > 0 {
+		return o.BatchSize
+	}
+	return DefaultBatchSize
+}
+
+// Decide returns the mode for view index i (0-based), given the view's full
+// size and difference-set size. Views 0 and 1 are the bootstrap (scratch,
+// then differential); afterwards one decision is made per batch of ℓ views by
+// comparing the two models' predictions for the view opening the batch.
+func (o *Optimizer) Decide(i, viewSize, diffSize int) Mode {
+	switch i {
+	case 0:
+		o.mode, o.decided = ModeScratch, 1
+		return ModeScratch
+	case 1:
+		o.mode, o.decided = ModeDiff, 2
+		return ModeDiff
+	}
+	if i < o.decided {
+		return o.mode
+	}
+	st, sok := o.scratch.Predict(float64(viewSize))
+	dt, dok := o.diff.Predict(float64(diffSize))
+	switch {
+	case sok && dok:
+		if st < dt {
+			o.mode = ModeScratch
+		} else {
+			o.mode = ModeDiff
+		}
+	case sok:
+		o.mode = ModeScratch
+	default:
+		o.mode = ModeDiff
+	}
+	o.decided = i + o.batch()
+	return o.mode
+}

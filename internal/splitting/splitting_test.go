@@ -1,0 +1,165 @@
+package splitting
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestModelNoData(t *testing.T) {
+	var m Model
+	if _, ok := m.Predict(5); ok {
+		t.Fatal("prediction without data")
+	}
+	if m.Count() != 0 {
+		t.Fatal("count")
+	}
+}
+
+func TestModelOnePointProportional(t *testing.T) {
+	var m Model
+	m.Observe(10, 2)
+	y, ok := m.Predict(20)
+	if !ok || math.Abs(y-4) > 1e-9 {
+		t.Fatalf("got %v %v", y, ok)
+	}
+}
+
+func TestModelRecoverLine(t *testing.T) {
+	// Property: a model fed points from y = a + b·x recovers the line.
+	f := func(a8, b8 uint8) bool {
+		a, b := float64(a8)/8, float64(b8)/16
+		var m Model
+		for x := 1.0; x <= 6; x++ {
+			m.Observe(x, a+b*x)
+		}
+		y, ok := m.Predict(10)
+		return ok && math.Abs(y-(a+b*10)) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModelDegenerateX(t *testing.T) {
+	var m Model
+	m.Observe(5, 2)
+	m.Observe(5, 4)
+	y, ok := m.Predict(100)
+	if !ok || math.Abs(y-3) > 1e-9 {
+		t.Fatalf("got %v %v", y, ok)
+	}
+	// Predictions never go negative.
+	m2 := Model{}
+	m2.Observe(1, 10)
+	m2.Observe(2, 1)
+	if y, _ := m2.Predict(100); y < 0 {
+		t.Fatalf("negative prediction %v", y)
+	}
+}
+
+func TestBootstrapSequence(t *testing.T) {
+	var o Optimizer
+	if o.Decide(0, 100, 100) != ModeScratch {
+		t.Fatal("view 0 must run from scratch")
+	}
+	if o.Decide(1, 100, 10) != ModeDiff {
+		t.Fatal("view 1 must run differentially")
+	}
+}
+
+func TestAdaptsToFasterScratch(t *testing.T) {
+	// Differential runs cost 10x per diff unit vs scratch per size unit:
+	// the optimizer should switch to scratch.
+	o := Optimizer{BatchSize: 2}
+	o.Decide(0, 100, 100)
+	o.ObserveScratch(100, 100*time.Millisecond) // 1ms per size unit
+	o.Decide(1, 100, 50)
+	o.ObserveDiff(50, 500*time.Millisecond) // 10ms per diff unit
+
+	m := o.Decide(2, 100, 50) // predicted: scratch 100ms, diff 500ms
+	if m != ModeScratch {
+		t.Fatalf("expected scratch, got %v", m)
+	}
+	// Batch: view 3 reuses the decision without consulting models.
+	if o.Decide(3, 1, 1) != ModeScratch {
+		t.Fatal("batched decision not sticky")
+	}
+}
+
+func TestAdaptsToFasterDiff(t *testing.T) {
+	o := Optimizer{BatchSize: 1}
+	o.Decide(0, 1000, 1000)
+	o.ObserveScratch(1000, time.Second)
+	o.Decide(1, 1000, 10)
+	o.ObserveDiff(10, 5*time.Millisecond)
+
+	if m := o.Decide(2, 1000, 10); m != ModeDiff {
+		t.Fatalf("expected diff, got %v", m)
+	}
+}
+
+func TestDecisionUsesSizes(t *testing.T) {
+	// Same models, different upcoming diff sizes flip the decision.
+	o := Optimizer{BatchSize: 1}
+	o.Decide(0, 100, 0)
+	o.ObserveScratch(100, 100*time.Millisecond)
+	o.Decide(1, 100, 10)
+	o.ObserveDiff(10, 20*time.Millisecond) // 2ms per diff unit
+
+	if m := o.Decide(2, 100, 10); m != ModeDiff { // 100ms vs 20ms
+		t.Fatalf("small diff: got %v", m)
+	}
+	if m := o.Decide(3, 100, 200); m != ModeScratch { // 100ms vs 400ms
+		t.Fatalf("large diff: got %v", m)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ModeDiff.String() != "diff" || ModeScratch.String() != "scratch" {
+		t.Fatal("Mode.String")
+	}
+}
+
+func TestBatchExpiryAllowsModeSwitch(t *testing.T) {
+	// After a batch window ends, new observations can flip the decision —
+	// the mid-collection adaptation the paper's Caut experiment relies on.
+	o := Optimizer{BatchSize: 3}
+	o.Decide(0, 100, 0)
+	o.ObserveScratch(100, 100*time.Millisecond)
+	o.Decide(1, 100, 10)
+	o.ObserveDiff(10, 10*time.Millisecond) // diff looks cheap
+
+	if m := o.Decide(2, 100, 10); m != ModeDiff { // batch covers views 2-4
+		t.Fatalf("view 2: %v", m)
+	}
+	// Differential turns out slow on the next observations.
+	o.ObserveDiff(10, 900*time.Millisecond)
+	if m := o.Decide(3, 100, 10); m != ModeDiff {
+		t.Fatal("view 3 must reuse the batch decision")
+	}
+	o.ObserveDiff(10, 900*time.Millisecond)
+	o.Decide(4, 100, 10)
+	// New batch at view 5: the updated diff model flips the mode.
+	if m := o.Decide(5, 100, 10); m != ModeScratch {
+		t.Fatalf("view 5: %v (diff model should now predict ~600ms > 100ms)", m)
+	}
+}
+
+func TestDefaultBatchSize(t *testing.T) {
+	var o Optimizer
+	o.Decide(0, 10, 0)
+	o.Decide(1, 10, 5)
+	o.ObserveScratch(10, time.Millisecond)
+	o.ObserveDiff(5, 10*time.Millisecond)
+	first := o.Decide(2, 10, 5)
+	// Views 3..11 are inside the default ℓ=10 batch; the decision must not
+	// be recomputed even as observations change.
+	o.ObserveDiff(5, time.Microsecond)
+	for i := 3; i < 12; i++ {
+		if o.Decide(i, 10, 5) != first {
+			t.Fatalf("view %d re-decided inside the default batch", i)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+// Package timestamp defines the partially ordered logical timestamps used by
+// the differential dataflow engine.
+//
+// A Time is a point in the product lattice (Outer, Inner). Outer identifies a
+// view version within a view collection (the paper's "graph updates"
+// dimension), Inner identifies an iteration of a fixpoint loop (the paper's
+// "B-Ford iterations" dimension, Table 1 of the Graphsurge paper). Times are
+// compared componentwise: two times can be incomparable, e.g. (0,5) and
+// (1,3), which is what lets differential computation share work across both
+// versions and iterations at once.
+package timestamp
+
+import "fmt"
+
+// Time is a two-dimensional logical timestamp <version, iteration>.
+type Time struct {
+	Outer uint32 // view version within a collection
+	Inner uint32 // iteration of a fixpoint computation
+}
+
+// Outer returns the time at version v, iteration 0.
+func Outer(v uint32) Time { return Time{Outer: v} }
+
+// Leq reports whether t precedes or equals o in the product partial order.
+func (t Time) Leq(o Time) bool { return t.Outer <= o.Outer && t.Inner <= o.Inner }
+
+// Less reports whether t strictly precedes o in the product partial order.
+func (t Time) Less(o Time) bool { return t.Leq(o) && t != o }
+
+// Join returns the least upper bound of t and o.
+func (t Time) Join(o Time) Time {
+	if o.Outer > t.Outer {
+		t.Outer = o.Outer
+	}
+	if o.Inner > t.Inner {
+		t.Inner = o.Inner
+	}
+	return t
+}
+
+// Meet returns the greatest lower bound of t and o.
+func (t Time) Meet(o Time) Time {
+	if o.Outer < t.Outer {
+		t.Outer = o.Outer
+	}
+	if o.Inner < t.Inner {
+		t.Inner = o.Inner
+	}
+	return t
+}
+
+// LexLess orders times lexicographically (Outer first). Lexicographic order
+// is a linear extension of the product partial order, which is what makes it
+// a valid processing order for the scheduler: if t.Leq(o) then t.LexLess(o)
+// or t == o.
+func (t Time) LexLess(o Time) bool {
+	if t.Outer != o.Outer {
+		return t.Outer < o.Outer
+	}
+	return t.Inner < o.Inner
+}
+
+// Step returns the time advanced by one iteration.
+func (t Time) Step() Time { return Time{Outer: t.Outer, Inner: t.Inner + 1} }
+
+func (t Time) String() string { return fmt.Sprintf("(%d,%d)", t.Outer, t.Inner) }

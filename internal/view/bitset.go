@@ -1,0 +1,43 @@
+package view
+
+import "math/bits"
+
+// Bitset is a fixed-length bit vector; one column of the edge boolean
+// matrix.
+type Bitset struct {
+	n     int
+	words []uint64
+}
+
+// NewBitset creates a bitset of n bits, all zero.
+func NewBitset(n int) *Bitset {
+	return &Bitset{n: n, words: make([]uint64, (n+63)/64)}
+}
+
+// Len returns the number of bits.
+func (b *Bitset) Len() int { return b.n }
+
+// Set sets bit i.
+func (b *Bitset) Set(i int) { b.words[i>>6] |= 1 << (uint(i) & 63) }
+
+// Get reports bit i.
+func (b *Bitset) Get(i int) bool { return b.words[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// Count returns the number of set bits.
+func (b *Bitset) Count() int {
+	c := 0
+	for _, w := range b.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// HammingDistance returns the number of positions where b and o differ.
+// Both bitsets must have the same length.
+func (b *Bitset) HammingDistance(o *Bitset) int {
+	c := 0
+	for i, w := range b.words {
+		c += bits.OnesCount64(w ^ o.words[i])
+	}
+	return c
+}

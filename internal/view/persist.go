@@ -1,0 +1,129 @@
+package view
+
+import (
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"graphsurge/internal/graph"
+)
+
+// The paper's View Store persists materialized views alongside the graph
+// store ("The output of the program is materialized as a stream in the View
+// Store"). Filtered views and collections serialize compactly: a view is its
+// base graph's name plus edge indices; a collection is its name, order and
+// difference stream.
+
+// filteredGob is the on-disk form of a Filtered view.
+type filteredGob struct {
+	Name  string
+	Base  string
+	Edges []uint32
+}
+
+// SaveFiltered persists a filtered view under dir.
+func SaveFiltered(dir string, f *Filtered) error {
+	if f.Base == nil || f.Base.Name == "" {
+		return fmt.Errorf("view: cannot persist view %q without a named base graph", f.Name)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	file, err := os.Create(filepath.Join(dir, f.Name+".view.gob"))
+	if err != nil {
+		return err
+	}
+	defer file.Close()
+	return gob.NewEncoder(file).Encode(filteredGob{Name: f.Name, Base: f.Base.Name, Edges: f.Edges})
+}
+
+// LoadFiltered loads a persisted filtered view, resolving its base graph
+// through lookup (typically graph.Store.Graph).
+func LoadFiltered(dir, name string, lookup func(string) (*graph.Graph, error)) (*Filtered, error) {
+	file, err := os.Open(filepath.Join(dir, name+".view.gob"))
+	if err != nil {
+		return nil, err
+	}
+	defer file.Close()
+	var fg filteredGob
+	if err := gob.NewDecoder(file).Decode(&fg); err != nil {
+		return nil, fmt.Errorf("view: loading %q: %w", name, err)
+	}
+	base, err := lookup(fg.Base)
+	if err != nil {
+		return nil, fmt.Errorf("view %q: %w", name, err)
+	}
+	f := &Filtered{Name: fg.Name, Base: base, Edges: fg.Edges}
+	for _, e := range f.Edges {
+		if int(e) >= base.NumEdges() {
+			return nil, fmt.Errorf("view %q: edge index %d out of range for graph %s", name, e, base.Name)
+		}
+	}
+	return f, nil
+}
+
+// collectionGob is the on-disk form of a materialized collection: the
+// difference stream is the compact representation the paper materializes.
+type collectionGob struct {
+	Name  string
+	Base  string
+	Order []int
+	Names []string
+	Adds  [][]uint32
+	Dels  [][]uint32
+	EBMs  int // number of views, for validation
+}
+
+// SaveCollection persists a materialized collection's difference stream
+// (the EBM is not retained — it is only needed for ordering, which has
+// already happened).
+func SaveCollection(dir string, c *Collection) error {
+	if c.Graph == nil || c.Graph.Name == "" {
+		return fmt.Errorf("view: cannot persist collection %q without a named base graph", c.Name)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	file, err := os.Create(filepath.Join(dir, c.Name+".collection.gob"))
+	if err != nil {
+		return err
+	}
+	defer file.Close()
+	return gob.NewEncoder(file).Encode(collectionGob{
+		Name:  c.Name,
+		Base:  c.Graph.Name,
+		Order: c.Order,
+		Names: c.Stream.Names,
+		Adds:  c.Stream.Adds,
+		Dels:  c.Stream.Dels,
+		EBMs:  c.Stream.NumViews(),
+	})
+}
+
+// LoadCollection loads a persisted collection.
+func LoadCollection(dir, name string, lookup func(string) (*graph.Graph, error)) (*Collection, error) {
+	file, err := os.Open(filepath.Join(dir, name+".collection.gob"))
+	if err != nil {
+		return nil, err
+	}
+	defer file.Close()
+	var cg collectionGob
+	if err := gob.NewDecoder(file).Decode(&cg); err != nil {
+		return nil, fmt.Errorf("view: loading collection %q: %w", name, err)
+	}
+	base, err := lookup(cg.Base)
+	if err != nil {
+		return nil, fmt.Errorf("collection %q: %w", name, err)
+	}
+	if len(cg.Names) != cg.EBMs || len(cg.Adds) != cg.EBMs || len(cg.Dels) != cg.EBMs {
+		return nil, fmt.Errorf("view: collection %q is corrupt (%d/%d/%d views, want %d)",
+			name, len(cg.Names), len(cg.Adds), len(cg.Dels), cg.EBMs)
+	}
+	return &Collection{
+		Name:   cg.Name,
+		Graph:  base,
+		Order:  cg.Order,
+		Stream: &DiffStream{Names: cg.Names, Adds: cg.Adds, Dels: cg.Dels},
+	}, nil
+}

@@ -1,0 +1,81 @@
+package view
+
+import (
+	"fmt"
+	"testing"
+
+	"graphsurge/internal/graph"
+	"graphsurge/internal/gvdl"
+)
+
+func TestFilteredPersistence(t *testing.T) {
+	dir := t.TempDir()
+	g := chainGraph(50)
+	f := &Filtered{Name: "small", Base: g, Edges: []uint32{1, 3, 5}}
+	if err := SaveFiltered(dir, f); err != nil {
+		t.Fatal(err)
+	}
+	lookup := func(name string) (*graph.Graph, error) {
+		if name != "chain" {
+			return nil, fmt.Errorf("no graph %q", name)
+		}
+		return g, nil
+	}
+	got, err := LoadFiltered(dir, "small", lookup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "small" || got.NumEdges() != 3 || got.Edges[1] != 3 {
+		t.Fatalf("round trip: %+v", got)
+	}
+	if _, err := LoadFiltered(dir, "missing", lookup); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+	// Unnamed base rejected on save.
+	if err := SaveFiltered(dir, &Filtered{Name: "bad", Base: &graph.Graph{}}); err == nil {
+		t.Fatal("expected error for unnamed base")
+	}
+	// Out-of-range edge index detected on load.
+	bad := &Filtered{Name: "oob", Base: g, Edges: []uint32{9999}}
+	if err := SaveFiltered(dir, bad); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFiltered(dir, "oob", lookup); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+}
+
+func TestCollectionPersistence(t *testing.T) {
+	dir := t.TempDir()
+	g := chainGraph(100)
+	stmt, err := gvdl.Parse("create view collection c on chain [a: w < 40], [b: w < 80]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := Materialize(g, stmt.(*gvdl.CreateCollection), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveCollection(dir, col); err != nil {
+		t.Fatal(err)
+	}
+	lookup := func(string) (*graph.Graph, error) { return g, nil }
+	got, err := LoadCollection(dir, "c", lookup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Stream.NumViews() != 2 || got.Stream.TotalDiffs() != col.Stream.TotalDiffs() {
+		t.Fatalf("round trip: %d views, %d diffs", got.Stream.NumViews(), got.Stream.TotalDiffs())
+	}
+	sizes := got.Stream.ViewSizes()
+	if sizes[0] != 40 || sizes[1] != 80 {
+		t.Fatalf("sizes %v", sizes)
+	}
+	if _, err := LoadCollection(dir, "missing", lookup); err == nil {
+		t.Fatal("expected error for missing collection")
+	}
+	badLookup := func(string) (*graph.Graph, error) { return nil, fmt.Errorf("gone") }
+	if _, err := LoadCollection(dir, "c", badLookup); err == nil {
+		t.Fatal("expected error for missing base graph")
+	}
+}

@@ -1,0 +1,300 @@
+// Package view implements Graphsurge's view and view-collection executors:
+// materializing individual filtered views, building Edge Boolean Matrices
+// (EBM), ordering collections, and computing the edge difference streams that
+// drive differential execution (paper §3.1-§3.2).
+package view
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"graphsurge/internal/graph"
+	"graphsurge/internal/gvdl"
+	"graphsurge/internal/ordering"
+)
+
+// Filtered is a materialized individual filtered view: the subset of a base
+// graph's edges satisfying a predicate.
+type Filtered struct {
+	Name  string
+	Base  *graph.Graph
+	Edges []uint32 // indices into the base graph's edge arrays, ascending
+}
+
+// NumEdges returns the view's edge count.
+func (f *Filtered) NumEdges() int { return len(f.Edges) }
+
+// MaterializeView evaluates a filtered-view statement against its base
+// graph.
+func MaterializeView(g *graph.Graph, stmt *gvdl.CreateView) (*Filtered, error) {
+	pred, err := gvdl.CompileEdgePredicate(g, stmt.Where)
+	if err != nil {
+		return nil, fmt.Errorf("view %s: %w", stmt.Name, err)
+	}
+	f := &Filtered{Name: stmt.Name, Base: g}
+	for i := 0; i < g.NumEdges(); i++ {
+		if pred(i) {
+			f.Edges = append(f.Edges, uint32(i))
+		}
+	}
+	return f, nil
+}
+
+// EBM is the Edge Boolean Matrix of a collection: column j records which
+// edges of the base graph satisfy view j's predicate (paper §3.2, step 1).
+type EBM struct {
+	NumEdges int
+	Names    []string
+	Cols     []*Bitset
+}
+
+// NumViews returns the number of columns.
+func (m *EBM) NumViews() int { return len(m.Cols) }
+
+// BuildEBM evaluates every view predicate over every edge, in parallel
+// across edge ranges — the embarrassingly parallel step 1 of collection
+// materialization.
+func BuildEBM(g *graph.Graph, names []string, preds []gvdl.EdgePredicate, workers int) *EBM {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	m := &EBM{NumEdges: g.NumEdges(), Names: names}
+	for range preds {
+		m.Cols = append(m.Cols, NewBitset(g.NumEdges()))
+	}
+	nE := g.NumEdges()
+	if workers > nE {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	// Round chunks up to a multiple of 64 so no two workers touch the same
+	// bitset word.
+	chunk := ((nE+workers-1)/workers + 63) &^ 63
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, nE)
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for j, p := range preds {
+				col := m.Cols[j]
+				// Word-aligned ranges per worker make concurrent writes to
+				// distinct words safe.
+				for i := lo; i < hi; i++ {
+					if p(i) {
+						col.Set(i)
+					}
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return m
+}
+
+// DiffStream is the materialized edge difference stream of an ordered
+// collection (paper §3.2, step 3): per view, the edge indices added and
+// removed relative to the previous view in the order.
+type DiffStream struct {
+	Names []string   // view names in execution order
+	Adds  [][]uint32 // per view, ascending edge indices entering
+	Dels  [][]uint32 // per view, ascending edge indices leaving
+}
+
+// NumViews returns the number of views in the stream.
+func (d *DiffStream) NumViews() int { return len(d.Names) }
+
+// DiffSize returns |δC_t| for view t: the number of added plus removed
+// edges.
+func (d *DiffStream) DiffSize(t int) int { return len(d.Adds[t]) + len(d.Dels[t]) }
+
+// TotalDiffs returns the sum of all difference-set sizes, the objective of
+// the collection ordering problem.
+func (d *DiffStream) TotalDiffs() int64 {
+	var n int64
+	for t := range d.Adds {
+		n += int64(d.DiffSize(t))
+	}
+	return n
+}
+
+// ViewSizes returns |GV_t| for every view (accumulated edge counts).
+func (d *DiffStream) ViewSizes() []int {
+	out := make([]int, d.NumViews())
+	cur := 0
+	for t := range d.Adds {
+		cur += len(d.Adds[t]) - len(d.Dels[t])
+		out[t] = cur
+	}
+	return out
+}
+
+// MaterializeDiffs walks each edge's row of the EBM in the given column
+// order and emits ±1 transitions, yielding the difference stream. Per-edge
+// work is independent (embarrassingly parallel).
+func MaterializeDiffs(m *EBM, order []int) *DiffStream {
+	k := len(order)
+	d := &DiffStream{
+		Names: make([]string, k),
+		Adds:  make([][]uint32, k),
+		Dels:  make([][]uint32, k),
+	}
+	for t, c := range order {
+		d.Names[t] = m.Names[c]
+	}
+	for i := 0; i < m.NumEdges; i++ {
+		prev := false
+		for t, c := range order {
+			cur := m.Cols[c].Get(i)
+			if cur && !prev {
+				d.Adds[t] = append(d.Adds[t], uint32(i))
+			} else if !cur && prev {
+				d.Dels[t] = append(d.Dels[t], uint32(i))
+			}
+			prev = cur
+		}
+	}
+	return d
+}
+
+// OptimizeOrder runs the collection ordering optimizer (Algorithm 1): pad a
+// zero column, compute pairwise Hamming distances between EBM columns, and
+// order via the CBMP1.5/Christofides reduction.
+func OptimizeOrder(m *EBM) []int {
+	k := m.NumViews()
+	// Distance matrix over k view columns plus the zero column (index k).
+	dist := make([][]int64, k+1)
+	for i := range dist {
+		dist[i] = make([]int64, k+1)
+	}
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			d := int64(m.Cols[i].HammingDistance(m.Cols[j]))
+			dist[i][j], dist[j][i] = d, d
+		}
+		d := int64(m.Cols[i].Count()) // distance to the zero column
+		dist[i][k], dist[k][i] = d, d
+	}
+	return ordering.Order(k, func(i, j int) int64 { return dist[i][j] })
+}
+
+// RandomOrder returns a seeded random permutation of the k views, the
+// baseline ordering used in the paper's Table 4.
+func RandomOrder(k int, seed int64) []int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Perm(k)
+}
+
+// OrderingMode selects how a collection's views are ordered before
+// materializing the difference stream.
+type OrderingMode uint8
+
+const (
+	// OrderAsWritten keeps the user's order from the GVDL statement.
+	OrderAsWritten OrderingMode = iota
+	// OrderOptimized runs the collection ordering optimizer.
+	OrderOptimized
+	// OrderRandom shuffles with the seed in Options.Seed.
+	OrderRandom
+)
+
+// Options configures collection materialization.
+type Options struct {
+	Workers int
+	Mode    OrderingMode
+	Seed    int64
+}
+
+// Timings records the duration of each materialization step; their sum is
+// the paper's collection creation time (CCT).
+type Timings struct {
+	EBM      time.Duration
+	Ordering time.Duration
+	Diffs    time.Duration
+}
+
+// Total returns the collection creation time.
+func (t Timings) Total() time.Duration { return t.EBM + t.Ordering + t.Diffs }
+
+// Collection is a fully materialized view collection ready for differential
+// execution.
+type Collection struct {
+	Name    string
+	Graph   *graph.Graph
+	EBM     *EBM
+	Order   []int // column order used
+	Stream  *DiffStream
+	Timings Timings
+}
+
+// NewCollection wraps a pre-computed difference stream as a materialized
+// collection, for programmatic workloads (experiments, tests) that construct
+// view sequences directly instead of through GVDL predicates. The order is
+// the stream's own.
+func NewCollection(name string, g *graph.Graph, stream *DiffStream) *Collection {
+	order := make([]int, stream.NumViews())
+	for i := range order {
+		order[i] = i
+	}
+	return &Collection{Name: name, Graph: g, Order: order, Stream: stream}
+}
+
+// Materialize runs the three-step pipeline of §3.2: EBM computation,
+// collection ordering, difference stream computation.
+func Materialize(g *graph.Graph, stmt *gvdl.CreateCollection, opts Options) (*Collection, error) {
+	names := make([]string, len(stmt.Views))
+	preds := make([]gvdl.EdgePredicate, len(stmt.Views))
+	for i, v := range stmt.Views {
+		p, err := gvdl.CompileEdgePredicate(g, v.Pred)
+		if err != nil {
+			return nil, fmt.Errorf("collection %s, view %s: %w", stmt.Name, v.Name, err)
+		}
+		names[i], preds[i] = v.Name, p
+	}
+	return materialize(stmt.Name, g, names, preds, opts)
+}
+
+// MaterializeFromPredicates materializes a collection from pre-compiled
+// predicates, for programmatic callers (experiments, tests).
+func MaterializeFromPredicates(name string, g *graph.Graph, names []string, preds []gvdl.EdgePredicate, opts Options) (*Collection, error) {
+	if len(names) != len(preds) {
+		return nil, fmt.Errorf("collection %s: %d names but %d predicates", name, len(names), len(preds))
+	}
+	return materialize(name, g, names, preds, opts)
+}
+
+func materialize(name string, g *graph.Graph, names []string, preds []gvdl.EdgePredicate, opts Options) (*Collection, error) {
+	if len(preds) == 0 {
+		return nil, fmt.Errorf("collection %s: no views", name)
+	}
+	c := &Collection{Name: name, Graph: g}
+
+	start := time.Now()
+	c.EBM = BuildEBM(g, names, preds, opts.Workers)
+	c.Timings.EBM = time.Since(start)
+
+	start = time.Now()
+	switch opts.Mode {
+	case OrderOptimized:
+		c.Order = OptimizeOrder(c.EBM)
+	case OrderRandom:
+		c.Order = RandomOrder(c.EBM.NumViews(), opts.Seed)
+	default:
+		c.Order = make([]int, c.EBM.NumViews())
+		for i := range c.Order {
+			c.Order[i] = i
+		}
+	}
+	c.Timings.Ordering = time.Since(start)
+
+	start = time.Now()
+	c.Stream = MaterializeDiffs(c.EBM, c.Order)
+	c.Timings.Diffs = time.Since(start)
+	return c, nil
+}
