@@ -54,9 +54,12 @@ func usage() {
   graphsurge load  -name NAME -edges FILE [-nodes FILE] [-data DIR]
   graphsurge query -data DIR [-ordering optimize] 'GVDL statements...'
   graphsurge run   -data DIR (-collection NAME | -view NAME) -algorithm ALG [-gvdl STMTS]
-                   [-mode diff|scratch|adaptive] [-workers N] [-weight PROP]
+                   [-mode diff|scratch|adaptive] [-workers N] [-parallel N] [-weight PROP]
                    [-source ID] [-ordering optimize]
-algorithms: wcc, bfs, sssp, pagerank, scc, degree`)
+algorithms: wcc, bfs, sssp, pagerank, scc, degree
+-parallel runs up to N independent collection segments concurrently, each on
+its own dataflow replica (scratch mode: every view; adaptive mode: as the
+optimizer declares split points). Results are identical at any setting.`)
 }
 
 func cmdLoad(args []string) error {
@@ -136,6 +139,7 @@ func cmdRun(args []string) error {
 	algName := fs.String("algorithm", "wcc", "analytics computation")
 	modeName := fs.String("mode", "adaptive", "diff | scratch | adaptive")
 	workers := fs.Int("workers", 1, "dataflow workers")
+	parallel := fs.Int("parallel", 1, "independent collection segments executed concurrently")
 	weight := fs.String("weight", "", "integer edge property used as weight")
 	source := fs.Uint64("source", 0, "source vertex for bfs/sssp")
 	ordering := fs.String("ordering", "", `"optimize" to run the collection ordering optimizer`)
@@ -183,15 +187,16 @@ func cmdRun(args []string) error {
 		return fmt.Errorf("unknown mode %q", *modeName)
 	}
 	res, err := e.RunCollection(*collection, comp, core.RunOptions{
-		Mode:       mode,
-		Workers:    *workers,
-		WeightProp: *weight,
+		Mode:        mode,
+		Workers:     *workers,
+		Parallelism: *parallel,
+		WeightProp:  *weight,
 	})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%s on %s (%s): %v total, %d splits\n",
-		res.Computation, res.Collection, res.Mode, res.Total.Round(1000), res.Splits)
+	fmt.Printf("%s on %s (%s): %v total, %v wall, %d splits\n",
+		res.Computation, res.Collection, res.Mode, res.Total.Round(1000), res.Wall.Round(1000), res.Splits)
 	for _, st := range res.Stats {
 		fmt.Printf("  view %-3d %-16s %-8s |GV|=%-8d |dC|=%-8d out-diffs=%-8d %v\n",
 			st.Index, st.Name, st.Mode, st.ViewSize, st.DiffSize, st.OutputDiffs, st.Duration.Round(1000))

@@ -1,0 +1,3 @@
+module graphsurge
+
+go 1.22

@@ -1,0 +1,104 @@
+package analytics
+
+import (
+	"sync"
+	"time"
+)
+
+// Resettable is implemented by runners that can rebuild themselves in place
+// for a new from-scratch execution. A Pool recycles resettable runners across
+// segments instead of dropping them; runners without Reset (e.g. the staged
+// SCC runner) are simply rebuilt on the next Acquire.
+//
+// Resetting an Instance currently rebuilds its dataflow, so recycling costs
+// the same as a fresh build; the interface is the seam that lets in-place
+// operator-state reuse (a ROADMAP item) land without touching the executor.
+type Resettable interface {
+	Reset() error
+}
+
+// Reset rebuilds the instance's dataflow from scratch, discarding all
+// operator state and output history, so the instance can serve a new
+// from-scratch run. Work counters restart at zero.
+func (inst *Instance) Reset() error {
+	fresh, err := NewInstance(inst.comp, inst.scope.Workers())
+	if err != nil {
+		return err
+	}
+	*inst = *fresh
+	return nil
+}
+
+// Pool hands out up to its size in concurrently live runner replicas for one
+// computation. It is the executor's admission control for segment-level
+// parallelism: Acquire blocks while all replica slots are busy, so at most
+// `size` dataflows are stepping at once regardless of how many segments a
+// plan has.
+type Pool struct {
+	comp    Computation
+	workers int
+	sem     chan struct{}
+
+	mu   sync.Mutex
+	idle []Runner
+}
+
+// NewPool creates a pool of up to size replicas (minimum 1), each built with
+// the given intra-dataflow worker count.
+func NewPool(comp Computation, workers, size int) *Pool {
+	if size < 1 {
+		size = 1
+	}
+	return &Pool{comp: comp, workers: workers, sem: make(chan struct{}, size)}
+}
+
+// Size returns the replica capacity.
+func (p *Pool) Size() int { return cap(p.sem) }
+
+// Acquire blocks until a replica slot frees and returns a runner ready for a
+// from-scratch run, together with the time spent building or resetting it.
+// That setup time is part of the cost of splitting (the executor folds it
+// into the seed view's duration, as the sequential executor measured runner
+// construction); time spent waiting for a slot is scheduling, not splitting
+// cost, and is excluded.
+func (p *Pool) Acquire() (Runner, time.Duration, error) {
+	p.sem <- struct{}{}
+	p.mu.Lock()
+	var r Runner
+	if n := len(p.idle); n > 0 {
+		r, p.idle = p.idle[n-1], p.idle[:n-1]
+	}
+	p.mu.Unlock()
+
+	start := time.Now()
+	if r != nil {
+		if err := r.(Resettable).Reset(); err == nil {
+			return r, time.Since(start), nil
+		}
+		// A failed reset falls through to a fresh build; the broken runner is
+		// dropped.
+	}
+	r, err := NewRunner(p.comp, p.workers)
+	if err != nil {
+		<-p.sem
+		return nil, 0, err
+	}
+	return r, time.Since(start), nil
+}
+
+// Release returns the runner's slot to the pool. Resettable runners are kept
+// for reuse by a later Acquire; others are dropped.
+func (p *Pool) Release(r Runner) {
+	if _, ok := r.(Resettable); ok {
+		p.mu.Lock()
+		p.idle = append(p.idle, r)
+		p.mu.Unlock()
+	}
+	<-p.sem
+}
+
+// Detach frees a slot without recycling its runner, for callers that keep
+// using the runner after the pool's lifetime — the executor detaches the
+// final segment's runner because the run result keeps serving queries
+// (FinalResults, MaxWork) from it.
+func (p *Pool) Detach() { <-p.sem }

@@ -1,0 +1,115 @@
+package analytics
+
+import (
+	"testing"
+	"time"
+
+	"graphsurge/internal/graph"
+)
+
+func poolTriples() []graph.Triple {
+	return []graph.Triple{
+		{Src: 1, Dst: 2, W: 1},
+		{Src: 2, Dst: 3, W: 1},
+		{Src: 4, Dst: 5, W: 1},
+	}
+}
+
+func TestInstanceReset(t *testing.T) {
+	inst, err := NewInstance(WCC{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst.Step(poolTriples(), nil)
+	if len(inst.Results()) != 5 {
+		t.Fatalf("results: %v", inst.Results())
+	}
+	if err := inst.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := inst.Version(); ok {
+		t.Fatal("reset instance still has a version")
+	}
+	if len(inst.Results()) != 0 {
+		t.Fatalf("reset instance has results: %v", inst.Results())
+	}
+	// A reset instance runs from scratch and reproduces the same answer.
+	inst.Step(poolTriples(), nil)
+	if len(inst.Results()) != 5 {
+		t.Fatalf("results after reset: %v", inst.Results())
+	}
+}
+
+func TestPoolReusesResettableRunners(t *testing.T) {
+	p := NewPool(WCC{}, 1, 2)
+	if p.Size() != 2 {
+		t.Fatalf("size: %d", p.Size())
+	}
+	r1, _, err := p.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1.Step(poolTriples(), nil)
+	p.Release(r1)
+	r2, _, err := p.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Fatal("pool did not recycle the released runner")
+	}
+	if _, ok := r2.Version(); ok {
+		t.Fatal("recycled runner was not reset")
+	}
+	p.Release(r2)
+}
+
+func TestPoolBoundsConcurrency(t *testing.T) {
+	p := NewPool(WCC{}, 1, 1)
+	r, _, err := p.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	acquired := make(chan Runner)
+	go func() {
+		r2, _, err := p.Acquire()
+		if err != nil {
+			t.Error(err)
+		}
+		acquired <- r2
+	}()
+	select {
+	case <-acquired:
+		t.Fatal("second Acquire did not block on a full pool")
+	case <-time.After(20 * time.Millisecond):
+	}
+	p.Release(r)
+	select {
+	case r2 := <-acquired:
+		p.Release(r2)
+	case <-time.After(time.Second):
+		t.Fatal("Acquire did not wake after Release")
+	}
+}
+
+func TestPoolDetachKeepsRunnerUsable(t *testing.T) {
+	p := NewPool(WCC{}, 1, 1)
+	r, _, err := p.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Step(poolTriples(), nil)
+	p.Detach()
+	// The slot is free again, and the detached runner's state is untouched.
+	r2, _, err := p.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2 == r {
+		t.Fatal("detached runner was recycled")
+	}
+	if len(r.Results()) != 5 {
+		t.Fatalf("detached runner lost state: %v", r.Results())
+	}
+	p.Release(r2)
+}

@@ -40,6 +40,13 @@ type RunOptions struct {
 	Mode ExecMode
 	// Workers overrides the engine default when > 0.
 	Workers int
+	// Parallelism is the number of independent collection segments executed
+	// concurrently, each on its own dataflow replica (see DESIGN.md). The
+	// default of 1 preserves strictly sequential execution. Segments only
+	// exist where the plan splits, so DiffOnly gains nothing, Scratch becomes
+	// embarrassingly parallel, and Adaptive overlaps segments as the
+	// optimizer declares split points.
+	Parallelism int
 	// WeightProp names the integer edge property used as edge weight; empty
 	// means unit weights.
 	WeightProp string
@@ -67,8 +74,12 @@ type RunResult struct {
 	Collection  string
 	Mode        ExecMode
 	Stats       []ViewStats
-	Total       time.Duration
-	Splits      int // number of from-scratch runs after view 0
+	// Total is the summed per-view compute time. With Parallelism > 1
+	// segments overlap, so Total exceeds elapsed time; Wall is the run's
+	// actual wall-clock duration (Total ≈ Wall when sequential).
+	Total  time.Duration
+	Wall   time.Duration
+	Splits int // number of from-scratch runs after view 0
 
 	runner analytics.Runner
 }
@@ -88,7 +99,8 @@ func (r *RunResult) MaxWork() int64 {
 	return m
 }
 
-// IterCapHit reports whether any fixpoint hit the safety cap during the run.
+// IterCapHit reports whether any fixpoint of the final runner hit the safety
+// cap during the run.
 func (r *RunResult) IterCapHit() bool { return r.runner.IterCapHit() }
 
 // RunCollection executes a computation over a named materialized collection.
@@ -104,11 +116,22 @@ func (e *Engine) RunCollection(collection string, comp analytics.Computation, op
 }
 
 // RunCollection executes a computation over all views of a materialized
-// collection, in the collection's order, sharing computation across views
-// according to the chosen mode.
+// collection, sharing computation across views according to the chosen mode.
+//
+// Execution is a plan → execute pipeline (see DESIGN.md): the splitting
+// strategy's per-view decisions are grouped into segments — each one
+// from-scratch view plus its differential successors — and independent
+// segments are dispatched onto a pool of up to opts.Parallelism dataflow
+// replicas. Within a segment, views run strictly in collection order;
+// ViewStats land in collection order regardless of which replica ran them,
+// and FinalResults/MaxWork/IterCapHit are served by the runner that executed
+// the last view.
 func RunCollection(col *view.Collection, comp analytics.Computation, opts RunOptions) (*RunResult, error) {
 	if opts.Workers < 1 {
 		opts.Workers = 1
+	}
+	if opts.Parallelism < 1 {
+		opts.Parallelism = 1
 	}
 	g := col.Graph
 	wc, err := g.WeightColumn(opts.WeightProp)
@@ -117,100 +140,47 @@ func RunCollection(col *view.Collection, comp analytics.Computation, opts RunOpt
 	}
 	stream := col.Stream
 	k := stream.NumViews()
-	sizes := stream.ViewSizes()
 
-	runner, err := analytics.NewRunner(comp, opts.Workers)
+	cr := &collectionRun{
+		stream: stream,
+		sizes:  stream.ViewSizes(),
+		keep:   opts.KeepOutputs,
+		stats:  make([]ViewStats, k),
+		triples: func(idxs []uint32) []graph.Triple {
+			out := make([]graph.Triple, len(idxs))
+			for i, idx := range idxs {
+				out[i] = g.Triple(int(idx), wc)
+			}
+			return out
+		},
+	}
+	pool := analytics.NewPool(comp, opts.Workers, opts.Parallelism)
+	seeds := newSeedScan(stream, g.NumEdges(), cr.sizes)
+	wallStart := time.Now()
+
+	var plan splitting.Plan
+	var final analytics.Runner
+	if opts.Mode == Adaptive {
+		final, plan, err = cr.runAdaptive(opts, pool, seeds)
+	} else {
+		plan = staticPlan(opts.Mode, k)
+		final, err = cr.runStatic(plan, seeds, pool)
+	}
 	if err != nil {
 		return nil, err
 	}
+
 	res := &RunResult{
 		Computation: comp.Name(),
 		Collection:  col.Name,
 		Mode:        opts.Mode,
-		Stats:       make([]ViewStats, 0, k),
-		runner:      runner,
+		Stats:       cr.stats,
+		Wall:        time.Since(wallStart),
+		Splits:      plan.Splits(),
+		runner:      final,
 	}
-	optimizer := &splitting.Optimizer{BatchSize: opts.BatchSize}
-
-	// Current view membership, for seeding from-scratch runs.
-	member := make([]bool, g.NumEdges())
-
-	triples := func(idxs []uint32) []graph.Triple {
-		out := make([]graph.Triple, len(idxs))
-		for i, idx := range idxs {
-			out[i] = g.Triple(int(idx), wc)
-		}
-		return out
-	}
-
-	for t := 0; t < k; t++ {
-		adds, dels := stream.Adds[t], stream.Dels[t]
-		for _, idx := range adds {
-			member[idx] = true
-		}
-		for _, idx := range dels {
-			member[idx] = false
-		}
-
-		var mode splitting.Mode
-		switch opts.Mode {
-		case DiffOnly:
-			mode = splitting.ModeDiff
-		case Scratch:
-			mode = splitting.ModeScratch
-		case Adaptive:
-			mode = optimizer.Decide(t, sizes[t], stream.DiffSize(t))
-		}
-
-		var dur time.Duration
-		if mode == splitting.ModeScratch && t > 0 {
-			// Split: fresh dataflow seeded with the full view. Construction
-			// time is part of the cost of splitting and is measured.
-			start := time.Now()
-			fresh, err := analytics.NewRunner(comp, opts.Workers)
-			if err != nil {
-				return nil, err
-			}
-			full := make([]uint32, 0, sizes[t])
-			for idx, in := range member {
-				if in {
-					full = append(full, uint32(idx))
-				}
-			}
-			fresh.Step(triples(full), nil)
-			dur = time.Since(start)
-			runner = fresh
-			res.runner = fresh
-			res.Splits++
-		} else {
-			// View 0 always loads the first view in full; it counts as the
-			// initial from-scratch run for the optimizer's bootstrap.
-			dur = runner.Step(triples(adds), triples(dels))
-		}
-
-		v, _ := runner.Version()
-		st := ViewStats{
-			Index:       t,
-			Name:        stream.Names[t],
-			Mode:        mode,
-			Duration:    dur,
-			ViewSize:    sizes[t],
-			DiffSize:    stream.DiffSize(t),
-			OutputDiffs: runner.OutputDiffs(v),
-		}
-		res.Stats = append(res.Stats, st)
-		res.Total += dur
-
-		if opts.Mode == Adaptive {
-			if mode == splitting.ModeScratch || t == 0 {
-				optimizer.ObserveScratch(sizes[t], dur)
-			} else {
-				optimizer.ObserveDiff(stream.DiffSize(t), dur)
-			}
-		}
-		if !opts.KeepOutputs {
-			runner.DropOutputsBefore(v)
-		}
+	for _, st := range cr.stats {
+		res.Total += st.Duration
 	}
 	return res, nil
 }

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"graphsurge/internal/analytics"
+	"graphsurge/internal/datagen"
+	"graphsurge/internal/view"
+)
+
+// randomCollection builds a seeded random k-view collection over a datagen
+// graph: the first view is a random subset of the edges, and every later
+// view flips a few random edges in and out.
+func randomCollection(t testing.TB, k int, seed int64) *view.Collection {
+	t.Helper()
+	g := datagen.Temporal(datagen.TemporalConfig{Nodes: 300, Edges: 3000, Days: 100, Seed: seed})
+	g.Name = "rnd"
+	r := rand.New(rand.NewSource(seed))
+	present := make([]bool, g.NumEdges())
+
+	names := make([]string, 0, k)
+	adds := make([][]uint32, 0, k)
+	dels := make([][]uint32, 0, k)
+	for t := 0; t < k; t++ {
+		var a, d []uint32
+		if t == 0 {
+			for i := range present {
+				if r.Intn(2) == 0 {
+					present[i] = true
+					a = append(a, uint32(i))
+				}
+			}
+		} else {
+			flips := make(map[int]bool, 200)
+			for len(flips) < 200 {
+				flips[r.Intn(g.NumEdges())] = true
+			}
+			for i := 0; i < g.NumEdges(); i++ {
+				if !flips[i] {
+					continue
+				}
+				if present[i] {
+					present[i] = false
+					d = append(d, uint32(i))
+				} else {
+					present[i] = true
+					a = append(a, uint32(i))
+				}
+			}
+		}
+		names = append(names, fmt.Sprintf("v%d", t))
+		adds = append(adds, a)
+		dels = append(dels, d)
+	}
+	stream := &view.DiffStream{Names: names, Adds: adds, Dels: dels}
+	return view.NewCollection("rnd-col", g, stream)
+}
+
+// TestSegmentParallelDeterminism is the parallel executor's equivalence
+// check: for WCC and PageRank on a seeded random collection, FinalResults
+// and the per-view ViewSize/DiffSize stats must be byte-identical across
+// Parallelism ∈ {1, 4} × workers ∈ {1, 4}, in all three execution modes.
+func TestSegmentParallelDeterminism(t *testing.T) {
+	col := randomCollection(t, 8, 42)
+	comps := []analytics.Computation{analytics.WCC{}, analytics.PageRank{}}
+	modes := []ExecMode{DiffOnly, Scratch, Adaptive}
+
+	for _, comp := range comps {
+		var baseline *RunResult
+		for _, mode := range modes {
+			for _, par := range []int{1, 4} {
+				for _, workers := range []int{1, 4} {
+					name := fmt.Sprintf("%s/%s/p=%d/w=%d", comp.Name(), mode, par, workers)
+					res, err := RunCollection(col, comp, RunOptions{
+						Mode:        mode,
+						Workers:     workers,
+						Parallelism: par,
+						BatchSize:   2,
+					})
+					if err != nil {
+						t.Fatalf("%s: %v", name, err)
+					}
+					if res.IterCapHit() {
+						t.Fatalf("%s: iteration cap hit", name)
+					}
+					if len(res.Stats) != col.Stream.NumViews() {
+						t.Fatalf("%s: %d stats", name, len(res.Stats))
+					}
+					for i, st := range res.Stats {
+						if st.Index != i || st.Name != col.Stream.Names[i] {
+							t.Fatalf("%s: stats[%d] out of collection order: %+v", name, i, st)
+						}
+						if st.OutputDiffs <= 0 || st.Duration <= 0 {
+							t.Fatalf("%s: stats[%d] not recorded: %+v", name, i, st)
+						}
+					}
+					if baseline == nil {
+						baseline = res
+						continue
+					}
+					got, want := res.FinalResults(), baseline.FinalResults()
+					if len(got) != len(want) {
+						t.Fatalf("%s: %d results, baseline %d", name, len(got), len(want))
+					}
+					for kv, d := range want {
+						if got[kv] != d {
+							t.Fatalf("%s: result %+v = %d, baseline %d", name, kv, got[kv], d)
+						}
+					}
+					for i := range res.Stats {
+						if res.Stats[i].ViewSize != baseline.Stats[i].ViewSize ||
+							res.Stats[i].DiffSize != baseline.Stats[i].DiffSize {
+							t.Fatalf("%s: stats[%d] sizes diverge: %+v vs %+v",
+								name, i, res.Stats[i], baseline.Stats[i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSeedScanOpeningView pins the opening-view fast path: the seed of view
+// 0 is the first difference set itself (no full-graph scan), even when the
+// view was already folded into the membership array, and later seeds replay
+// the stream correctly.
+func TestSeedScanOpeningView(t *testing.T) {
+	stream := &view.DiffStream{
+		Names: []string{"a", "b"},
+		Adds:  [][]uint32{{1, 3, 5}, {2}},
+		Dels:  [][]uint32{nil, {3}},
+	}
+	ss := newSeedScan(stream, 8, stream.ViewSizes())
+	ss.advance(0) // acquireSegment folds untimed before scanning
+	seed := ss.at(0)
+	if len(seed) != 3 || &seed[0] != &stream.Adds[0][0] {
+		t.Fatalf("opening seed not aliased to Adds[0]: %v", seed)
+	}
+	next := ss.at(1)
+	if len(next) != 3 || next[0] != 1 || next[1] != 2 || next[2] != 5 {
+		t.Fatalf("seed at view 1: %v", next)
+	}
+}
+
+// TestScratchParallelSplits checks the plan accounting under parallel
+// dispatch: scratch mode splits at every view after the first no matter how
+// many replicas execute them.
+func TestScratchParallelSplits(t *testing.T) {
+	col := randomCollection(t, 6, 7)
+	for _, par := range []int{1, 2, 4, 8} {
+		res, err := RunCollection(col, analytics.WCC{}, RunOptions{Mode: Scratch, Parallelism: par})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Splits != col.Stream.NumViews()-1 {
+			t.Fatalf("parallelism %d: %d splits", par, res.Splits)
+		}
+	}
+}
+
+// TestParallelOnSingleSegment checks that parallelism is harmless where no
+// independence exists: diff-only has one segment, so extra replicas idle.
+func TestParallelOnSingleSegment(t *testing.T) {
+	col := randomCollection(t, 5, 11)
+	res, err := RunCollection(col, analytics.WCC{}, RunOptions{Mode: DiffOnly, Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Splits != 0 {
+		t.Fatalf("%d splits in diff-only", res.Splits)
+	}
+	if len(res.FinalResults()) == 0 {
+		t.Fatal("no results")
+	}
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"graphsurge/internal/splitting"
+	"graphsurge/internal/view"
+)
+
+// staticPlan maps a non-adaptive execution mode to its fully precomputable
+// plan: diff-only is one segment spanning the collection, scratch is one
+// single-view segment per view (embarrassingly parallel). Adaptive plans are
+// built online by the planner as the optimizer's models mature; see
+// runAdaptive.
+func staticPlan(mode ExecMode, k int) splitting.Plan {
+	if mode == Scratch {
+		return splitting.PlanScratch(k)
+	}
+	return splitting.PlanDiffOnly(k)
+}
+
+// seedScan incrementally replays the difference stream to produce segment
+// seeds: the full edge-index list of the view opening each segment. The scan
+// is sequential and shared by the static and adaptive executors; seeds are
+// built one at a time as segments are dispatched, so at most Parallelism
+// seed lists are live at once — peak memory stays proportional to the
+// largest view, not the sum of all views, matching the sequential executor.
+type seedScan struct {
+	stream *view.DiffStream
+	sizes  []int
+	member []bool
+	next   int // next view index to fold into member
+}
+
+func newSeedScan(stream *view.DiffStream, numEdges int, sizes []int) *seedScan {
+	return &seedScan{stream: stream, sizes: sizes, member: make([]bool, numEdges)}
+}
+
+// advance folds views up to and including t into the membership array. The
+// sequential executor maintained membership outside its split timer, so
+// callers advance untimed and time only the scan in at.
+func (ss *seedScan) advance(t int) {
+	for ; ss.next <= t; ss.next++ {
+		for _, idx := range ss.stream.Adds[ss.next] {
+			ss.member[idx] = true
+		}
+		for _, idx := range ss.stream.Dels[ss.next] {
+			ss.member[idx] = false
+		}
+	}
+}
+
+// at returns the full edge-index list of view t, ascending. Successive calls
+// must have non-decreasing t (segments are dispatched in collection order).
+func (ss *seedScan) at(t int) []uint32 {
+	if t == 0 && ss.next <= 1 && len(ss.stream.Dels[0]) == 0 {
+		// Opening view (whether or not already folded): membership before it
+		// is empty, so the full view is exactly the first difference set —
+		// skip the full-graph scan.
+		ss.advance(0)
+		return ss.stream.Adds[0]
+	}
+	ss.advance(t)
+	full := make([]uint32, 0, ss.sizes[t])
+	for idx, in := range ss.member {
+		if in {
+			full = append(full, uint32(idx))
+		}
+	}
+	return full
+}

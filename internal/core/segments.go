@@ -1,0 +1,249 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"graphsurge/internal/analytics"
+	"graphsurge/internal/graph"
+	"graphsurge/internal/splitting"
+	"graphsurge/internal/view"
+)
+
+// viewJob is one view handed to a segment executor: the view's index, its
+// mode label for stats, and — on a segment's first view only — the full edge
+// list seeding the segment's fresh dataflow.
+type viewJob struct {
+	t    int
+	mode splitting.Mode
+	seed []uint32 // non-nil exactly on the segment's first view
+}
+
+// collectionRun is the shared context of one RunCollection call: read-only
+// inputs plus the per-view stats slots the segment executors fill in.
+// Segments cover disjoint view ranges, so their stats writes never alias; the
+// joins (channel closes, WaitGroup waits) publish them to the caller, keeping
+// stats collection race-free without locks.
+type collectionRun struct {
+	stream  *view.DiffStream
+	sizes   []int
+	triples func(idxs []uint32) []graph.Triple
+	keep    bool
+	stats   []ViewStats
+
+	// observe, when set (adaptive mode), receives each view's measured
+	// runtime for the optimizer's online models. It must be safe to call
+	// from segment goroutines.
+	observe func(j viewJob, dur time.Duration)
+}
+
+// segmentExec is one segment's execution state: its runner replica, the
+// pending replica construction/reset plus seed-build cost, and, when
+// executing asynchronously, the queue the planner feeds and the drain signal.
+// setup is folded into the seed view's duration so a split still pays for
+// dataflow construction and the membership scan, exactly what the sequential
+// executor timed; the collection's opening view never pays it (its runner
+// was built before the clock started there too).
+type segmentExec struct {
+	r     analytics.Runner
+	setup time.Duration
+	jobs  chan viewJob
+	done  chan struct{}
+}
+
+// runJob executes one view on the segment's runner and records its stats.
+func (cr *collectionRun) runJob(s *segmentExec, j viewJob) {
+	var dur time.Duration
+	switch {
+	case j.seed != nil && j.t > 0:
+		// Split: the triple materialization and the step are timed together
+		// with the setup cost, as the sequential executor measured splits.
+		start := time.Now()
+		s.r.Step(cr.triples(j.seed), nil)
+		dur = s.setup + time.Since(start)
+		s.setup = 0
+	case j.seed != nil:
+		// The collection's opening view: only the step itself is timed.
+		dur = s.r.Step(cr.triples(j.seed), nil)
+	default:
+		dur = s.r.Step(cr.triples(cr.stream.Adds[j.t]), cr.triples(cr.stream.Dels[j.t]))
+	}
+	v, _ := s.r.Version()
+	cr.stats[j.t] = ViewStats{
+		Index:       j.t,
+		Name:        cr.stream.Names[j.t],
+		Mode:        j.mode,
+		Duration:    dur,
+		ViewSize:    cr.sizes[j.t],
+		DiffSize:    cr.stream.DiffSize(j.t),
+		OutputDiffs: s.r.OutputDiffs(v),
+	}
+	if cr.observe != nil {
+		cr.observe(j, dur)
+	}
+	if !cr.keep {
+		s.r.DropOutputsBefore(v)
+	}
+}
+
+// work consumes the segment's queued views in order and signals completion.
+func (cr *collectionRun) work(s *segmentExec) {
+	for j := range s.jobs {
+		cr.runJob(s, j)
+	}
+	close(s.done)
+}
+
+// acquireSegment takes a replica from the pool and builds the seed for a
+// segment opening at view t, folding the seed scan's time into the setup
+// cost the seed view will report. The membership fold happens untimed first,
+// matching the sequential executor, which updated membership per view
+// outside the split timer and timed only the final scan.
+func acquireSegment(pool *analytics.Pool, ss *seedScan, t int) (*segmentExec, []uint32, error) {
+	r, setup, err := pool.Acquire()
+	if err != nil {
+		return nil, nil, err
+	}
+	ss.advance(t)
+	start := time.Now()
+	seed := ss.at(t)
+	return &segmentExec{r: r, setup: setup + time.Since(start)}, seed, nil
+}
+
+// runStatic dispatches a fully precomputed plan's segments onto the pool, in
+// collection order. Segments share no dataflow state, so up to the pool's
+// replica count execute concurrently (Acquire provides the backpressure);
+// the final segment's runner is detached and returned because the run result
+// keeps answering FinalResults/MaxWork/IterCapHit from it.
+func (cr *collectionRun) runStatic(plan splitting.Plan, ss *seedScan, pool *analytics.Pool) (analytics.Runner, error) {
+	if len(plan.Segments) == 0 {
+		// Empty collection: keep a live (never-stepped) runner so result
+		// accessors behave as they always have.
+		r, _, err := pool.Acquire()
+		return r, err
+	}
+	last := len(plan.Segments) - 1
+	var wg sync.WaitGroup
+	var final analytics.Runner
+	for si := range plan.Segments {
+		seg := plan.Segments[si]
+		s, seed, err := acquireSegment(pool, ss, seg.Start)
+		if err != nil {
+			wg.Wait()
+			return nil, err
+		}
+		if si == last {
+			final = s.r
+		}
+		wg.Add(1)
+		go func(si int, seg splitting.Segment, s *segmentExec, seed []uint32) {
+			defer wg.Done()
+			cr.runJob(s, viewJob{t: seg.Start, mode: plan.Modes[seg.Start], seed: seed})
+			for t := seg.Start + 1; t < seg.End; t++ {
+				cr.runJob(s, viewJob{t: t, mode: plan.Modes[t]})
+			}
+			if si == last {
+				pool.Detach()
+			} else {
+				pool.Release(s.r)
+			}
+		}(si, seg, s, seed)
+	}
+	wg.Wait()
+	return final, nil
+}
+
+// runAdaptive interleaves online planning with segment execution. The
+// planner walks views in collection order, deciding each view's mode with
+// the optimizer; segments are handed off to pool replicas as the model
+// declares split points.
+//
+// With Parallelism=1 each view executes inline before the next decision, so
+// every decision sees all prior observations — exactly the sequential
+// executor's behavior. With Parallelism>1 the open segment's views are
+// executed by a dedicated goroutine consuming a queue: when a split closes a
+// segment, its tail can still be draining while the next segment seeds on a
+// fresh replica, overlapping independent sub-collections. Decisions then use
+// whatever observations have arrived (the models are merely less warm, never
+// wrong), so split points — but not results — may vary with timing, just as
+// they already vary with machine load sequentially.
+func (cr *collectionRun) runAdaptive(opts RunOptions, pool *analytics.Pool, ss *seedScan) (analytics.Runner, splitting.Plan, error) {
+	k := cr.stream.NumViews()
+	opt := &splitting.Optimizer{BatchSize: opts.BatchSize}
+	planner := splitting.NewPlanner(opt)
+
+	// One mutex serializes planner decisions against observations arriving
+	// from segment goroutines; the optimizer is not safe for concurrent use.
+	var mu sync.Mutex
+	cr.observe = func(j viewJob, dur time.Duration) {
+		mu.Lock()
+		defer mu.Unlock()
+		if j.seed != nil {
+			opt.ObserveScratch(cr.sizes[j.t], dur)
+		} else {
+			opt.ObserveDiff(cr.stream.DiffSize(j.t), dur)
+		}
+	}
+
+	inline := pool.Size() == 1
+	var segs []*segmentExec // asynchronously executing segments, in order
+	var cur *segmentExec
+	// fail drains the already-dispatched segments before returning; it is
+	// only reached from the acquire path, where every segment so far —
+	// including the one just closed by the split — has a closed queue.
+	fail := func(err error) (analytics.Runner, splitting.Plan, error) {
+		for _, s := range segs {
+			<-s.done
+		}
+		return nil, planner.Plan(), err
+	}
+	for t := 0; t < k; t++ {
+		mu.Lock()
+		mode, split := planner.Extend(cr.sizes[t], cr.stream.DiffSize(t))
+		mu.Unlock()
+		var seed []uint32
+		if split {
+			if cur != nil {
+				if inline {
+					pool.Release(cur.r)
+				} else {
+					// Hand the closed segment off: it keeps draining while
+					// the new segment seeds; its replica returns to the pool
+					// once drained.
+					close(cur.jobs)
+					go func(s *segmentExec) { <-s.done; pool.Release(s.r) }(cur)
+				}
+			}
+			var err error
+			cur, seed, err = acquireSegment(pool, ss, t)
+			if err != nil {
+				return fail(err)
+			}
+			if !inline {
+				cur.jobs = make(chan viewJob, k-t)
+				cur.done = make(chan struct{})
+				segs = append(segs, cur)
+				go cr.work(cur)
+			}
+		}
+		j := viewJob{t: t, mode: mode, seed: seed}
+		if inline {
+			cr.runJob(cur, j)
+		} else {
+			cur.jobs <- j
+		}
+	}
+	if cur == nil {
+		// Empty collection; see runStatic.
+		r, _, err := pool.Acquire()
+		return r, planner.Plan(), err
+	}
+	if !inline {
+		close(cur.jobs)
+		for _, s := range segs {
+			<-s.done
+		}
+	}
+	pool.Detach()
+	return cur.r, planner.Plan(), nil
+}
