@@ -262,6 +262,57 @@ func projectedSpeedup(stats []core.ViewStats, p int) float64 {
 	return float64(total) / float64(makespan)
 }
 
+// BenchmarkPoolReuse measures what engine-level runner pooling saves: the
+// replica-preparation cost Pool.Acquire reports (and the executor folds
+// into every split's duration). fresh-build constructs a runner's dataflow
+// from zero, as every Acquire on an empty pool must; pool-reset recycles
+// one runner that just finished a full-view run, resetting it in place —
+// no graph reconstruction, state dropped in O(operators) map swaps
+// regardless of how much the previous run accumulated. The reset variant
+// must come out measurably cheaper; that gap, times the number of segments
+// and RunCollection calls an engine serves, is what the pool amortizes.
+// The staged SCC sub-benchmarks magnify the effect: a fresh build there
+// constructs one dataflow per phase.
+func BenchmarkPoolReuse(b *testing.B) {
+	g := datagen.Social(datagen.SocialConfig{Nodes: 1_500, Edges: 12_000, Seed: 7})
+	seed := make([]graph.Triple, g.NumEdges())
+	for i := range seed {
+		seed[i] = g.Triple(i, -1)
+	}
+	for _, c := range []struct {
+		name string
+		comp analytics.Computation
+	}{
+		{"wcc", analytics.WCC{}},
+		{"scc", &analytics.SCC{Phases: 3}},
+	} {
+		b.Run(c.name+"/fresh-build", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := analytics.NewRunner(c.comp, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(c.name+"/pool-reset", func(b *testing.B) {
+			r, err := analytics.NewRunner(c.comp, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Warm the runner with a full-view run before the first timed
+			// reset; reset cost is O(operators) map swaps either way, so
+			// later iterations resetting an already-reset runner measure
+			// the same path.
+			r.Step(seed, nil)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := r.(analytics.Resettable).Reset(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkEngineWCCStep measures the engine's raw differential step cost:
 // one ±8-edge delta applied to a live WCC dataflow over a 30k-edge graph.
 func BenchmarkEngineWCCStep(b *testing.B) {

@@ -59,7 +59,11 @@ func usage() {
 algorithms: wcc, bfs, sssp, pagerank, scc, degree
 -parallel runs up to N independent collection segments concurrently, each on
 its own dataflow replica (scratch mode: every view; adaptive mode: as the
-optimizer declares split points). Results are identical at any setting.`)
+optimizer declares split points); 0 uses the engine default of 1. Results
+are identical at any setting. Replicas are pooled per (algorithm, workers)
+and recycled via in-place reset, so repeated runs skip dataflow
+construction; per-segment replica setup and drain times are printed
+alongside the per-view lines.`)
 }
 
 func cmdLoad(args []string) error {
@@ -84,12 +88,12 @@ func cmdLoad(args []string) error {
 	return nil
 }
 
-func engineFor(data string, ordering string, workers int) (*core.Engine, error) {
+func engineFor(data string, ordering string, workers, parallel int) (*core.Engine, error) {
 	mode := view.OrderAsWritten
 	if ordering == "optimize" {
 		mode = view.OrderOptimized
 	}
-	return core.NewEngine(core.Options{DataDir: data, Workers: workers, Ordering: mode})
+	return core.NewEngine(core.Options{DataDir: data, Workers: workers, Parallelism: parallel, Ordering: mode})
 }
 
 func cmdQuery(args []string) error {
@@ -101,7 +105,7 @@ func cmdQuery(args []string) error {
 	if fs.NArg() < 1 {
 		return fmt.Errorf("query: GVDL statements required")
 	}
-	e, err := engineFor(*data, *ordering, *workers)
+	e, err := engineFor(*data, *ordering, *workers, 0)
 	if err != nil {
 		return err
 	}
@@ -139,7 +143,7 @@ func cmdRun(args []string) error {
 	algName := fs.String("algorithm", "wcc", "analytics computation")
 	modeName := fs.String("mode", "adaptive", "diff | scratch | adaptive")
 	workers := fs.Int("workers", 1, "dataflow workers")
-	parallel := fs.Int("parallel", 1, "independent collection segments executed concurrently")
+	parallel := fs.Int("parallel", 0, "independent collection segments executed concurrently (0 = engine default)")
 	weight := fs.String("weight", "", "integer edge property used as weight")
 	source := fs.Uint64("source", 0, "source vertex for bfs/sssp")
 	ordering := fs.String("ordering", "", `"optimize" to run the collection ordering optimizer`)
@@ -148,7 +152,7 @@ func cmdRun(args []string) error {
 	if *collection == "" && *viewName == "" {
 		return fmt.Errorf("run: -collection or -view is required")
 	}
-	e, err := engineFor(*data, *ordering, *workers)
+	e, err := engineFor(*data, *ordering, *workers, *parallel)
 	if err != nil {
 		return err
 	}
@@ -197,7 +201,15 @@ func cmdRun(args []string) error {
 	}
 	fmt.Printf("%s on %s (%s): %v total, %v wall, %d splits\n",
 		res.Computation, res.Collection, res.Mode, res.Total.Round(1000), res.Wall.Round(1000), res.Splits)
+	segAt := make(map[int]core.SegmentStats, len(res.Segments))
+	for _, seg := range res.Segments {
+		segAt[seg.Start] = seg
+	}
 	for _, st := range res.Stats {
+		if seg, ok := segAt[st.Index]; ok {
+			fmt.Printf("  segment views [%d,%d): replica setup %v, drain %v\n",
+				seg.Start, seg.End, seg.Setup.Round(1000), seg.Drain.Round(1000))
+		}
 		fmt.Printf("  view %-3d %-16s %-8s |GV|=%-8d |dC|=%-8d out-diffs=%-8d %v\n",
 			st.Index, st.Name, st.Mode, st.ViewSize, st.DiffSize, st.OutputDiffs, st.Duration.Round(1000))
 	}

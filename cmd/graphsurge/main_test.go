@@ -54,6 +54,16 @@ func TestCommandsEndToEnd(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
+	// Parallel segment dispatch with per-segment timing output.
+	if err := cmdRun([]string{
+		"-data", data,
+		"-collection", "c",
+		"-algorithm", "wcc",
+		"-mode", "scratch",
+		"-parallel", "2",
+	}); err != nil {
+		t.Fatal(err)
+	}
 	// Individual view runs.
 	if err := cmdRun([]string{
 		"-data", data,

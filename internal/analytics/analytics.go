@@ -56,6 +56,10 @@ type Computation interface {
 	// Name identifies the computation in logs and results.
 	Name() string
 	// Build wires the computation's dataflow. It must call b.Output once.
+	// The operator functions it wires (map/filter/reduce closures) must be
+	// stateless and deterministic: runners are recycled across runs by
+	// resetting operator state in place, which cannot see — and therefore
+	// cannot clear — mutable state captured inside closures.
 	Build(b *Builder)
 }
 

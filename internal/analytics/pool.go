@@ -5,42 +5,56 @@ import (
 	"time"
 )
 
-// Resettable is implemented by runners that can rebuild themselves in place
-// for a new from-scratch execution. A Pool recycles resettable runners across
-// segments instead of dropping them; runners without Reset (e.g. the staged
-// SCC runner) are simply rebuilt on the next Acquire.
+// Resettable is implemented by runners that can return themselves to their
+// just-built condition in place, ready for a new from-scratch execution. A
+// Pool recycles resettable runners across segments and across RunCollection
+// calls instead of dropping them; runners without Reset are simply rebuilt
+// on the next Acquire.
 //
-// Resetting an Instance currently rebuilds its dataflow, so recycling costs
-// the same as a fresh build; the interface is the seam that lets in-place
-// operator-state reuse (a ROADMAP item) land without touching the executor.
+// Reset is in-place: it drops operator traces, pending work and output
+// history through dataflow.Scope.ResetState without reconstructing the
+// dataflow graph, so recycling a runner skips graph construction entirely —
+// the infrastructure-reuse optimization the paper's shared-dataflow design
+// motivates (§5). Because the graph (including the computation's fused
+// operator closures) is reused, Reset can only restore runners whose
+// Computation.Build wired stateless operator functions; state hidden in
+// closures survives a reset.
 type Resettable interface {
 	Reset() error
 }
 
-// Reset rebuilds the instance's dataflow from scratch, discarding all
-// operator state and output history, so the instance can serve a new
-// from-scratch run. Work counters restart at zero.
+// Reset returns the instance to its just-built condition in place: every
+// operator's state, the output history, the input's version cursor, work
+// counters and the iteration-cap flag are cleared, while the dataflow graph
+// itself is reused. The instance then serves a new from-scratch run starting
+// at version 0.
 func (inst *Instance) Reset() error {
-	fresh, err := NewInstance(inst.comp, inst.scope.Workers())
-	if err != nil {
-		return err
-	}
-	*inst = *fresh
+	inst.scope.ResetState()
+	inst.next = 0
 	return nil
 }
 
 // Pool hands out up to its size in concurrently live runner replicas for one
-// computation. It is the executor's admission control for segment-level
-// parallelism: Acquire blocks while all replica slots are busy, so at most
-// `size` dataflows are stepping at once regardless of how many segments a
-// plan has.
+// computation. It is the admission control for segment-level parallelism —
+// Acquire blocks while all replica slots are busy, so at most `size`
+// dataflows are stepping at once — and the warm-replica cache for an engine:
+// released resettable runners are kept idle and recycled by later acquires,
+// amortizing dataflow construction across segments, RunCollection calls and
+// concurrent callers.
+//
+// All methods are safe for concurrent use.
 type Pool struct {
 	comp    Computation
 	workers int
-	sem     chan struct{}
 
 	mu   sync.Mutex
+	cond *sync.Cond
+	size int
+	live int
 	idle []Runner
+
+	built  int // runners constructed from scratch
+	reused int // acquisitions served by resetting an idle runner
 }
 
 // NewPool creates a pool of up to size replicas (minimum 1), each built with
@@ -49,11 +63,64 @@ func NewPool(comp Computation, workers, size int) *Pool {
 	if size < 1 {
 		size = 1
 	}
-	return &Pool{comp: comp, workers: workers, sem: make(chan struct{}, size)}
+	p := &Pool{comp: comp, workers: workers, size: size}
+	p.cond = sync.NewCond(&p.mu)
+	return p
 }
 
-// Size returns the replica capacity.
-func (p *Pool) Size() int { return cap(p.sem) }
+// Computation returns the computation the pool builds replicas for.
+func (p *Pool) Computation() Computation { return p.comp }
+
+// Size returns the current replica capacity.
+func (p *Pool) Size() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.size
+}
+
+// Grow raises the replica capacity to at least size. Capacity never shrinks:
+// concurrent runs admitted under a larger capacity keep their slots, and an
+// engine-level pool serves the largest parallelism any caller asked for.
+func (p *Pool) Grow(size int) {
+	p.mu.Lock()
+	if size > p.size {
+		p.size = size
+		p.cond.Broadcast()
+	}
+	p.mu.Unlock()
+}
+
+// Live returns the number of currently acquired replica slots.
+func (p *Pool) Live() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.live
+}
+
+// Idle returns the number of warm replicas waiting for reuse.
+func (p *Pool) Idle() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.idle)
+}
+
+// Counts reports how many acquisitions built a runner from scratch and how
+// many were served by resetting a warm replica — the pool's effectiveness
+// metric (BenchmarkPoolReuse measures the per-acquisition gap).
+func (p *Pool) Counts() (built, reused int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.built, p.reused
+}
+
+// DropIdle discards all warm replicas, keeping acquired slots valid. An
+// engine evicting a pool uses it to release runner memory immediately
+// rather than waiting for the pool itself to be collected.
+func (p *Pool) DropIdle() {
+	p.mu.Lock()
+	p.idle = nil
+	p.mu.Unlock()
+}
 
 // Acquire blocks until a replica slot frees and returns a runner ready for a
 // from-scratch run, together with the time spent building or resetting it.
@@ -62,8 +129,11 @@ func (p *Pool) Size() int { return cap(p.sem) }
 // construction); time spent waiting for a slot is scheduling, not splitting
 // cost, and is excluded.
 func (p *Pool) Acquire() (Runner, time.Duration, error) {
-	p.sem <- struct{}{}
 	p.mu.Lock()
+	for p.live >= p.size {
+		p.cond.Wait()
+	}
+	p.live++
 	var r Runner
 	if n := len(p.idle); n > 0 {
 		r, p.idle = p.idle[n-1], p.idle[:n-1]
@@ -72,33 +142,40 @@ func (p *Pool) Acquire() (Runner, time.Duration, error) {
 
 	start := time.Now()
 	if r != nil {
-		if err := r.(Resettable).Reset(); err == nil {
-			return r, time.Since(start), nil
+		if rs, ok := r.(Resettable); ok {
+			if err := rs.Reset(); err == nil {
+				p.mu.Lock()
+				p.reused++
+				p.mu.Unlock()
+				return r, time.Since(start), nil
+			}
+			// A failed reset falls through to a fresh build; the broken
+			// runner is dropped.
 		}
-		// A failed reset falls through to a fresh build; the broken runner is
-		// dropped.
 	}
 	r, err := NewRunner(p.comp, p.workers)
 	if err != nil {
-		<-p.sem
+		p.mu.Lock()
+		p.live--
+		p.cond.Signal()
+		p.mu.Unlock()
 		return nil, 0, err
 	}
+	p.mu.Lock()
+	p.built++
+	p.mu.Unlock()
 	return r, time.Since(start), nil
 }
 
 // Release returns the runner's slot to the pool. Resettable runners are kept
-// for reuse by a later Acquire; others are dropped.
+// warm for reuse by a later Acquire; others are dropped. The caller must be
+// done reading the runner — the next Acquire resets it.
 func (p *Pool) Release(r Runner) {
+	p.mu.Lock()
 	if _, ok := r.(Resettable); ok {
-		p.mu.Lock()
 		p.idle = append(p.idle, r)
-		p.mu.Unlock()
 	}
-	<-p.sem
+	p.live--
+	p.cond.Signal()
+	p.mu.Unlock()
 }
-
-// Detach frees a slot without recycling its runner, for callers that keep
-// using the runner after the pool's lifetime — the executor detaches the
-// final segment's runner because the run result keeps serving queries
-// (FinalResults, MaxWork) from it.
-func (p *Pool) Detach() { <-p.sem }

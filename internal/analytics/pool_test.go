@@ -20,12 +20,18 @@ func TestInstanceReset(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	scope := inst.Scope()
 	inst.Step(poolTriples(), nil)
 	if len(inst.Results()) != 5 {
 		t.Fatalf("results: %v", inst.Results())
 	}
 	if err := inst.Reset(); err != nil {
 		t.Fatal(err)
+	}
+	// The reset is in place: the same dataflow (same scope) is reused, not
+	// rebuilt through NewInstance.
+	if inst.Scope() != scope {
+		t.Fatal("Reset rebuilt the dataflow instead of resetting in place")
 	}
 	if _, ok := inst.Version(); ok {
 		t.Fatal("reset instance still has a version")
@@ -51,6 +57,9 @@ func TestPoolReusesResettableRunners(t *testing.T) {
 	}
 	r1.Step(poolTriples(), nil)
 	p.Release(r1)
+	if p.Idle() != 1 {
+		t.Fatalf("idle after release: %d", p.Idle())
+	}
 	r2, _, err := p.Acquire()
 	if err != nil {
 		t.Fatal(err)
@@ -61,6 +70,10 @@ func TestPoolReusesResettableRunners(t *testing.T) {
 	if _, ok := r2.Version(); ok {
 		t.Fatal("recycled runner was not reset")
 	}
+	built, reused := p.Counts()
+	if built != 1 || reused != 1 {
+		t.Fatalf("counts: built=%d reused=%d", built, reused)
+	}
 	p.Release(r2)
 }
 
@@ -69,6 +82,9 @@ func TestPoolBoundsConcurrency(t *testing.T) {
 	r, _, err := p.Acquire()
 	if err != nil {
 		t.Fatal(err)
+	}
+	if p.Live() != 1 {
+		t.Fatalf("live: %d", p.Live())
 	}
 	acquired := make(chan Runner)
 	go func() {
@@ -92,24 +108,88 @@ func TestPoolBoundsConcurrency(t *testing.T) {
 	}
 }
 
-func TestPoolDetachKeepsRunnerUsable(t *testing.T) {
+// TestPoolGrowUnblocksWaiters checks the engine-level resize path: a caller
+// blocked on a full pool proceeds once another caller grows the capacity.
+func TestPoolGrowUnblocksWaiters(t *testing.T) {
+	p := NewPool(WCC{}, 1, 1)
+	r1, _, err := p.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	acquired := make(chan Runner)
+	go func() {
+		r2, _, err := p.Acquire()
+		if err != nil {
+			t.Error(err)
+		}
+		acquired <- r2
+	}()
+	select {
+	case <-acquired:
+		t.Fatal("Acquire did not block at capacity 1")
+	case <-time.After(20 * time.Millisecond):
+	}
+	p.Grow(2)
+	var r2 Runner
+	select {
+	case r2 = <-acquired:
+	case <-time.After(time.Second):
+		t.Fatal("Acquire did not wake after Grow")
+	}
+	p.Grow(1) // never shrinks
+	if p.Size() != 2 {
+		t.Fatalf("size after Grow(1): %d", p.Size())
+	}
+	p.Release(r1)
+	p.Release(r2)
+}
+
+// TestPoolRecyclesStagedSCCRunner pins that the staged SCC runner is
+// Resettable, so Release keeps it warm instead of dropping it.
+func TestPoolRecyclesStagedSCCRunner(t *testing.T) {
+	p := NewPool(&SCC{Phases: 3}, 1, 1)
+	r1, _, err := p.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1.Step(poolTriples(), nil)
+	p.Release(r1)
+	r2, _, err := p.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Fatal("staged SCC runner was not recycled")
+	}
+	if _, ok := r2.Version(); ok {
+		t.Fatal("recycled SCC runner was not reset")
+	}
+	if len(r2.Results()) != 0 {
+		t.Fatalf("recycled SCC runner kept results: %v", r2.Results())
+	}
+	p.Release(r2)
+}
+
+func TestPoolDropIdle(t *testing.T) {
 	p := NewPool(WCC{}, 1, 1)
 	r, _, err := p.Acquire()
 	if err != nil {
 		t.Fatal(err)
 	}
-	r.Step(poolTriples(), nil)
-	p.Detach()
-	// The slot is free again, and the detached runner's state is untouched.
+	p.Release(r)
+	if p.Idle() != 1 {
+		t.Fatalf("idle: %d", p.Idle())
+	}
+	p.DropIdle()
+	if p.Idle() != 0 {
+		t.Fatalf("idle after drop: %d", p.Idle())
+	}
 	r2, _, err := p.Acquire()
 	if err != nil {
 		t.Fatal(err)
 	}
 	if r2 == r {
-		t.Fatal("detached runner was recycled")
-	}
-	if len(r.Results()) != 5 {
-		t.Fatalf("detached runner lost state: %v", r.Results())
+		t.Fatal("dropped runner was recycled")
 	}
 	p.Release(r2)
 }

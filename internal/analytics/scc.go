@@ -245,6 +245,28 @@ func (r *sccRunner) Step(adds, dels []graph.Triple) time.Duration {
 	return time.Since(start)
 }
 
+// Reset implements Resettable: every stage's dataflow resets in place (the
+// stage inputs rewind through the scopes' reset hooks) and the runner's
+// inter-stage bookkeeping — degree counts, alive sets, confirmed
+// assignments, merged output-diff counts — is dropped for fresh maps. The
+// pool can therefore recycle staged SCC runners exactly like
+// single-dataflow instances, instead of rebuilding one dataflow per phase.
+func (r *sccRunner) Reset() error {
+	for _, st := range r.stages {
+		st.scope.ResetState()
+	}
+	r.nodeDeg = make(map[uint64]int64)
+	for p := range r.alive {
+		r.alive[p] = make(map[uint64]bool)
+	}
+	for p := range r.done {
+		r.done[p] = make(map[uint64]uint64)
+	}
+	r.outputDiffs = nil
+	r.next = 0
+	return nil
+}
+
 func (r *sccRunner) Version() (uint32, bool) {
 	if r.next == 0 {
 		return 0, false

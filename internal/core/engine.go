@@ -7,9 +7,11 @@ package core
 
 import (
 	"fmt"
+	"reflect"
 	"sync"
 
 	"graphsurge/internal/aggregate"
+	"graphsurge/internal/analytics"
 	"graphsurge/internal/graph"
 	"graphsurge/internal/gvdl"
 	"graphsurge/internal/view"
@@ -21,11 +23,17 @@ type Options struct {
 	DataDir string
 	// Workers is the default dataflow parallelism (minimum 1).
 	Workers int
+	// Parallelism is the default RunOptions.Parallelism for RunCollection —
+	// the number of independent collection segments executed concurrently
+	// per run (minimum 1).
+	Parallelism int
 	// Ordering is the default collection-ordering mode for Execute.
 	Ordering view.OrderingMode
 }
 
-// Engine is a Graphsurge instance: graph store, view store, executors.
+// Engine is a Graphsurge instance: graph store, view store, executors, and
+// the warm runner pools that amortize dataflow construction across
+// RunCollection calls (see DESIGN.md on the engine pool lifecycle).
 type Engine struct {
 	opts  Options
 	store *graph.Store
@@ -34,12 +42,85 @@ type Engine struct {
 	views       map[string]*view.Filtered
 	collections map[string]*view.Collection
 	aggViews    map[string]*aggregate.View
+
+	poolMu sync.Mutex
+	pools  map[poolKey]*analytics.Pool
+}
+
+// maxEnginePools bounds the warm-pool map: parameterized computations (a
+// bfs sweep over thousands of sources) would otherwise accumulate one pool
+// of full-state replicas per parameterization, never reused. At the cap an
+// arbitrary pool is evicted to make room — coarse, but bounded; an LRU/TTL
+// policy is a ROADMAP item.
+const maxEnginePools = 64
+
+// poolKey identifies one warm runner pool: the computation's name, its full
+// identity (name plus parameters, so bfs(source=1) and bfs(source=2) never
+// share recycled dataflows) and the intra-dataflow worker count the
+// replicas were built with. The name is a separate field so EvictPools
+// never has to parse it back out of the composite identity.
+type poolKey struct {
+	name    string
+	ident   string
+	workers int
+}
+
+// compIdentity renders a computation's identity for pool keying. Built-in
+// computations are plain parameter structs, so their Go-syntax
+// representation (%#v — which, unlike %+v, quotes string fields, keeping
+// adjacent fields unambiguous) is a faithful, deterministic identity.
+func compIdentity(comp analytics.Computation) string {
+	return fmt.Sprintf("%s|%#v", comp.Name(), comp)
+}
+
+// identifiableComp reports whether a computation's printed value faithfully
+// identifies it. Funcs and channels print as addresses that don't
+// distinguish captured state (two closures from one literal print
+// identically), interface fields hide arbitrary dynamic types, and nested
+// pointers print as raw addresses rather than pointee values — so
+// computations carrying any of those are never pooled across runs: sharing
+// a recycled dataflow between semantically different computations would
+// silently return wrong results, and address-based keys would also leak one
+// pool per allocation. Only the top-level pointer receiver is exempt,
+// because fmt dereferences it (&{...}).
+func identifiableComp(comp analytics.Computation) bool {
+	t := reflect.TypeOf(comp)
+	if t != nil && t.Kind() == reflect.Pointer {
+		t = t.Elem()
+	}
+	return identifiableType(t, make(map[reflect.Type]bool))
+}
+
+func identifiableType(t reflect.Type, seen map[reflect.Type]bool) bool {
+	if t == nil || seen[t] {
+		return true
+	}
+	seen[t] = true
+	switch t.Kind() {
+	case reflect.Func, reflect.Chan, reflect.UnsafePointer, reflect.Uintptr,
+		reflect.Interface, reflect.Pointer:
+		return false
+	case reflect.Slice, reflect.Array:
+		return identifiableType(t.Elem(), seen)
+	case reflect.Map:
+		return identifiableType(t.Key(), seen) && identifiableType(t.Elem(), seen)
+	case reflect.Struct:
+		for i := 0; i < t.NumField(); i++ {
+			if !identifiableType(t.Field(i).Type, seen) {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // NewEngine creates an engine.
 func NewEngine(opts Options) (*Engine, error) {
 	if opts.Workers < 1 {
 		opts.Workers = 1
+	}
+	if opts.Parallelism < 1 {
+		opts.Parallelism = 1
 	}
 	st, err := graph.NewStore(opts.DataDir)
 	if err != nil {
@@ -51,7 +132,77 @@ func NewEngine(opts Options) (*Engine, error) {
 		views:       make(map[string]*view.Filtered),
 		collections: make(map[string]*view.Collection),
 		aggViews:    make(map[string]*aggregate.View),
+		pools:       make(map[poolKey]*analytics.Pool),
 	}, nil
+}
+
+// runnerPool returns the engine's warm runner pool for (computation,
+// workers), creating it on first use and growing its replica capacity to at
+// least parallelism. Pools are shared by concurrent RunCollection calls:
+// the pool is the global admission control (at most capacity replicas live
+// across all runs), each run additionally self-limits to its own
+// Parallelism, and released replicas are recycled across calls via in-place
+// reset.
+func (e *Engine) runnerPool(comp analytics.Computation, workers, parallelism int) *analytics.Pool {
+	if !identifiableComp(comp) {
+		// No faithful identity to key on: give the run a private pool so a
+		// replica can never be recycled into a different computation.
+		return analytics.NewPool(comp, workers, parallelism)
+	}
+	key := poolKey{name: comp.Name(), ident: compIdentity(comp), workers: workers}
+	e.poolMu.Lock()
+	defer e.poolMu.Unlock()
+	p := e.pools[key]
+	if p != nil && compIdentity(p.Computation()) != key.ident {
+		// The cached computation object was mutated after submission (a
+		// pointer computation whose fields changed), so the pool would build
+		// replicas that contradict its key. Drop the stale pool and rebuild.
+		p.DropIdle()
+		p = nil
+	}
+	if p == nil {
+		if len(e.pools) >= maxEnginePools {
+			for k, old := range e.pools {
+				old.DropIdle()
+				delete(e.pools, k)
+				break
+			}
+		}
+		p = analytics.NewPool(comp, workers, parallelism)
+		e.pools[key] = p
+	} else {
+		p.Grow(parallelism)
+	}
+	return p
+}
+
+// EvictPools drops every warm runner pool whose computation has the given
+// name (all parameterizations and worker counts), releasing their replica
+// memory. In-flight runs keep their already-acquired replicas; their
+// releases land in the evicted pools, which are collected once those runs
+// finish.
+func (e *Engine) EvictPools(computation string) {
+	e.poolMu.Lock()
+	defer e.poolMu.Unlock()
+	for key, p := range e.pools {
+		if key.name == computation {
+			p.DropIdle()
+			delete(e.pools, key)
+		}
+	}
+}
+
+// Close releases engine-held resources: every warm runner pool is dropped.
+// The engine remains usable — a later RunCollection simply rebuilds its
+// pools — so Close is also the "evict everything" path for memory pressure.
+func (e *Engine) Close() error {
+	e.poolMu.Lock()
+	defer e.poolMu.Unlock()
+	for key, p := range e.pools {
+		p.DropIdle()
+		delete(e.pools, key)
+	}
+	return nil
 }
 
 // LoadGraphCSV imports a graph from CSV files and registers it.

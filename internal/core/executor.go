@@ -52,9 +52,6 @@ type RunOptions struct {
 	WeightProp string
 	// BatchSize overrides the adaptive optimizer's ℓ (default 10).
 	BatchSize int
-	// KeepOutputs retains full per-version output history (memory grows
-	// with the collection; default folds history as versions complete).
-	KeepOutputs bool
 }
 
 // ViewStats records one view's execution.
@@ -68,12 +65,28 @@ type ViewStats struct {
 	OutputDiffs int // output difference-set size
 }
 
+// SegmentStats records one segment's execution: the half-open view range it
+// covered, the time spent acquiring its replica (building or resetting the
+// dataflow, plus the seed membership scan), and the wall-clock time the
+// replica spent stepping the segment's views.
+type SegmentStats struct {
+	Start, End int
+	Setup      time.Duration
+	Drain      time.Duration
+}
+
+// Len returns the number of views the segment executed.
+func (s SegmentStats) Len() int { return s.End - s.Start }
+
 // RunResult summarizes a collection run.
 type RunResult struct {
 	Computation string
 	Collection  string
 	Mode        ExecMode
 	Stats       []ViewStats
+	// Segments records per-segment replica setup and drain timings, in
+	// collection order (one entry per from-scratch run).
+	Segments []SegmentStats
 	// Total is the summed per-view compute time. With Parallelism > 1
 	// segments overlap, so Total exceeds elapsed time; Wall is the run's
 	// actual wall-clock duration (Total ≈ Wall when sequential).
@@ -81,17 +94,25 @@ type RunResult struct {
 	Wall   time.Duration
 	Splits int // number of from-scratch runs after view 0
 
-	runner analytics.Runner
+	final   map[analytics.VertexValue]int64
+	work    []int64
+	iterCap bool
 }
 
-// FinalResults returns the per-vertex results of the last view.
-func (r *RunResult) FinalResults() map[analytics.VertexValue]int64 { return r.runner.Results() }
+// FinalResults returns the per-vertex results of the last view. The results
+// are snapshotted when the run completes — the replicas that produced them
+// have already been returned to the pool.
+func (r *RunResult) FinalResults() map[analytics.VertexValue]int64 { return r.final }
 
-// MaxWork returns the maximum per-worker work counter of the final runner, a
-// critical-path proxy for distributed scaling (see DESIGN.md on Figure 10).
+// MaxWork returns the maximum per-worker work counter aggregated across
+// every segment replica of the run, a critical-path proxy for distributed
+// scaling (see DESIGN.md on Figure 10). Each replica's counters are
+// snapshotted as its segment completes and summed per worker, so the proxy
+// covers the whole run at any Parallelism — a Parallelism=4 scratch run
+// reports the same aggregate as the sequential run.
 func (r *RunResult) MaxWork() int64 {
 	var m int64
-	for _, c := range r.runner.WorkCounts() {
+	for _, c := range r.work {
 		if c > m {
 			m = c
 		}
@@ -99,11 +120,15 @@ func (r *RunResult) MaxWork() int64 {
 	return m
 }
 
-// IterCapHit reports whether any fixpoint of the final runner hit the safety
-// cap during the run.
-func (r *RunResult) IterCapHit() bool { return r.runner.IterCapHit() }
+// IterCapHit reports whether any fixpoint on any segment replica hit the
+// safety cap during the run.
+func (r *RunResult) IterCapHit() bool { return r.iterCap }
 
 // RunCollection executes a computation over a named materialized collection.
+// Workers and Parallelism default to the engine's Options when unset, and
+// the run draws its dataflow replicas from the engine's warm runner pool for
+// (computation, workers), so repeated and concurrent calls amortize dataflow
+// construction (see DESIGN.md on the engine pool lifecycle).
 func (e *Engine) RunCollection(collection string, comp analytics.Computation, opts RunOptions) (*RunResult, error) {
 	col, ok := e.Collection(collection)
 	if !ok {
@@ -112,7 +137,20 @@ func (e *Engine) RunCollection(collection string, comp analytics.Computation, op
 	if opts.Workers == 0 {
 		opts.Workers = e.opts.Workers
 	}
-	return RunCollection(col, comp, opts)
+	if opts.Parallelism == 0 {
+		opts.Parallelism = e.opts.Parallelism
+	}
+	normalizeRunOptions(&opts)
+	return runCollection(col, comp, opts, e.runnerPool(comp, opts.Workers, opts.Parallelism))
+}
+
+func normalizeRunOptions(opts *RunOptions) {
+	if opts.Workers < 1 {
+		opts.Workers = 1
+	}
+	if opts.Parallelism < 1 {
+		opts.Parallelism = 1
+	}
 }
 
 // RunCollection executes a computation over all views of a materialized
@@ -123,16 +161,22 @@ func (e *Engine) RunCollection(collection string, comp analytics.Computation, op
 // from-scratch view plus its differential successors — and independent
 // segments are dispatched onto a pool of up to opts.Parallelism dataflow
 // replicas. Within a segment, views run strictly in collection order;
-// ViewStats land in collection order regardless of which replica ran them,
-// and FinalResults/MaxWork/IterCapHit are served by the runner that executed
-// the last view.
+// ViewStats land in collection order regardless of which replica ran them.
+// FinalResults are snapshotted from the runner that executed the last view,
+// and MaxWork/IterCapHit aggregate every segment replica's counters, so the
+// result is self-contained and all replicas return to the pool.
 func RunCollection(col *view.Collection, comp analytics.Computation, opts RunOptions) (*RunResult, error) {
-	if opts.Workers < 1 {
-		opts.Workers = 1
-	}
-	if opts.Parallelism < 1 {
-		opts.Parallelism = 1
-	}
+	normalizeRunOptions(&opts)
+	return runCollection(col, comp, opts, analytics.NewPool(comp, opts.Workers, opts.Parallelism))
+}
+
+// runCollection is the shared executor body. The replica pool may be private
+// to this run (package-level RunCollection) or engine-owned and shared with
+// concurrent runs; either way a per-run admission limiter caps this run's
+// concurrently live replicas at opts.Parallelism, and every replica —
+// including the one that ran the final view — returns to the pool when the
+// run completes, after its results have been snapshotted into the RunResult.
+func runCollection(col *view.Collection, comp analytics.Computation, opts RunOptions, shared *analytics.Pool) (*RunResult, error) {
 	g := col.Graph
 	wc, err := g.WeightColumn(opts.WeightProp)
 	if err != nil {
@@ -144,7 +188,6 @@ func RunCollection(col *view.Collection, comp analytics.Computation, opts RunOpt
 	cr := &collectionRun{
 		stream: stream,
 		sizes:  stream.ViewSizes(),
-		keep:   opts.KeepOutputs,
 		stats:  make([]ViewStats, k),
 		triples: func(idxs []uint32) []graph.Triple {
 			out := make([]graph.Triple, len(idxs))
@@ -154,7 +197,7 @@ func RunCollection(col *view.Collection, comp analytics.Computation, opts RunOpt
 			return out
 		},
 	}
-	pool := analytics.NewPool(comp, opts.Workers, opts.Parallelism)
+	pool := newRunPool(shared, opts.Parallelism)
 	seeds := newSeedScan(stream, g.NumEdges(), cr.sizes)
 	wallStart := time.Now()
 
@@ -175,9 +218,19 @@ func RunCollection(col *view.Collection, comp analytics.Computation, opts RunOpt
 		Collection:  col.Name,
 		Mode:        opts.Mode,
 		Stats:       cr.stats,
+		Segments:    cr.segmentStats(),
 		Wall:        time.Since(wallStart),
 		Splits:      plan.Splits(),
-		runner:      final,
+		final:       map[analytics.VertexValue]int64{},
+		work:        cr.work,
+		iterCap:     cr.iterCap,
+	}
+	if final != nil {
+		// Snapshot the last view's results, then return the final replica to
+		// the pool: warm replicas survive the run, which is what lets an
+		// engine-owned pool amortize dataflow construction across calls.
+		res.final = final.Results()
+		pool.Release(final)
 	}
 	for _, st := range cr.stats {
 		res.Total += st.Duration

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sort"
 	"sync"
 	"time"
 
@@ -9,6 +10,36 @@ import (
 	"graphsurge/internal/splitting"
 	"graphsurge/internal/view"
 )
+
+// runPool adapts a (possibly shared, engine-owned) replica pool to one run's
+// admission limit: the pool's capacity may exceed this run's Parallelism
+// when another concurrent run asked for more, so a local semaphore keeps
+// this run's concurrently live replicas at exactly opts.Parallelism — a
+// Parallelism=1 run stays strictly sequential no matter how large the
+// shared pool has grown.
+type runPool struct {
+	pool *analytics.Pool
+	sem  chan struct{}
+}
+
+func newRunPool(p *analytics.Pool, parallelism int) *runPool {
+	return &runPool{pool: p, sem: make(chan struct{}, parallelism)}
+}
+
+func (rp *runPool) Acquire() (analytics.Runner, time.Duration, error) {
+	rp.sem <- struct{}{}
+	r, setup, err := rp.pool.Acquire()
+	if err != nil {
+		<-rp.sem
+		return nil, 0, err
+	}
+	return r, setup, nil
+}
+
+func (rp *runPool) Release(r analytics.Runner) {
+	rp.pool.Release(r)
+	<-rp.sem
+}
 
 // viewJob is one view handed to a segment executor: the view's index, its
 // mode label for stats, and — on a segment's first view only — the full edge
@@ -23,13 +54,21 @@ type viewJob struct {
 // inputs plus the per-view stats slots the segment executors fill in.
 // Segments cover disjoint view ranges, so their stats writes never alias; the
 // joins (channel closes, WaitGroup waits) publish them to the caller, keeping
-// stats collection race-free without locks.
+// stats collection race-free without locks. The cross-segment aggregates —
+// per-worker work counters, the iteration-cap flag, per-segment timings —
+// are folded in under accMu as each segment finishes, because replicas are
+// recycled (and reset) after their segment, so the run result must not read
+// them lazily.
 type collectionRun struct {
 	stream  *view.DiffStream
 	sizes   []int
 	triples func(idxs []uint32) []graph.Triple
-	keep    bool
 	stats   []ViewStats
+
+	accMu    sync.Mutex
+	work     []int64 // per-worker counters summed over segment replicas
+	iterCap  bool
+	segStats []SegmentStats
 
 	// observe, when set (adaptive mode), receives each view's measured
 	// runtime for the optimizer's online models. It must be safe to call
@@ -49,10 +88,15 @@ type segmentExec struct {
 	setup time.Duration
 	jobs  chan viewJob
 	done  chan struct{}
+
+	start     int           // first view index, for SegmentStats
+	setupStat time.Duration // setup cost, surviving the fold into the seed view
+	drain     time.Duration // summed wall time of the segment's Steps
 }
 
 // runJob executes one view on the segment's runner and records its stats.
 func (cr *collectionRun) runJob(s *segmentExec, j viewJob) {
+	jobStart := time.Now()
 	var dur time.Duration
 	switch {
 	case j.seed != nil && j.t > 0:
@@ -81,17 +125,52 @@ func (cr *collectionRun) runJob(s *segmentExec, j viewJob) {
 	if cr.observe != nil {
 		cr.observe(j, dur)
 	}
-	if !cr.keep {
-		s.r.DropOutputsBefore(v)
-	}
+	// Fold output history as versions complete: the run result snapshots
+	// what it needs, and the replica returns to a pool where retained
+	// history would just sit until the next reset.
+	s.r.DropOutputsBefore(v)
+	s.drain += time.Since(jobStart)
 }
 
-// work consumes the segment's queued views in order and signals completion.
-func (cr *collectionRun) work(s *segmentExec) {
+// consume drains the segment's queued views in order and signals completion.
+func (cr *collectionRun) consume(s *segmentExec) {
 	for j := range s.jobs {
 		cr.runJob(s, j)
 	}
 	close(s.done)
+}
+
+// finishSegment folds a completed segment into the run's aggregates: its
+// replica's work counters and iteration-cap flag (snapshotted now, because
+// the replica is about to be released and reset for reuse) and its
+// SegmentStats entry. Must be called exactly once per segment, after its
+// last view and before its replica is released.
+func (cr *collectionRun) finishSegment(s *segmentExec, end int) {
+	wc := s.r.WorkCounts()
+	hit := s.r.IterCapHit()
+	cr.accMu.Lock()
+	if cr.work == nil {
+		cr.work = make([]int64, len(wc))
+	}
+	for i, c := range wc {
+		cr.work[i] += c
+	}
+	cr.iterCap = cr.iterCap || hit
+	cr.segStats = append(cr.segStats, SegmentStats{
+		Start: s.start,
+		End:   end,
+		Setup: s.setupStat,
+		Drain: s.drain,
+	})
+	cr.accMu.Unlock()
+}
+
+// segmentStats returns the per-segment timings in collection order. Segments
+// finish out of order under parallel dispatch; all executor goroutines have
+// joined by the time this is called.
+func (cr *collectionRun) segmentStats() []SegmentStats {
+	sort.Slice(cr.segStats, func(i, j int) bool { return cr.segStats[i].Start < cr.segStats[j].Start })
+	return cr.segStats
 }
 
 // acquireSegment takes a replica from the pool and builds the seed for a
@@ -99,7 +178,7 @@ func (cr *collectionRun) work(s *segmentExec) {
 // cost the seed view will report. The membership fold happens untimed first,
 // matching the sequential executor, which updated membership per view
 // outside the split timer and timed only the final scan.
-func acquireSegment(pool *analytics.Pool, ss *seedScan, t int) (*segmentExec, []uint32, error) {
+func acquireSegment(pool *runPool, ss *seedScan, t int) (*segmentExec, []uint32, error) {
 	r, setup, err := pool.Acquire()
 	if err != nil {
 		return nil, nil, err
@@ -107,20 +186,20 @@ func acquireSegment(pool *analytics.Pool, ss *seedScan, t int) (*segmentExec, []
 	ss.advance(t)
 	start := time.Now()
 	seed := ss.at(t)
-	return &segmentExec{r: r, setup: setup + time.Since(start)}, seed, nil
+	setup += time.Since(start)
+	return &segmentExec{r: r, setup: setup, start: t, setupStat: setup}, seed, nil
 }
 
 // runStatic dispatches a fully precomputed plan's segments onto the pool, in
-// collection order. Segments share no dataflow state, so up to the pool's
-// replica count execute concurrently (Acquire provides the backpressure);
-// the final segment's runner is detached and returned because the run result
-// keeps answering FinalResults/MaxWork/IterCapHit from it.
-func (cr *collectionRun) runStatic(plan splitting.Plan, ss *seedScan, pool *analytics.Pool) (analytics.Runner, error) {
+// collection order. Segments share no dataflow state, so up to the run's
+// admission limit execute concurrently (Acquire provides the backpressure).
+// Every segment's replica returns to the pool as it finishes except the
+// final segment's, which is returned by the caller after snapshotting the
+// run's results from it. An empty collection acquires nothing and returns a
+// nil runner.
+func (cr *collectionRun) runStatic(plan splitting.Plan, ss *seedScan, pool *runPool) (analytics.Runner, error) {
 	if len(plan.Segments) == 0 {
-		// Empty collection: keep a live (never-stepped) runner so result
-		// accessors behave as they always have.
-		r, _, err := pool.Acquire()
-		return r, err
+		return nil, nil
 	}
 	last := len(plan.Segments) - 1
 	var wg sync.WaitGroup
@@ -142,9 +221,8 @@ func (cr *collectionRun) runStatic(plan splitting.Plan, ss *seedScan, pool *anal
 			for t := seg.Start + 1; t < seg.End; t++ {
 				cr.runJob(s, viewJob{t: t, mode: plan.Modes[t]})
 			}
-			if si == last {
-				pool.Detach()
-			} else {
+			cr.finishSegment(s, seg.End)
+			if si != last {
 				pool.Release(s.r)
 			}
 		}(si, seg, s, seed)
@@ -167,7 +245,7 @@ func (cr *collectionRun) runStatic(plan splitting.Plan, ss *seedScan, pool *anal
 // whatever observations have arrived (the models are merely less warm, never
 // wrong), so split points — but not results — may vary with timing, just as
 // they already vary with machine load sequentially.
-func (cr *collectionRun) runAdaptive(opts RunOptions, pool *analytics.Pool, ss *seedScan) (analytics.Runner, splitting.Plan, error) {
+func (cr *collectionRun) runAdaptive(opts RunOptions, pool *runPool, ss *seedScan) (analytics.Runner, splitting.Plan, error) {
 	k := cr.stream.NumViews()
 	opt := &splitting.Optimizer{BatchSize: opts.BatchSize}
 	planner := splitting.NewPlanner(opt)
@@ -185,9 +263,15 @@ func (cr *collectionRun) runAdaptive(opts RunOptions, pool *analytics.Pool, ss *
 		}
 	}
 
-	inline := pool.Size() == 1
+	// Inline is this run's parallelism, not the pool's capacity: a shared
+	// engine pool may be larger than this run is allowed to use.
+	inline := opts.Parallelism == 1
 	var segs []*segmentExec // asynchronously executing segments, in order
 	var cur *segmentExec
+	// handoffs tracks the goroutines finishing closed segments; they must be
+	// joined before returning, or their finishSegment aggregation would race
+	// with the caller reading the run's work counters and segment stats.
+	var handoffs sync.WaitGroup
 	// fail drains the already-dispatched segments before returning; it is
 	// only reached from the acquire path, where every segment so far —
 	// including the one just closed by the split — has a closed queue.
@@ -195,6 +279,7 @@ func (cr *collectionRun) runAdaptive(opts RunOptions, pool *analytics.Pool, ss *
 		for _, s := range segs {
 			<-s.done
 		}
+		handoffs.Wait()
 		return nil, planner.Plan(), err
 	}
 	for t := 0; t < k; t++ {
@@ -205,13 +290,20 @@ func (cr *collectionRun) runAdaptive(opts RunOptions, pool *analytics.Pool, ss *
 		if split {
 			if cur != nil {
 				if inline {
+					cr.finishSegment(cur, t)
 					pool.Release(cur.r)
 				} else {
 					// Hand the closed segment off: it keeps draining while
 					// the new segment seeds; its replica returns to the pool
 					// once drained.
 					close(cur.jobs)
-					go func(s *segmentExec) { <-s.done; pool.Release(s.r) }(cur)
+					handoffs.Add(1)
+					go func(s *segmentExec, end int) {
+						defer handoffs.Done()
+						<-s.done
+						cr.finishSegment(s, end)
+						pool.Release(s.r)
+					}(cur, t)
 				}
 			}
 			var err error
@@ -223,7 +315,7 @@ func (cr *collectionRun) runAdaptive(opts RunOptions, pool *analytics.Pool, ss *
 				cur.jobs = make(chan viewJob, k-t)
 				cur.done = make(chan struct{})
 				segs = append(segs, cur)
-				go cr.work(cur)
+				go cr.consume(cur)
 			}
 		}
 		j := viewJob{t: t, mode: mode, seed: seed}
@@ -234,16 +326,16 @@ func (cr *collectionRun) runAdaptive(opts RunOptions, pool *analytics.Pool, ss *
 		}
 	}
 	if cur == nil {
-		// Empty collection; see runStatic.
-		r, _, err := pool.Acquire()
-		return r, planner.Plan(), err
+		// Empty collection: nothing ran, nothing to acquire.
+		return nil, planner.Plan(), nil
 	}
 	if !inline {
 		close(cur.jobs)
 		for _, s := range segs {
 			<-s.done
 		}
+		handoffs.Wait()
 	}
-	pool.Detach()
+	cr.finishSegment(cur, k)
 	return cur.r, planner.Plan(), nil
 }

@@ -55,6 +55,15 @@ func (c *Capture[R]) run(w int, t timestamp.Time) {
 	}
 }
 
+// reset discards the accumulated output history on every worker by swapping
+// in fresh version maps.
+func (c *Capture[R]) reset() {
+	c.p.reset()
+	for w := range c.st {
+		c.st[w] = make(map[uint32]map[R]Diff)
+	}
+}
+
 func (c *Capture[R]) hasPending(w int, t timestamp.Time) bool { return c.p.has(w, t) }
 
 func (c *Capture[R]) minPending(w int) (timestamp.Time, bool) { return c.p.min(w) }

@@ -20,7 +20,11 @@ type Input[R comparable] struct {
 // NewInput creates an input and the collection carrying its updates.
 func NewInput[R comparable](s *Scope) (*Input[R], *Collection[R]) {
 	col := newCollection[R](s)
-	return &Input[R]{s: s, col: col}, col
+	in := &Input[R]{s: s, col: col}
+	// Inputs are not scheduler nodes, so Scope.ResetState rewinds their
+	// version cursor through a hook.
+	s.addResetHook(func() { in.last, in.fed = 0, false })
+	return in, col
 }
 
 // Collection returns the stream fed by this input.

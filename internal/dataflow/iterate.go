@@ -41,6 +41,10 @@ func (n *delayNode[R]) run(w int, t timestamp.Time) {
 	n.target.emit(w, batch)
 }
 
+// reset drops any buffered feedback deltas; the loop's wiring (and its
+// iteration cut) is structural and survives.
+func (n *delayNode[R]) reset() { n.p.reset() }
+
 func (n *delayNode[R]) hasPending(w int, t timestamp.Time) bool { return n.p.has(w, t) }
 
 func (n *delayNode[R]) minPending(w int) (timestamp.Time, bool) { return n.p.min(w) }

@@ -144,6 +144,17 @@ func (n *joinNode[K, A, B, O]) run(w int, t timestamp.Time) {
 	n.out.emit(w, Consolidate(ob))
 }
 
+// reset drops both sides' traces by swapping in fresh per-worker maps —
+// O(1) per worker regardless of accumulated trace size.
+func (n *joinNode[K, A, B, O]) reset() {
+	n.pl.reset()
+	n.pr.reset()
+	for w := range n.left {
+		n.left[w] = make(map[K]*trace[A])
+		n.right[w] = make(map[K]*trace[B])
+	}
+}
+
 func (n *joinNode[K, A, B, O]) hasPending(w int, t timestamp.Time) bool {
 	return n.pl.has(w, t) || n.pr.has(w, t)
 }

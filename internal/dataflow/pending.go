@@ -58,6 +58,18 @@ func (p *pendings[R]) has(w int, t timestamp.Time) bool {
 	return ok
 }
 
+// reset drops all buffered deltas on every shard. Shards are replaced with
+// fresh empty maps rather than cleared in place: clear() walks every bucket
+// a map ever grew, so on a shard that once held a large view it costs more
+// than the graph construction a reset is meant to avoid.
+func (p *pendings[R]) reset() {
+	for w := range p.q {
+		p.mu[w].Lock()
+		p.q[w] = make(map[timestamp.Time][]Delta[R])
+		p.mu[w].Unlock()
+	}
+}
+
 // min returns the lexicographically smallest pending time on worker w.
 func (p *pendings[R]) min(w int) (timestamp.Time, bool) {
 	p.mu[w].Lock()

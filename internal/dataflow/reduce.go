@@ -350,6 +350,18 @@ func (sh *reduceShard[K, V, O]) mark(t timestamp.Time, k K) {
 	m[k] = struct{}{}
 }
 
+// reset drops every shard's key traces and dirty sets by swapping in fresh
+// maps — O(1) per shard regardless of how much state the previous run
+// accumulated (clearing in place would walk every bucket), with the old
+// state left to the GC.
+func (n *reduceNode[K, V, O]) reset() {
+	n.p.reset()
+	for _, sh := range n.st {
+		sh.keys = make(map[K]*keyState[V, O])
+		sh.dirty = make(map[timestamp.Time]map[K]struct{})
+	}
+}
+
 func (n *reduceNode[K, V, O]) hasPending(w int, t timestamp.Time) bool {
 	if n.p.has(w, t) {
 		return true

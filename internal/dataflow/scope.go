@@ -24,6 +24,12 @@ type node interface {
 	hasPending(w int, t timestamp.Time) bool
 	// minPending returns worker w's lexicographically smallest pending time.
 	minPending(w int) (timestamp.Time, bool)
+	// reset drops all operator state — traces, pending deltas, dirty sets —
+	// without touching the dataflow wiring, returning the node to its
+	// just-built condition. Implementations swap state maps for fresh ones
+	// (O(1) per shard) rather than clearing in place. Only called while the
+	// scope is quiescent.
+	reset()
 	// name identifies the operator for diagnostics.
 	name() string
 }
@@ -48,6 +54,10 @@ type Scope struct {
 	// frontier is 1 + the last fully drained version; operator traces clamp
 	// historical times below it lazily, when a key is touched.
 	frontier atomic.Uint32
+
+	// onReset holds reset hooks of graph elements that are not scheduler
+	// nodes (inputs); ResetState invokes them after resetting every node.
+	onReset []func()
 
 	work []paddedCounter // per-worker records processed, for scaling proxies
 }
@@ -74,6 +84,34 @@ func NewScope(workers int) *Scope {
 func (s *Scope) Workers() int { return s.workers }
 
 func (s *Scope) addNode(n node) { s.nodes = append(s.nodes, n) }
+
+// addResetHook registers a reset function for a non-node graph element (an
+// input handle). Must be called during graph construction.
+func (s *Scope) addResetHook(f func()) { s.onReset = append(s.onReset, f) }
+
+// ResetState returns the scope to its just-built condition in place: every
+// stateful operator drops its traces and pending work, inputs forget their
+// version cursor, the compaction frontier rewinds, the iteration-cap flag
+// and work counters zero. The dataflow graph itself — nodes, subscriptions,
+// fused closures, worker shards — is untouched, so a reset scope re-executes
+// from scratch without paying graph construction again; the cost is a few
+// map allocations per operator, independent of how much state the previous
+// run accumulated.
+//
+// Must be called from the driver goroutine while the scope is quiescent
+// (after Drain); resetting with work in flight would discard deltas
+// mid-computation.
+func (s *Scope) ResetState() {
+	for _, n := range s.nodes {
+		n.reset()
+	}
+	for _, f := range s.onReset {
+		f()
+	}
+	s.frontier.Store(0)
+	s.IterCapHit.Store(false)
+	s.ResetWork()
+}
 
 func (s *Scope) addWork(w int, n int) { s.work[w].n += int64(n) }
 
