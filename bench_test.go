@@ -13,6 +13,7 @@ package graphsurge
 import (
 	"fmt"
 	"io"
+	"sort"
 	"testing"
 	"time"
 
@@ -22,6 +23,7 @@ import (
 	"graphsurge/internal/experiments"
 	"graphsurge/internal/graph"
 	"graphsurge/internal/gvdl"
+	"graphsurge/internal/schedule"
 	"graphsurge/internal/view"
 )
 
@@ -235,12 +237,24 @@ func BenchmarkSegmentParallel(b *testing.B) {
 }
 
 // projectedSpeedup list-schedules the measured per-segment durations onto p
-// replica slots — the same greedy work-conserving order the pool uses — and
-// returns sequential-total over parallel-makespan.
+// replica slots in collection order — the same greedy work-conserving order
+// the pool uses under FIFO — and returns sequential-total over
+// parallel-makespan.
 func projectedSpeedup(stats []core.ViewStats, p int) float64 {
+	order := make([]int, len(stats))
+	for i := range order {
+		order[i] = i
+	}
+	return projectedSpeedupOrdered(stats, p, order)
+}
+
+// projectedSpeedupOrdered is projectedSpeedup with an explicit dispatch
+// permutation, so scheduled (LPT) dispatch can be projected too.
+func projectedSpeedupOrdered(stats []core.ViewStats, p int, order []int) float64 {
 	slots := make([]time.Duration, p)
 	var total time.Duration
-	for _, st := range stats {
+	for _, si := range order {
+		st := stats[si]
 		min := 0
 		for s := 1; s < p; s++ {
 			if slots[s] < slots[min] {
@@ -260,6 +274,132 @@ func projectedSpeedup(stats []core.ViewStats, p int) float64 {
 		return 0
 	}
 	return float64(total) / float64(makespan)
+}
+
+// BenchmarkLPTSkew measures the cost-model scheduler on the shape it
+// exists for: a scratch-mode collection with one view ~10x the rest
+// (straggler last in collection order) on 4 replicas. Under FIFO the
+// straggler is dispatched last and serializes the tail; LPT dispatches it
+// first. On multicore hardware the wall-time (ns/op) gap between the
+// sub-benchmarks is the real improvement; single-core hosts cannot improve
+// wall clock, so each run also reports proj-speedup — the measured per-view
+// runtimes list-scheduled onto the replica count in the dispatch order the
+// policy produced (the makespan improvement once cores are available) —
+// plus the engine pool's built/reused counters for BENCH.json.
+func BenchmarkLPTSkew(b *testing.B) {
+	const k, par = 10, 4
+	small := 1_500
+	g := datagen.Temporal(datagen.TemporalConfig{Nodes: 3_000, Edges: (k - 1 + 10) * small, Days: 64, Seed: 13})
+	g.Name = "lptskew"
+	names := make([]string, k)
+	adds := make([][]uint32, k)
+	dels := make([][]uint32, k)
+	next := 0
+	for v := 0; v < k; v++ {
+		n := small
+		if v == k-1 {
+			n = 10 * small // the straggler
+		}
+		names[v] = fmt.Sprintf("v%d", v)
+		for e := next; e < next+n; e++ {
+			adds[v] = append(adds[v], uint32(e))
+		}
+		if v > 0 {
+			dels[v] = append(dels[v], adds[v-1]...)
+		}
+		next += n
+	}
+	col := view.NewCollection("lptskew-col", g, &view.DiffStream{Names: names, Adds: adds, Dels: dels})
+
+	for _, policy := range []schedule.Policy{schedule.FIFO, schedule.LPT} {
+		b.Run("policy="+policy.String(), func(b *testing.B) {
+			e, err := core.NewEngine(core.Options{Parallelism: par})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := e.AddGraph(g); err != nil {
+				b.Fatal(err)
+			}
+			if err := e.AddCollection(col); err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				res, err := e.RunCollection(col.Name, analytics.WCC{}, core.RunOptions{
+					Mode:     core.Scratch,
+					Schedule: policy,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				// Project the policy's dispatch order onto the replica
+				// count: FIFO is collection order; LPT sorts by measured
+				// duration (what a warm cost model converges to).
+				order := make([]int, len(res.Stats))
+				for j := range order {
+					order[j] = j
+				}
+				if policy == schedule.LPT {
+					sort.Slice(order, func(a, c int) bool {
+						return res.Stats[order[a]].Duration > res.Stats[order[c]].Duration
+					})
+				}
+				b.ReportMetric(projectedSpeedupOrdered(res.Stats, par, order), "proj-speedup")
+			}
+			for _, ps := range e.PoolStats() {
+				b.ReportMetric(float64(ps.Built), "pool-built")
+				b.ReportMetric(float64(ps.Reused), "pool-reused")
+			}
+		})
+	}
+}
+
+// BenchmarkSpeculativeAdaptive measures speculative segment start on a
+// split-every-batch collection (disjoint views) at Parallelism=4: with
+// -speculate the predicted next segment seeds on an idle replica while the
+// paced planner walks the current batch, converting idle time into overlap.
+// Reported: wall ns/op plus spec-hits / spec-misses / splits for
+// BENCH.json. FinalResults/MaxWork determinism across the flag is pinned by
+// TestSegmentParallelDeterminism.
+func BenchmarkSpeculativeAdaptive(b *testing.B) {
+	const k, perView = 16, 2_000
+	g := datagen.Temporal(datagen.TemporalConfig{Nodes: 2_500, Edges: k * perView, Days: 64, Seed: 23})
+	g.Name = "specadapt"
+	names := make([]string, k)
+	adds := make([][]uint32, k)
+	dels := make([][]uint32, k)
+	for v := 0; v < k; v++ {
+		names[v] = fmt.Sprintf("s%d", v)
+		for e := v * perView; e < (v+1)*perView; e++ {
+			adds[v] = append(adds[v], uint32(e))
+			if v > 0 {
+				dels[v] = append(dels[v], uint32(e-perView))
+			}
+		}
+	}
+	col := view.NewCollection("spec-col", g, &view.DiffStream{Names: names, Adds: adds, Dels: dels})
+
+	for _, speculate := range []bool{false, true} {
+		b.Run(fmt.Sprintf("speculate=%v", speculate), func(b *testing.B) {
+			var hits, misses, splits int
+			for i := 0; i < b.N; i++ {
+				res, err := core.RunCollection(col, analytics.WCC{}, core.RunOptions{
+					Mode:        core.Adaptive,
+					Parallelism: 4,
+					BatchSize:   2,
+					Speculate:   speculate,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				hits += res.SpecHits
+				misses += res.SpecMisses
+				splits += res.Splits
+			}
+			b.ReportMetric(float64(hits)/float64(b.N), "spec-hits")
+			b.ReportMetric(float64(misses)/float64(b.N), "spec-misses")
+			b.ReportMetric(float64(splits)/float64(b.N), "splits")
+		})
+	}
 }
 
 // BenchmarkPoolReuse measures what engine-level runner pooling saves: the

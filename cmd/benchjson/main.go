@@ -1,0 +1,87 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// machine-readable JSON document on stdout, so CI can archive benchmark
+// results (BENCH.json) as an artifact and build a performance trajectory
+// across commits instead of scraping logs.
+//
+// Usage:
+//
+//	go test -bench=. -benchtime=1x -run='^$' . | go run ./cmd/benchjson > BENCH.json
+//
+// Every benchmark line — name, iteration count, and each "value unit" pair
+// (ns/op, B/op, and custom b.ReportMetric units like proj-speedup or
+// pool-built) — becomes one entry; non-benchmark lines are ignored.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	// Name is the full benchmark name including sub-benchmark path and the
+	// GOMAXPROCS suffix, e.g. "BenchmarkLPTSkew/policy=lpt-8".
+	Name string `json:"name"`
+	// Iterations is b.N for the reported run.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit → value for every "value unit" pair on the line:
+	// the standard ns/op plus any custom b.ReportMetric units.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Report is the top-level BENCH.json document.
+type Report struct {
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// parseLine parses one `go test -bench` output line, reporting ok=false for
+// lines that are not benchmark results (headers, PASS, ok, log output).
+func parseLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: fields[0], Iterations: iters, Metrics: make(map[string]float64)}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, true
+}
+
+// convert reads bench output from r and writes the JSON report to w.
+func convert(r io.Reader, w io.Writer) error {
+	rep := Report{Benchmarks: []Benchmark{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		if b, ok := parseLine(sc.Text()); ok {
+			rep.Benchmarks = append(rep.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+func main() {
+	if err := convert(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}

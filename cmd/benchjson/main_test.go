@@ -1,0 +1,58 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: graphsurge
+BenchmarkLPTSkew/policy=fifo-8         	       1	 52031337 ns/op	         2.110 proj-speedup	         4.000 pool-built
+BenchmarkLPTSkew/policy=lpt-8          	       1	 41022518 ns/op	         3.480 proj-speedup	         0 pool-built	         4.000 pool-reused
+BenchmarkEngineWCCStep-8               	  150000	      8012 ns/op
+PASS
+ok  	graphsurge	3.211s
+`
+
+func TestConvert(t *testing.T) {
+	var out bytes.Buffer
+	if err := convert(strings.NewReader(sample), &out); err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %+v", len(rep.Benchmarks), rep.Benchmarks)
+	}
+	lpt := rep.Benchmarks[1]
+	if lpt.Name != "BenchmarkLPTSkew/policy=lpt-8" || lpt.Iterations != 1 {
+		t.Fatalf("lpt entry: %+v", lpt)
+	}
+	if lpt.Metrics["ns/op"] != 41022518 || lpt.Metrics["proj-speedup"] != 3.48 || lpt.Metrics["pool-reused"] != 4 {
+		t.Fatalf("lpt metrics: %+v", lpt.Metrics)
+	}
+	step := rep.Benchmarks[2]
+	if step.Iterations != 150000 || step.Metrics["ns/op"] != 8012 {
+		t.Fatalf("step entry: %+v", step)
+	}
+}
+
+func TestConvertIgnoresNoise(t *testing.T) {
+	var out bytes.Buffer
+	noise := "Benchmark\nBenchmarkX not-a-number ns/op\n--- FAIL: TestFoo\n"
+	if err := convert(strings.NewReader(noise), &out); err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 0 {
+		t.Fatalf("noise parsed as benchmarks: %+v", rep.Benchmarks)
+	}
+}

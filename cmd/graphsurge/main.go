@@ -23,6 +23,7 @@ import (
 
 	"graphsurge/internal/analytics"
 	"graphsurge/internal/core"
+	"graphsurge/internal/schedule"
 	"graphsurge/internal/view"
 )
 
@@ -55,7 +56,7 @@ func usage() {
   graphsurge query -data DIR [-ordering optimize] 'GVDL statements...'
   graphsurge run   -data DIR (-collection NAME | -view NAME) -algorithm ALG [-gvdl STMTS]
                    [-mode diff|scratch|adaptive] [-workers N] [-parallel N] [-weight PROP]
-                   [-source ID] [-ordering optimize]
+                   [-schedule fifo|lpt] [-speculate] [-source ID] [-ordering optimize]
 algorithms: wcc, bfs, sssp, pagerank, scc, degree
 -parallel runs up to N independent collection segments concurrently, each on
 its own dataflow replica (scratch mode: every view; adaptive mode: as the
@@ -63,7 +64,12 @@ optimizer declares split points); 0 uses the engine default of 1. Results
 are identical at any setting. Replicas are pooled per (algorithm, workers)
 and recycled via in-place reset, so repeated runs skip dataflow
 construction; per-segment replica setup and drain times are printed
-alongside the per-view lines.`)
+alongside the per-view lines, followed by per-pool replica statistics.
+-schedule lpt dispatches a static plan's segments longest-predicted-first
+(the cost-model scheduler; fifo keeps collection order). -speculate lets an
+adaptive run seed the predicted next split point's segment on an idle
+replica ahead of the decision, committing on a hit and discarding on a
+miss; hit/miss counts are printed. Neither flag changes results.`)
 }
 
 func cmdLoad(args []string) error {
@@ -144,6 +150,8 @@ func cmdRun(args []string) error {
 	modeName := fs.String("mode", "adaptive", "diff | scratch | adaptive")
 	workers := fs.Int("workers", 1, "dataflow workers")
 	parallel := fs.Int("parallel", 0, "independent collection segments executed concurrently (0 = engine default)")
+	schedName := fs.String("schedule", "fifo", "static-plan segment dispatch order: fifo | lpt")
+	speculate := fs.Bool("speculate", false, "adaptive mode: seed the predicted next split point's segment on an idle replica")
 	weight := fs.String("weight", "", "integer edge property used as weight")
 	source := fs.Uint64("source", 0, "source vertex for bfs/sssp")
 	ordering := fs.String("ordering", "", `"optimize" to run the collection ordering optimizer`)
@@ -166,9 +174,9 @@ func cmdRun(args []string) error {
 		return err
 	}
 	if *viewName != "" {
-		fv, ok := e.View(*viewName)
-		if !ok {
-			return fmt.Errorf("run: no view named %q (define it with -gvdl or query)", *viewName)
+		fv, err := e.LookupView(*viewName)
+		if err != nil {
+			return fmt.Errorf("run: %w (define views with -gvdl or query)", err)
 		}
 		results, dur, err := core.RunView(fv, comp, *workers, *weight)
 		if err != nil {
@@ -190,11 +198,17 @@ func cmdRun(args []string) error {
 	default:
 		return fmt.Errorf("unknown mode %q", *modeName)
 	}
+	policy, err := schedule.ParsePolicy(*schedName)
+	if err != nil {
+		return err
+	}
 	res, err := e.RunCollection(*collection, comp, core.RunOptions{
 		Mode:        mode,
 		Workers:     *workers,
 		Parallelism: *parallel,
 		WeightProp:  *weight,
+		Schedule:    policy,
+		Speculate:   *speculate,
 	})
 	if err != nil {
 		return err
@@ -207,11 +221,22 @@ func cmdRun(args []string) error {
 	}
 	for _, st := range res.Stats {
 		if seg, ok := segAt[st.Index]; ok {
-			fmt.Printf("  segment views [%d,%d): replica setup %v, drain %v\n",
-				seg.Start, seg.End, seg.Setup.Round(1000), seg.Drain.Round(1000))
+			spec := ""
+			if seg.Speculative {
+				spec = ", speculative"
+			}
+			fmt.Printf("  segment views [%d,%d): replica setup %v, drain %v%s\n",
+				seg.Start, seg.End, seg.Setup.Round(1000), seg.Drain.Round(1000), spec)
 		}
 		fmt.Printf("  view %-3d %-16s %-8s |GV|=%-8d |dC|=%-8d out-diffs=%-8d %v\n",
 			st.Index, st.Name, st.Mode, st.ViewSize, st.DiffSize, st.OutputDiffs, st.Duration.Round(1000))
+	}
+	if *speculate {
+		fmt.Printf("speculation: %d hits, %d misses\n", res.SpecHits, res.SpecMisses)
+	}
+	for _, ps := range e.PoolStats() {
+		fmt.Printf("pool %s/w=%d: capacity=%d live=%d idle=%d built=%d reused=%d dropped=%d\n",
+			ps.Computation, ps.Workers, ps.Capacity, ps.Live, ps.Idle, ps.Built, ps.Reused, ps.Dropped)
 	}
 	printResults(res.FinalResults(), *top)
 	return nil

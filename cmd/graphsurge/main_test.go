@@ -64,6 +64,34 @@ func TestCommandsEndToEnd(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
+	// Cost-model scheduling and speculation flags.
+	if err := cmdRun([]string{
+		"-data", data,
+		"-collection", "c",
+		"-algorithm", "wcc",
+		"-mode", "scratch",
+		"-parallel", "2",
+		"-schedule", "lpt",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdRun([]string{
+		"-data", data,
+		"-collection", "c",
+		"-algorithm", "wcc",
+		"-mode", "adaptive",
+		"-parallel", "2",
+		"-speculate",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdRun([]string{"-data", data, "-collection", "c", "-schedule", "bogus"}); err == nil {
+		t.Fatal("expected error for bad schedule policy")
+	}
+	// A traversal view name is rejected, not read from outside the data dir.
+	if err := cmdRun([]string{"-data", data, "-view", "../escape", "-algorithm", "wcc"}); err == nil {
+		t.Fatal("expected error for traversal view name")
+	}
 	// Individual view runs.
 	if err := cmdRun([]string{
 		"-data", data,

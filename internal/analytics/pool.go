@@ -43,6 +43,13 @@ func (inst *Instance) Reset() error {
 // concurrent callers.
 //
 // All methods are safe for concurrent use.
+// idleReplica is a warm replica waiting for reuse, stamped with the time it
+// went idle so the TTL policy can age it out.
+type idleReplica struct {
+	r     Runner
+	since time.Time
+}
+
 type Pool struct {
 	comp    Computation
 	workers int
@@ -51,10 +58,14 @@ type Pool struct {
 	cond *sync.Cond
 	size int
 	live int
-	idle []Runner
+	idle []idleReplica // append order = idle-since order: oldest first
 
-	built  int // runners constructed from scratch
-	reused int // acquisitions served by resetting an idle runner
+	maxIdle int           // idle-replica high-water mark; 0 = unlimited
+	idleTTL time.Duration // idle age dropped by Prune; 0 = no TTL
+
+	built   int // runners constructed from scratch
+	reused  int // acquisitions served by resetting an idle runner
+	dropped int // idle replicas discarded by the sizing policy
 }
 
 // NewPool creates a pool of up to size replicas (minimum 1), each built with
@@ -113,6 +124,57 @@ func (p *Pool) Counts() (built, reused int) {
 	return p.built, p.reused
 }
 
+// Dropped returns how many idle replicas the sizing policy has discarded
+// (high-water mark on Release plus TTL expiry in Prune).
+func (p *Pool) Dropped() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.dropped
+}
+
+// SetPolicy bounds the warm-replica cache. maxIdle caps how many idle
+// replicas are retained — a Release beyond the high-water mark drops the
+// replica instead of caching it (0 = unlimited). ttl is the idle age beyond
+// which Prune discards a replica (0 = no TTL). The clock is lazy: the owner
+// passes now into Prune on its own access paths (the engine sweeps its pools
+// on pool lookup and stats export), so no background goroutine is needed —
+// an untouched engine holds its replicas, which is fine because nothing is
+// competing for the memory until the next call arrives.
+func (p *Pool) SetPolicy(maxIdle int, ttl time.Duration) {
+	p.mu.Lock()
+	p.maxIdle = maxIdle
+	p.idleTTL = ttl
+	p.mu.Unlock()
+}
+
+// Prune drops idle replicas that have been idle longer than the TTL at the
+// given time, returning how many were dropped. Acquired slots are
+// untouched. With no TTL configured it is a no-op.
+func (p *Pool) Prune(now time.Time) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.idleTTL <= 0 {
+		return 0
+	}
+	// idle is ordered oldest-first, so expired replicas form a prefix.
+	cut := 0
+	for cut < len(p.idle) && now.Sub(p.idle[cut].since) > p.idleTTL {
+		cut++
+	}
+	if cut > 0 {
+		n := copy(p.idle, p.idle[cut:])
+		// Zero the vacated tail: the whole point of the TTL is releasing
+		// replica memory on an idle engine, and the backing array would
+		// otherwise keep every dropped runner reachable indefinitely.
+		for i := n; i < len(p.idle); i++ {
+			p.idle[i] = idleReplica{}
+		}
+		p.idle = p.idle[:n]
+		p.dropped += cut
+	}
+	return cut
+}
+
 // DropIdle discards all warm replicas, keeping acquired slots valid. An
 // engine evicting a pool uses it to release runner memory immediately
 // rather than waiting for the pool itself to be collected.
@@ -134,12 +196,19 @@ func (p *Pool) Acquire() (Runner, time.Duration, error) {
 		p.cond.Wait()
 	}
 	p.live++
-	var r Runner
-	if n := len(p.idle); n > 0 {
-		r, p.idle = p.idle[n-1], p.idle[:n-1]
-	}
+	// Pop the most recently released replica: hottest caches, and the
+	// oldest replicas stay at the front where the TTL prune finds them.
+	r := p.popIdle()
 	p.mu.Unlock()
 
+	return p.prepare(r)
+}
+
+// prepare turns a claimed slot into a ready runner: the popped warm replica
+// (possibly nil) is reset in place, falling through to a fresh build when
+// there is none or the reset fails (the broken runner is dropped). On build
+// failure the claimed slot is returned to the pool.
+func (p *Pool) prepare(r Runner) (Runner, time.Duration, error) {
 	start := time.Now()
 	if r != nil {
 		if rs, ok := r.(Resettable); ok {
@@ -149,8 +218,6 @@ func (p *Pool) Acquire() (Runner, time.Duration, error) {
 				p.mu.Unlock()
 				return r, time.Since(start), nil
 			}
-			// A failed reset falls through to a fresh build; the broken
-			// runner is dropped.
 		}
 	}
 	r, err := NewRunner(p.comp, p.workers)
@@ -167,13 +234,53 @@ func (p *Pool) Acquire() (Runner, time.Duration, error) {
 	return r, time.Since(start), nil
 }
 
+// TryAcquire is the non-blocking Acquire: it returns ok=false immediately
+// when every replica slot is busy (or construction fails) instead of
+// waiting on the condition variable. Speculative work uses it so exploiting
+// idle capacity can never turn into queuing behind other runs.
+func (p *Pool) TryAcquire() (Runner, time.Duration, bool) {
+	p.mu.Lock()
+	if p.live >= p.size {
+		p.mu.Unlock()
+		return nil, 0, false
+	}
+	p.live++
+	r := p.popIdle()
+	p.mu.Unlock()
+
+	r, setup, err := p.prepare(r)
+	if err != nil {
+		return nil, 0, false
+	}
+	return r, setup, true
+}
+
+// popIdle takes the most recently released warm replica, if any, zeroing
+// the vacated slot so the backing array never pins a runner the policy
+// later drops. Caller holds p.mu.
+func (p *Pool) popIdle() Runner {
+	n := len(p.idle)
+	if n == 0 {
+		return nil
+	}
+	r := p.idle[n-1].r
+	p.idle[n-1] = idleReplica{}
+	p.idle = p.idle[:n-1]
+	return r
+}
+
 // Release returns the runner's slot to the pool. Resettable runners are kept
-// warm for reuse by a later Acquire; others are dropped. The caller must be
-// done reading the runner — the next Acquire resets it.
+// warm for reuse by a later Acquire unless the idle high-water mark is
+// reached; others are dropped. The caller must be done reading the runner —
+// the next Acquire resets it.
 func (p *Pool) Release(r Runner) {
 	p.mu.Lock()
 	if _, ok := r.(Resettable); ok {
-		p.idle = append(p.idle, r)
+		if p.maxIdle > 0 && len(p.idle) >= p.maxIdle {
+			p.dropped++
+		} else {
+			p.idle = append(p.idle, idleReplica{r: r, since: time.Now()})
+		}
 	}
 	p.live--
 	p.cond.Signal()

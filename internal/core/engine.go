@@ -6,14 +6,19 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"os"
 	"reflect"
+	"sort"
 	"sync"
+	"time"
 
 	"graphsurge/internal/aggregate"
 	"graphsurge/internal/analytics"
 	"graphsurge/internal/graph"
 	"graphsurge/internal/gvdl"
+	"graphsurge/internal/schedule"
 	"graphsurge/internal/view"
 )
 
@@ -29,7 +34,20 @@ type Options struct {
 	Parallelism int
 	// Ordering is the default collection-ordering mode for Execute.
 	Ordering view.OrderingMode
+	// PoolMaxIdle is the per-pool idle-replica high-water mark: a replica
+	// released beyond it is dropped instead of cached (0 = unlimited).
+	PoolMaxIdle int
+	// PoolIdleTTL drops warm replicas idle longer than this; the clock is
+	// lazy — pools are swept on engine pool access (runnerPool, PoolStats),
+	// no background goroutine (0 = no TTL).
+	PoolIdleTTL time.Duration
 }
+
+// ErrNotFound reports that a name resolved to no view or collection, as
+// opposed to one that exists but failed to load from the view store —
+// callers branch on it with errors.Is (resolveTarget falls back to the
+// graph store only on ErrNotFound, never on a load failure).
+var ErrNotFound = errors.New("not found")
 
 // Engine is a Graphsurge instance: graph store, view store, executors, and
 // the warm runner pools that amortize dataflow construction across
@@ -43,8 +61,9 @@ type Engine struct {
 	collections map[string]*view.Collection
 	aggViews    map[string]*aggregate.View
 
-	poolMu sync.Mutex
-	pools  map[poolKey]*analytics.Pool
+	poolMu     sync.Mutex
+	pools      map[poolKey]*analytics.Pool
+	estimators map[poolKey]*schedule.Estimator
 }
 
 // maxEnginePools bounds the warm-pool map: parameterized computations (a
@@ -133,25 +152,37 @@ func NewEngine(opts Options) (*Engine, error) {
 		collections: make(map[string]*view.Collection),
 		aggViews:    make(map[string]*aggregate.View),
 		pools:       make(map[poolKey]*analytics.Pool),
+		estimators:  make(map[poolKey]*schedule.Estimator),
 	}, nil
 }
 
-// runnerPool returns the engine's warm runner pool for (computation,
-// workers), creating it on first use and growing its replica capacity to at
-// least parallelism. Pools are shared by concurrent RunCollection calls:
-// the pool is the global admission control (at most capacity replicas live
-// across all runs), each run additionally self-limits to its own
-// Parallelism, and released replicas are recycled across calls via in-place
-// reset.
-func (e *Engine) runnerPool(comp analytics.Computation, workers, parallelism int) *analytics.Pool {
+// runnerPool returns the engine's warm runner pool and scheduling cost
+// estimator for (computation, workers), creating them on first use and
+// growing the pool's replica capacity to at least parallelism. Pools are
+// shared by concurrent RunCollection calls: the pool is the global
+// admission control (at most capacity replicas live across all runs), each
+// run additionally self-limits to its own Parallelism, and released
+// replicas are recycled across calls via in-place reset. The estimator
+// persists alongside the pool so later runs' LPT scheduling uses costs
+// learned from earlier ones. Every lookup also lazily sweeps the idle-TTL
+// policy across all pools — the engine's clock is its own call traffic.
+func (e *Engine) runnerPool(comp analytics.Computation, workers, parallelism int) (*analytics.Pool, *schedule.Estimator) {
 	if !identifiableComp(comp) {
 		// No faithful identity to key on: give the run a private pool so a
-		// replica can never be recycled into a different computation.
-		return analytics.NewPool(comp, workers, parallelism)
+		// replica can never be recycled into a different computation (and a
+		// private estimator, since costs learned for one closure could
+		// describe a semantically different one).
+		return analytics.NewPool(comp, workers, parallelism), nil
 	}
 	key := poolKey{name: comp.Name(), ident: compIdentity(comp), workers: workers}
 	e.poolMu.Lock()
 	defer e.poolMu.Unlock()
+	if e.opts.PoolIdleTTL > 0 {
+		now := time.Now()
+		for _, p := range e.pools {
+			p.Prune(now)
+		}
+	}
 	p := e.pools[key]
 	if p != nil && compIdentity(p.Computation()) != key.ident {
 		// The cached computation object was mutated after submission (a
@@ -159,21 +190,29 @@ func (e *Engine) runnerPool(comp analytics.Computation, workers, parallelism int
 		// replicas that contradict its key. Drop the stale pool and rebuild.
 		p.DropIdle()
 		p = nil
+		delete(e.estimators, key)
 	}
 	if p == nil {
 		if len(e.pools) >= maxEnginePools {
 			for k, old := range e.pools {
 				old.DropIdle()
 				delete(e.pools, k)
+				delete(e.estimators, k)
 				break
 			}
 		}
 		p = analytics.NewPool(comp, workers, parallelism)
+		p.SetPolicy(e.opts.PoolMaxIdle, e.opts.PoolIdleTTL)
 		e.pools[key] = p
 	} else {
 		p.Grow(parallelism)
 	}
-	return p
+	est := e.estimators[key]
+	if est == nil {
+		est = &schedule.Estimator{}
+		e.estimators[key] = est
+	}
+	return p, est
 }
 
 // EvictPools drops every warm runner pool whose computation has the given
@@ -188,6 +227,7 @@ func (e *Engine) EvictPools(computation string) {
 		if key.name == computation {
 			p.DropIdle()
 			delete(e.pools, key)
+			delete(e.estimators, key)
 		}
 	}
 }
@@ -201,8 +241,58 @@ func (e *Engine) Close() error {
 	for key, p := range e.pools {
 		p.DropIdle()
 		delete(e.pools, key)
+		delete(e.estimators, key)
 	}
 	return nil
+}
+
+// PoolStat is one warm runner pool's externally visible state: identity,
+// capacity and occupancy, and the lifetime effectiveness counters
+// (built/reused acquisitions, policy-dropped idle replicas).
+type PoolStat struct {
+	Computation string // computation name
+	Ident       string // full identity (name plus parameters)
+	Workers     int
+	Capacity    int
+	Live, Idle  int
+	Built       int
+	Reused      int
+	Dropped     int
+}
+
+// PoolStats reports every warm runner pool's state, sorted by computation
+// identity then workers for deterministic output — the metrics export for
+// pool sizing (cmd/graphsurge prints it after runs). The call also sweeps
+// the idle-TTL policy, so a stats poller doubles as the lazy clock.
+func (e *Engine) PoolStats() []PoolStat {
+	e.poolMu.Lock()
+	defer e.poolMu.Unlock()
+	now := time.Now()
+	stats := make([]PoolStat, 0, len(e.pools))
+	for key, p := range e.pools {
+		if e.opts.PoolIdleTTL > 0 {
+			p.Prune(now)
+		}
+		built, reused := p.Counts()
+		stats = append(stats, PoolStat{
+			Computation: key.name,
+			Ident:       key.ident,
+			Workers:     key.workers,
+			Capacity:    p.Size(),
+			Live:        p.Live(),
+			Idle:        p.Idle(),
+			Built:       built,
+			Reused:      reused,
+			Dropped:     p.Dropped(),
+		})
+	}
+	sort.Slice(stats, func(i, j int) bool {
+		if stats[i].Ident != stats[j].Ident {
+			return stats[i].Ident < stats[j].Ident
+		}
+		return stats[i].Workers < stats[j].Workers
+	})
+	return stats
 }
 
 // LoadGraphCSV imports a graph from CSV files and registers it.
@@ -220,45 +310,115 @@ func (e *Engine) LoadGraphCSV(name, nodesPath, edgesPath string) (*graph.Graph, 
 // AddGraph registers an in-memory graph (datagen, tests).
 func (e *Engine) AddGraph(g *graph.Graph) error { return e.store.Add(g) }
 
+// AddCollection registers a prebuilt materialized collection (datagen,
+// benchmarks, embedding callers that materialize outside GVDL). It is
+// persisted like a GVDL-created collection when the engine has a data
+// directory.
+func (e *Engine) AddCollection(col *view.Collection) error {
+	// Persist first: a failed save must not leave a phantom collection
+	// registered in memory that the caller was told failed and that would
+	// silently vanish on restart.
+	if e.opts.DataDir != "" {
+		if err := view.SaveCollection(e.opts.DataDir, col); err != nil {
+			return err
+		}
+	}
+	e.mu.Lock()
+	e.collections[col.Name] = col
+	e.mu.Unlock()
+	return nil
+}
+
 // Graph looks up a base graph.
 func (e *Engine) Graph(name string) (*graph.Graph, error) { return e.store.Graph(name) }
 
-// View looks up a materialized filtered view, falling back to the view
-// store on disk when the engine has a data directory.
-func (e *Engine) View(name string) (*view.Filtered, bool) {
+// LookupView returns the materialized filtered view with the given name,
+// falling back to the view store on disk when the engine has a data
+// directory. A name that resolves to nothing returns an error wrapping
+// ErrNotFound; a view that exists on disk but fails to load — corrupt gob,
+// out-of-range edge indices, missing base graph — returns the load error
+// itself, so corruption is never silently indistinguishable from absence.
+func (e *Engine) LookupView(name string) (*view.Filtered, error) {
 	e.mu.RLock()
 	v, ok := e.views[name]
 	e.mu.RUnlock()
-	if ok || e.opts.DataDir == "" {
-		return v, ok
+	if ok {
+		return v, nil
+	}
+	if e.opts.DataDir == "" {
+		return nil, fmt.Errorf("core: no view named %q: %w", name, ErrNotFound)
 	}
 	loaded, err := view.LoadFiltered(e.opts.DataDir, name, e.store.Graph)
 	if err != nil {
-		return nil, false
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, fmt.Errorf("core: no view named %q: %w", name, ErrNotFound)
+		}
+		if errors.Is(err, view.ErrInvalidName) {
+			// A name the store refuses can never be a stored view: absence,
+			// not failure — resolveTarget may still find a graph by it.
+			return nil, fmt.Errorf("core: %v: %w", err, ErrNotFound)
+		}
+		return nil, fmt.Errorf("core: loading view %q from the view store: %w", name, err)
 	}
 	e.mu.Lock()
+	defer e.mu.Unlock()
+	if v, ok := e.views[name]; ok {
+		// A concurrent miss won the load race; keep the cached object so
+		// every caller shares one view instance instead of the last loader
+		// clobbering the rest.
+		return v, nil
+	}
 	e.views[name] = loaded
-	e.mu.Unlock()
-	return loaded, true
+	return loaded, nil
+}
+
+// View looks up a materialized filtered view, falling back to the view
+// store on disk when the engine has a data directory. It is the boolean
+// convenience over LookupView; callers that must distinguish a missing view
+// from a failed disk load use LookupView directly.
+func (e *Engine) View(name string) (*view.Filtered, bool) {
+	v, err := e.LookupView(name)
+	return v, err == nil
+}
+
+// LookupCollection returns the materialized view collection with the given
+// name, falling back to the view store on disk when the engine has a data
+// directory. Error semantics match LookupView: ErrNotFound for absence, the
+// underlying load error for a collection that exists but cannot be loaded.
+func (e *Engine) LookupCollection(name string) (*view.Collection, error) {
+	e.mu.RLock()
+	c, ok := e.collections[name]
+	e.mu.RUnlock()
+	if ok {
+		return c, nil
+	}
+	if e.opts.DataDir == "" {
+		return nil, fmt.Errorf("core: no collection named %q: %w", name, ErrNotFound)
+	}
+	loaded, err := view.LoadCollection(e.opts.DataDir, name, e.store.Graph)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, fmt.Errorf("core: no collection named %q: %w", name, ErrNotFound)
+		}
+		if errors.Is(err, view.ErrInvalidName) {
+			return nil, fmt.Errorf("core: %v: %w", err, ErrNotFound)
+		}
+		return nil, fmt.Errorf("core: loading collection %q from the view store: %w", name, err)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if c, ok := e.collections[name]; ok {
+		return c, nil
+	}
+	e.collections[name] = loaded
+	return loaded, nil
 }
 
 // Collection looks up a materialized view collection, falling back to the
 // view store on disk when the engine has a data directory.
 func (e *Engine) Collection(name string) (*view.Collection, bool) {
-	e.mu.RLock()
-	c, ok := e.collections[name]
-	e.mu.RUnlock()
-	if ok || e.opts.DataDir == "" {
-		return c, ok
-	}
-	loaded, err := view.LoadCollection(e.opts.DataDir, name, e.store.Graph)
-	if err != nil {
-		return nil, false
-	}
-	e.mu.Lock()
-	e.collections[name] = loaded
-	e.mu.Unlock()
-	return loaded, true
+	c, err := e.LookupCollection(name)
+	return c, err == nil
 }
 
 // AggView looks up a materialized aggregate view.
@@ -271,16 +431,20 @@ func (e *Engine) AggView(name string) (*aggregate.View, bool) {
 
 // resolveTarget resolves a statement's "on" clause to a base graph plus an
 // optional edge restriction (when the target is itself a filtered view —
-// GVDL supports views over views).
+// GVDL supports views over views). Resolution goes through LookupView, so a
+// view persisted by an earlier engine over the same data directory is a
+// valid target after a restart; a view-store load failure is surfaced
+// rather than misreported as "neither a graph nor a view".
 func (e *Engine) resolveTarget(name string) (*graph.Graph, *view.Filtered, error) {
-	e.mu.RLock()
-	fv, ok := e.views[name]
-	e.mu.RUnlock()
-	if ok {
+	fv, err := e.LookupView(name)
+	if err == nil {
 		return fv.Base, fv, nil
 	}
-	g, err := e.store.Graph(name)
-	if err != nil {
+	if !errors.Is(err, ErrNotFound) {
+		return nil, nil, err
+	}
+	g, gerr := e.store.Graph(name)
+	if gerr != nil {
 		return nil, nil, fmt.Errorf("core: target %q is neither a graph nor a view", name)
 	}
 	return g, nil, nil

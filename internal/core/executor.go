@@ -6,6 +6,7 @@ import (
 
 	"graphsurge/internal/analytics"
 	"graphsurge/internal/graph"
+	"graphsurge/internal/schedule"
 	"graphsurge/internal/splitting"
 	"graphsurge/internal/view"
 )
@@ -52,6 +53,28 @@ type RunOptions struct {
 	WeightProp string
 	// BatchSize overrides the adaptive optimizer's ℓ (default 10).
 	BatchSize int
+	// Schedule selects the dispatch order of a static plan's segments (see
+	// internal/schedule): FIFO preserves collection order; LPT dispatches
+	// longest-predicted-first, tightening the makespan on skewed collections.
+	// Results are identical either way — only scheduling changes. Adaptive
+	// mode plans online and ignores it.
+	Schedule schedule.Policy
+	// Speculate enables speculative segment start in Adaptive mode with
+	// Parallelism > 1: while the planner is still deciding, the predicted
+	// next split point's segment is seeded on an idle replica, committed if
+	// the prediction hits and discarded (the replica is released and reset)
+	// if it misses. It also paces the planner to at most one view ahead of
+	// execution so decisions — and therefore predictions — come from warm
+	// models; split points may shift versus the unpaced planner, which is
+	// already true run-to-run. Results are unaffected; only replica idle
+	// time and split placement are.
+	Speculate bool
+	// Estimator, when non-nil, is the cost model LPT scheduling consults and
+	// every run's per-view observations warm. Engine.RunCollection supplies
+	// one persisted per (computation, workers) so later static runs are
+	// scheduled with learned costs; nil gives the run a private, initially
+	// cold estimator that falls back to view/diff sizes.
+	Estimator *schedule.Estimator
 }
 
 // ViewStats records one view's execution.
@@ -67,12 +90,15 @@ type ViewStats struct {
 
 // SegmentStats records one segment's execution: the half-open view range it
 // covered, the time spent acquiring its replica (building or resetting the
-// dataflow, plus the seed membership scan), and the wall-clock time the
-// replica spent stepping the segment's views.
+// dataflow, plus the seed membership scan), the wall-clock time the replica
+// spent stepping the segment's views, and whether the segment was opened by
+// a committed speculation (its seed view ran before the planner declared the
+// split; see RunOptions.Speculate).
 type SegmentStats struct {
-	Start, End int
-	Setup      time.Duration
-	Drain      time.Duration
+	Start, End  int
+	Setup       time.Duration
+	Drain       time.Duration
+	Speculative bool
 }
 
 // Len returns the number of views the segment executed.
@@ -93,6 +119,11 @@ type RunResult struct {
 	Total  time.Duration
 	Wall   time.Duration
 	Splits int // number of from-scratch runs after view 0
+	// SpecHits counts speculatively seeded segments the planner committed
+	// (the prediction named the split point the optimizer then declared);
+	// SpecMisses counts seeded segments it discarded. Both are zero unless
+	// RunOptions.Speculate was set on an adaptive run with Parallelism > 1.
+	SpecHits, SpecMisses int
 
 	final   map[analytics.VertexValue]int64
 	work    []int64
@@ -125,14 +156,17 @@ func (r *RunResult) MaxWork() int64 {
 func (r *RunResult) IterCapHit() bool { return r.iterCap }
 
 // RunCollection executes a computation over a named materialized collection.
-// Workers and Parallelism default to the engine's Options when unset, and
-// the run draws its dataflow replicas from the engine's warm runner pool for
+// Workers and Parallelism default to the engine's Options when unset, the
+// run draws its dataflow replicas from the engine's warm runner pool for
 // (computation, workers), so repeated and concurrent calls amortize dataflow
-// construction (see DESIGN.md on the engine pool lifecycle).
+// construction (see DESIGN.md on the engine pool lifecycle), and — unless
+// the caller supplied its own — the run is scheduled with the engine's
+// persistent cost estimator for that key, so LPT dispatch orders segments
+// by costs learned from earlier runs.
 func (e *Engine) RunCollection(collection string, comp analytics.Computation, opts RunOptions) (*RunResult, error) {
-	col, ok := e.Collection(collection)
-	if !ok {
-		return nil, fmt.Errorf("core: no collection named %q", collection)
+	col, err := e.LookupCollection(collection)
+	if err != nil {
+		return nil, err
 	}
 	if opts.Workers == 0 {
 		opts.Workers = e.opts.Workers
@@ -141,7 +175,11 @@ func (e *Engine) RunCollection(collection string, comp analytics.Computation, op
 		opts.Parallelism = e.opts.Parallelism
 	}
 	normalizeRunOptions(&opts)
-	return runCollection(col, comp, opts, e.runnerPool(comp, opts.Workers, opts.Parallelism))
+	pool, est := e.runnerPool(comp, opts.Workers, opts.Parallelism)
+	if opts.Estimator == nil {
+		opts.Estimator = est
+	}
+	return runCollection(col, comp, opts, pool)
 }
 
 func normalizeRunOptions(opts *RunOptions) {
@@ -185,10 +223,15 @@ func runCollection(col *view.Collection, comp analytics.Computation, opts RunOpt
 	stream := col.Stream
 	k := stream.NumViews()
 
+	est := opts.Estimator
+	if est == nil {
+		est = &schedule.Estimator{}
+	}
 	cr := &collectionRun{
-		stream: stream,
-		sizes:  stream.ViewSizes(),
-		stats:  make([]ViewStats, k),
+		stream:    stream,
+		sizes:     stream.ViewSizes(),
+		stats:     make([]ViewStats, k),
+		estimator: est,
 		triples: func(idxs []uint32) []graph.Triple {
 			out := make([]graph.Triple, len(idxs))
 			for i, idx := range idxs {
@@ -198,16 +241,23 @@ func runCollection(col *view.Collection, comp analytics.Computation, opts RunOpt
 		},
 	}
 	pool := newRunPool(shared, opts.Parallelism)
-	seeds := newSeedScan(stream, g.NumEdges(), cr.sizes)
+	scan := newSeedScan(stream, g.NumEdges(), cr.sizes)
 	wallStart := time.Now()
 
 	var plan splitting.Plan
-	var final analytics.Runner
 	if opts.Mode == Adaptive {
-		final, plan, err = cr.runAdaptive(opts, pool, seeds)
+		plan, err = cr.runAdaptive(opts, pool, scan)
 	} else {
 		plan = staticPlan(opts.Mode, k)
-		final, err = cr.runStatic(plan, seeds, pool)
+		order := fifoOrder(len(plan.Segments))
+		if opts.Schedule == schedule.LPT {
+			diffs := make([]int, k)
+			for t := range diffs {
+				diffs[t] = stream.DiffSize(t)
+			}
+			order = schedule.LPTOrder(est.PlanCosts(plan, cr.sizes, diffs))
+		}
+		err = cr.runStatic(plan, newSeedCache(scan, plan), pool, order)
 	}
 	if err != nil {
 		return nil, err
@@ -221,16 +271,18 @@ func runCollection(col *view.Collection, comp analytics.Computation, opts RunOpt
 		Segments:    cr.segmentStats(),
 		Wall:        time.Since(wallStart),
 		Splits:      plan.Splits(),
+		SpecHits:    cr.specHits,
+		SpecMisses:  cr.specMisses,
 		final:       map[analytics.VertexValue]int64{},
 		work:        cr.work,
 		iterCap:     cr.iterCap,
 	}
-	if final != nil {
-		// Snapshot the last view's results, then return the final replica to
-		// the pool: warm replicas survive the run, which is what lets an
-		// engine-owned pool amortize dataflow construction across calls.
-		res.final = final.Results()
-		pool.Release(final)
+	if cr.finalRes != nil {
+		// The final view's results were snapshotted by finishSegment before
+		// its replica returned to the pool: warm replicas survive the run,
+		// which is what lets an engine-owned pool amortize dataflow
+		// construction across calls (an empty collection snapshots nothing).
+		res.final = cr.finalRes
 	}
 	for _, st := range cr.stats {
 		res.Total += st.Duration

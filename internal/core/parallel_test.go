@@ -7,6 +7,7 @@ import (
 
 	"graphsurge/internal/analytics"
 	"graphsurge/internal/datagen"
+	"graphsurge/internal/schedule"
 	"graphsurge/internal/view"
 )
 
@@ -61,23 +62,38 @@ func randomCollection(t testing.TB, k int, seed int64) *view.Collection {
 // TestSegmentParallelDeterminism is the parallel executor's equivalence
 // check: for WCC and PageRank on a seeded random collection, FinalResults
 // and the per-view ViewSize/DiffSize stats must be byte-identical across
-// Parallelism ∈ {1, 4} × workers ∈ {1, 4}, in all three execution modes.
+// Parallelism ∈ {1, 4} × workers ∈ {1, 4}, in all three execution modes —
+// and across the scheduler dimensions: LPT vs FIFO dispatch for static
+// plans, speculation on and off for adaptive runs. Scheduling and
+// speculation may only move work, never change it.
 func TestSegmentParallelDeterminism(t *testing.T) {
 	col := randomCollection(t, 8, 42)
 	comps := []analytics.Computation{analytics.WCC{}, analytics.PageRank{}}
-	modes := []ExecMode{DiffOnly, Scratch, Adaptive}
+	type variant struct {
+		mode      ExecMode
+		sched     schedule.Policy
+		speculate bool
+	}
+	variants := []variant{
+		{mode: DiffOnly}, {mode: DiffOnly, sched: schedule.LPT},
+		{mode: Scratch}, {mode: Scratch, sched: schedule.LPT},
+		{mode: Adaptive}, {mode: Adaptive, speculate: true},
+	}
 
 	for _, comp := range comps {
 		var baseline *RunResult
-		for _, mode := range modes {
+		for _, v := range variants {
 			for _, par := range []int{1, 4} {
 				for _, workers := range []int{1, 4} {
-					name := fmt.Sprintf("%s/%s/p=%d/w=%d", comp.Name(), mode, par, workers)
+					name := fmt.Sprintf("%s/%s/sched=%s/spec=%v/p=%d/w=%d",
+						comp.Name(), v.mode, v.sched, v.speculate, par, workers)
 					res, err := RunCollection(col, comp, RunOptions{
-						Mode:        mode,
+						Mode:        v.mode,
 						Workers:     workers,
 						Parallelism: par,
 						BatchSize:   2,
+						Schedule:    v.sched,
+						Speculate:   v.speculate,
 					})
 					if err != nil {
 						t.Fatalf("%s: %v", name, err)

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"time"
+
 	"graphsurge/internal/splitting"
 	"graphsurge/internal/view"
 )
@@ -48,6 +50,17 @@ func (ss *seedScan) advance(t int) {
 	}
 }
 
+// fork returns an independent copy of the scan for speculative lookahead:
+// the copy can advance past views the parent has not reached without
+// disturbing it. Membership at any view depends only on the difference
+// stream prefix, so a fork advanced to t produces exactly the seed the
+// parent would.
+func (ss *seedScan) fork() *seedScan {
+	member := make([]bool, len(ss.member))
+	copy(member, ss.member)
+	return &seedScan{stream: ss.stream, sizes: ss.sizes, member: member, next: ss.next}
+}
+
 // at returns the full edge-index list of view t, ascending. Successive calls
 // must have non-decreasing t (segments are dispatched in collection order).
 func (ss *seedScan) at(t int) []uint32 {
@@ -66,4 +79,76 @@ func (ss *seedScan) at(t int) []uint32 {
 		}
 	}
 	return full
+}
+
+// seedEntry is a seed built ahead of its segment's dispatch: the edge list
+// plus the scan time spent building it, which is folded into that segment's
+// setup cost when it is finally dispatched — the same attribution the
+// in-order path gives a seed built at acquisition time.
+type seedEntry struct {
+	seed  []uint32
+	build time.Duration
+}
+
+// seedCache decouples seed *building* from segment *dispatch* order. The
+// underlying seedScan replays the difference stream strictly forward, but an
+// LPT scheduler dispatches segments out of collection order; the scan cannot
+// rewind, so take(t) advances it to t and builds — and retains — the seed of
+// every earlier still-undispatched segment start it passes, since those
+// segments will be dispatched later. FIFO dispatch retains nothing and
+// degenerates to the sequential scan; out-of-order dispatch pays for its
+// reordering with retained-seed memory bounded by the sum of
+// not-yet-dispatched seed sizes (see DESIGN.md).
+//
+// A seedCache is not safe for concurrent use; both executors call take from
+// their single dispatch loop.
+type seedCache struct {
+	scan   *seedScan
+	starts []int // ascending starts of segments not yet built
+	built  map[int]seedEntry
+}
+
+// newSeedCache wraps a scan with the plan's segment starts. An empty plan
+// (adaptive mode, where segment starts are discovered online and arrive in
+// ascending order) leaves the cache a pass-through.
+func newSeedCache(ss *seedScan, plan splitting.Plan) *seedCache {
+	sc := &seedCache{scan: ss, built: make(map[int]seedEntry)}
+	for _, seg := range plan.Segments {
+		sc.starts = append(sc.starts, seg.Start)
+	}
+	return sc
+}
+
+// take returns the seed of the segment starting at view t plus the scan time
+// spent building it. The membership fold stays untimed (advance), matching
+// the sequential executor, which updated membership per view outside the
+// split timer and timed only the final scan.
+func (sc *seedCache) take(t int) ([]uint32, time.Duration) {
+	if e, ok := sc.built[t]; ok {
+		delete(sc.built, t)
+		return e.seed, e.build
+	}
+	for len(sc.starts) > 0 && sc.starts[0] < t {
+		s := sc.starts[0]
+		sc.starts = sc.starts[1:]
+		sc.scan.advance(s)
+		start := time.Now()
+		sc.built[s] = seedEntry{seed: sc.scan.at(s), build: time.Since(start)}
+	}
+	if len(sc.starts) > 0 && sc.starts[0] == t {
+		sc.starts = sc.starts[1:]
+	}
+	sc.scan.advance(t)
+	start := time.Now()
+	seed := sc.scan.at(t)
+	return seed, time.Since(start)
+}
+
+// fifoOrder is the identity dispatch permutation: collection order.
+func fifoOrder(n int) []int {
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	return order
 }

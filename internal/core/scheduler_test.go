@@ -1,0 +1,536 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"graphsurge/internal/analytics"
+	"graphsurge/internal/datagen"
+	"graphsurge/internal/schedule"
+	"graphsurge/internal/view"
+)
+
+// disjointCollection builds a k-view collection whose views are consecutive
+// disjoint slices of the graph's edges: every diff replaces the whole view,
+// so differential execution is maximally unprofitable and the adaptive
+// optimizer reliably splits — the workload speculation and split-heavy
+// executor paths need.
+func disjointCollection(t testing.TB, k, perView int) *view.Collection {
+	t.Helper()
+	g := datagen.Temporal(datagen.TemporalConfig{Nodes: 400, Edges: k * perView, Days: 50, Seed: 19})
+	g.Name = "dis"
+	names := make([]string, k)
+	adds := make([][]uint32, k)
+	dels := make([][]uint32, k)
+	for v := 0; v < k; v++ {
+		names[v] = fmt.Sprintf("s%d", v)
+		for e := v * perView; e < (v+1)*perView; e++ {
+			adds[v] = append(adds[v], uint32(e))
+			if v > 0 {
+				dels[v] = append(dels[v], uint32(e-perView))
+			}
+		}
+	}
+	return view.NewCollection("dis-col", g, &view.DiffStream{Names: names, Adds: adds, Dels: dels})
+}
+
+// TestSeedCacheOutOfOrderDispatch pins the scan/dispatch decoupling: taking
+// a late segment first builds and retains the seeds of the earlier segment
+// starts the scan passes, and handing them out later still yields exactly
+// the views an in-order scan produces.
+func TestSeedCacheOutOfOrderDispatch(t *testing.T) {
+	stream := &view.DiffStream{
+		Names: []string{"a", "b", "c", "d"},
+		Adds:  [][]uint32{{0, 2, 4}, {6}, {1}, {3}},
+		Dels:  [][]uint32{nil, {0}, {6}, {2}},
+	}
+	inOrder := func(tt int) []uint32 {
+		ss := newSeedScan(stream, 8, stream.ViewSizes())
+		ss.advance(tt)
+		return ss.at(tt)
+	}
+	sc := newSeedCache(newSeedScan(stream, 8, stream.ViewSizes()), staticPlan(Scratch, 4))
+	for _, tt := range []int{3, 1, 0, 2} { // LPT-style permutation
+		got, _ := sc.take(tt)
+		want := inOrder(tt)
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: %v, want %v", tt, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d: %v, want %v", tt, got, want)
+			}
+		}
+	}
+	if len(sc.built) != 0 {
+		t.Fatalf("%d seeds still retained after all were taken", len(sc.built))
+	}
+}
+
+// TestLPTDeterminism: LPT dispatch must change only scheduling. Results,
+// per-view stats sizes and the MaxWork aggregate (deterministic with one
+// dataflow worker) match FIFO exactly, at any parallelism.
+func TestLPTDeterminism(t *testing.T) {
+	col := skewedCollection(t, 8, 41)
+	base, err := RunCollection(col, analytics.WCC{}, RunOptions{Mode: Scratch, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{1, 4} {
+		res, err := RunCollection(col, analytics.WCC{}, RunOptions{
+			Mode: Scratch, Parallelism: par, Schedule: schedule.LPT,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.MaxWork() != base.MaxWork() {
+			t.Fatalf("p=%d: LPT MaxWork %d != FIFO %d", par, res.MaxWork(), base.MaxWork())
+		}
+		got, want := res.FinalResults(), base.FinalResults()
+		if len(got) != len(want) {
+			t.Fatalf("p=%d: %d results, want %d", par, len(got), len(want))
+		}
+		for kv, d := range want {
+			if got[kv] != d {
+				t.Fatalf("p=%d: result %+v = %d, want %d", par, kv, got[kv], d)
+			}
+		}
+		for i := range res.Stats {
+			if res.Stats[i].ViewSize != base.Stats[i].ViewSize || res.Stats[i].Index != i {
+				t.Fatalf("p=%d: stats[%d] corrupted under LPT: %+v", par, i, res.Stats[i])
+			}
+		}
+		// Segment stats still tile the collection in order.
+		next := 0
+		for _, seg := range res.Segments {
+			if seg.Start != next {
+				t.Fatalf("p=%d: segments out of order: %+v", par, res.Segments)
+			}
+			next = seg.End
+		}
+	}
+}
+
+// skewedCollection builds a scratch-friendly collection with one view ~10x
+// the rest, the shape where LPT beats FIFO dispatch.
+func skewedCollection(t testing.TB, k int, seed int64) *view.Collection {
+	t.Helper()
+	small := 300
+	g := datagen.Temporal(datagen.TemporalConfig{Nodes: 500, Edges: (k - 1 + 10) * small, Days: 50, Seed: seed})
+	g.Name = "skew"
+	names := make([]string, k)
+	adds := make([][]uint32, k)
+	dels := make([][]uint32, k)
+	next := 0
+	for v := 0; v < k; v++ {
+		n := small
+		if v == k-1 {
+			n = 10 * small // the straggler view, last in collection order
+		}
+		names[v] = fmt.Sprintf("v%d", v)
+		for e := next; e < next+n; e++ {
+			adds[v] = append(adds[v], uint32(e))
+		}
+		for _, prev := range adds[v1(v)] {
+			if v > 0 {
+				dels[v] = append(dels[v], prev)
+			}
+		}
+		next += n
+	}
+	return view.NewCollection("skew-col", g, &view.DiffStream{Names: names, Adds: adds, Dels: dels})
+}
+
+func v1(v int) int {
+	if v == 0 {
+		return 0
+	}
+	return v - 1
+}
+
+// TestEngineEstimatorWarmsAcrossRuns: the engine persists a cost estimator
+// per (computation, workers); after one run its models are warm, so a later
+// run's LPT ordering is driven by predicted seconds, not the size fallback.
+func TestEngineEstimatorWarmsAcrossRuns(t *testing.T) {
+	col := skewedCollection(t, 6, 43)
+	e := engineWithCollection(t, Options{}, col)
+	if _, err := e.RunCollection(col.Name, analytics.WCC{}, RunOptions{Mode: Scratch}); err != nil {
+		t.Fatal(err)
+	}
+	var est *schedule.Estimator
+	for _, cand := range e.estimators {
+		est = cand
+	}
+	if est == nil {
+		t.Fatal("no estimator persisted")
+	}
+	s, _ := est.Observations()
+	if s != col.Stream.NumViews() {
+		t.Fatalf("estimator saw %d scratch observations, want %d", s, col.Stream.NumViews())
+	}
+	if _, modeled := est.SegmentCost(100, nil); !modeled {
+		t.Fatal("estimator still cold after a full run")
+	}
+	// A second LPT run consumes the warm estimator and stays correct.
+	res, err := e.RunCollection(col.Name, analytics.WCC{}, RunOptions{
+		Mode: Scratch, Parallelism: 4, Schedule: schedule.LPT,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.FinalResults()) == 0 {
+		t.Fatal("no results from warm-estimator LPT run")
+	}
+}
+
+// TestSpeculativeAdaptive drives the speculation lifecycle on a collection
+// that splits at every batch boundary: results must match the sequential
+// baseline exactly, committed speculations must be marked on their
+// segments, and on this split-heavy shape at least one speculation must
+// both launch and hit.
+func TestSpeculativeAdaptive(t *testing.T) {
+	col := disjointCollection(t, 12, 400)
+	base, err := RunCollection(col, analytics.WCC{}, RunOptions{Mode: Adaptive, Parallelism: 1, BatchSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunCollection(col, analytics.WCC{}, RunOptions{
+		Mode: Adaptive, Parallelism: 4, BatchSize: 2, Speculate: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, want := res.FinalResults(), base.FinalResults()
+	if len(got) != len(want) {
+		t.Fatalf("%d results with speculation, baseline %d", len(got), len(want))
+	}
+	for kv, d := range want {
+		if got[kv] != d {
+			t.Fatalf("speculative result %+v = %d, baseline %d", kv, got[kv], d)
+		}
+	}
+	specSegs := 0
+	for _, seg := range res.Segments {
+		if seg.Speculative {
+			specSegs++
+		}
+	}
+	if specSegs != res.SpecHits {
+		t.Fatalf("%d speculative segments but %d hits", specSegs, res.SpecHits)
+	}
+	if res.SpecHits == 0 {
+		t.Fatalf("no speculative hits on a split-every-batch collection (misses: %d, splits: %d)",
+			res.SpecMisses, res.Splits)
+	}
+	// Per-view stats are complete, including speculatively executed seeds.
+	for i, st := range res.Stats {
+		if st.Index != i || st.Duration <= 0 || st.OutputDiffs <= 0 {
+			t.Fatalf("stats[%d] not recorded: %+v", i, st)
+		}
+	}
+}
+
+// failComp injects pool-acquire failures: runner construction succeeds
+// `builds` times and fails afterwards, and every built runner refuses to
+// reset, so once the budget is spent an idle replica cannot be recycled
+// either — Acquire deterministically errors from then on.
+type failComp struct {
+	builds *int32
+}
+
+func (failComp) Name() string                 { return "failing" }
+func (c failComp) Build(b *analytics.Builder) { analytics.WCC{}.Build(b) }
+func (c failComp) NewRunner(workers int) (analytics.Runner, error) {
+	if atomic.AddInt32(c.builds, -1) < 0 {
+		return nil, errors.New("injected build failure")
+	}
+	inst, err := analytics.NewInstance(c, workers)
+	if err != nil {
+		return nil, err
+	}
+	return failRunner{inst}, nil
+}
+
+// failRunner refuses to reset, forcing the pool down the rebuild path.
+type failRunner struct {
+	*analytics.Instance
+}
+
+func (failRunner) Reset() error { return errors.New("injected reset failure") }
+
+// settleGoroutines waits for the goroutine count to drop back to the base,
+// failing the test if executor goroutines leaked.
+func settleGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= base {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: %d running, base %d", runtime.NumGoroutine(), base)
+}
+
+// TestRunStaticAcquireFailure: a mid-plan Acquire failure must surface the
+// injected error, drain all dispatched segments, release every replica slot
+// and leak no goroutine — in FIFO and LPT dispatch order.
+func TestRunStaticAcquireFailure(t *testing.T) {
+	col := randomCollection(t, 6, 23)
+	for _, policy := range []schedule.Policy{schedule.FIFO, schedule.LPT} {
+		base := runtime.NumGoroutine()
+		builds := int32(2)
+		comp := failComp{builds: &builds}
+		pool := analytics.NewPool(comp, 1, 2)
+		_, err := runCollection(col, comp, RunOptions{
+			Mode: Scratch, Workers: 1, Parallelism: 2, Schedule: policy,
+		}, pool)
+		if err == nil {
+			t.Fatalf("%v: expected injected failure, got nil", policy)
+		}
+		if pool.Live() != 0 {
+			t.Fatalf("%v: %d replica slots leaked", policy, pool.Live())
+		}
+		settleGoroutines(t, base)
+	}
+}
+
+// TestRunAdaptiveAcquireFailure: an Acquire failure at an adaptive split
+// exercises the fail drain — already-dispatched segments finish, the error
+// surfaces, and neither slots nor goroutines leak. The inline case
+// (Parallelism=1) guarantees splits because every decision sees all
+// observations; the parallel case uses speculation's paced planner for the
+// same reason, and additionally drains async segments and resolves the
+// outstanding speculation on the way out. (An unpaced parallel planner
+// decides with cold models and never splits, so it cannot reach a failing
+// acquire — there is nothing to test there.)
+func TestRunAdaptiveAcquireFailure(t *testing.T) {
+	col := disjointCollection(t, 8, 300)
+	for _, c := range []struct {
+		par       int
+		speculate bool
+	}{{1, false}, {2, true}} {
+		name := fmt.Sprintf("p=%d/speculate=%v", c.par, c.speculate)
+		base := runtime.NumGoroutine()
+		builds := int32(1)
+		comp := failComp{builds: &builds}
+		pool := analytics.NewPool(comp, 1, c.par)
+		_, err := runCollection(col, comp, RunOptions{
+			Mode: Adaptive, Workers: 1, Parallelism: c.par, BatchSize: 2, Speculate: c.speculate,
+		}, pool)
+		if err == nil {
+			t.Fatalf("%s: no error despite acquire failures at splits", name)
+		}
+		if pool.Live() != 0 {
+			t.Fatalf("%s: %d replica slots leaked", name, pool.Live())
+		}
+		settleGoroutines(t, base)
+	}
+}
+
+// TestConcurrentViewLoadSharesOneObject: concurrent disk-fallback misses on
+// one view must converge on a single cached object (the double-checked cache
+// fill), not clobber each other with distinct loads.
+func TestConcurrentViewLoadSharesOneObject(t *testing.T) {
+	dir := t.TempDir()
+	e1, err := NewEngine(Options{DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := datagen.Temporal(datagen.TemporalConfig{Nodes: 50, Edges: 400, Days: 20, Seed: 3})
+	g.Name = "cg"
+	if err := e1.AddGraph(g); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e1.Execute("create view half on cg edges where ts < 10"); err != nil {
+		t.Fatal(err)
+	}
+
+	e2, err := NewEngine(Options{DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const loaders = 8
+	views := make([]*view.Filtered, loaders)
+	var wg sync.WaitGroup
+	for i := 0; i < loaders; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			views[i], _ = e2.View("half")
+		}(i)
+	}
+	wg.Wait()
+	for i, v := range views {
+		if v == nil {
+			t.Fatalf("loader %d got no view", i)
+		}
+		if v != views[0] {
+			t.Fatalf("loader %d got a distinct object: cache fill clobbered", i)
+		}
+	}
+}
+
+// TestViewOverPersistedViewAfterRestart is the resolveTarget regression
+// test: with a data directory, a view persisted by one engine must be a
+// valid `create view ... on <view>` target in a fresh engine over the same
+// directory — resolution goes through the disk fallback, not just the
+// in-memory catalog.
+func TestViewOverPersistedViewAfterRestart(t *testing.T) {
+	dir := t.TempDir()
+	e1, err := NewEngine(Options{DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := datagen.Temporal(datagen.TemporalConfig{Nodes: 100, Edges: 800, Days: 40, Seed: 11})
+	g.Name = "rg"
+	if err := e1.AddGraph(g); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e1.Execute("create view early on rg edges where ts < 20"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart: fresh engine, same data directory, view only on disk.
+	e2, err := NewEngine(Options{DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := e2.Execute("create view early-short on early edges where duration <= 10")
+	if err != nil {
+		t.Fatalf("view-over-view after restart: %v", err)
+	}
+	if len(out) != 1 {
+		t.Fatalf("%d statements executed", len(out))
+	}
+	derived, ok := e2.View("early-short")
+	if !ok {
+		t.Fatal("derived view not materialized")
+	}
+	base, _ := e2.View("early")
+	if derived.NumEdges() == 0 || derived.NumEdges() > base.NumEdges() {
+		t.Fatalf("derived view has %d edges, base %d", derived.NumEdges(), base.NumEdges())
+	}
+	// Collections over persisted views restart too.
+	if _, err := e2.Execute("create view collection cc on early [a: duration <= 5], [b: duration <= 30]"); err != nil {
+		t.Fatalf("collection over persisted view after restart: %v", err)
+	}
+	// A name that is truly neither still says so.
+	if _, err := e2.Execute("create view x on nothing edges where ts < 5"); err == nil {
+		t.Fatal("expected error for unknown target")
+	}
+}
+
+// TestCorruptViewStoreErrorsAreDistinct pins the load-error satellite: a
+// corrupt persisted view must surface the decode failure, not dissolve into
+// "not found" — and resolveTarget must report it rather than claiming the
+// name is neither a graph nor a view.
+func TestCorruptViewStoreErrorsAreDistinct(t *testing.T) {
+	dir := t.TempDir()
+	e, err := NewEngine(Options{DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := datagen.Temporal(datagen.TemporalConfig{Nodes: 40, Edges: 200, Days: 10, Seed: 7})
+	g.Name = "sg"
+	if err := e.AddGraph(g); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFile(dir+"/broken.view.gob", []byte("not a gob stream")); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFile(dir+"/broken.collection.gob", []byte("also not a gob")); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err = e.LookupView("broken")
+	if err == nil {
+		t.Fatal("corrupt view loaded")
+	}
+	if errors.Is(err, ErrNotFound) {
+		t.Fatalf("corrupt view reported as not-found: %v", err)
+	}
+	_, err = e.LookupCollection("broken")
+	if err == nil || errors.Is(err, ErrNotFound) {
+		t.Fatalf("corrupt collection error: %v", err)
+	}
+	// Absence is still ErrNotFound.
+	if _, err := e.LookupView("missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing view error: %v", err)
+	}
+	if _, err := e.LookupCollection("missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing collection error: %v", err)
+	}
+	// resolveTarget surfaces the load failure instead of "neither a graph
+	// nor a view".
+	if _, err := e.Execute("create view v on broken edges where ts < 5"); err == nil {
+		t.Fatal("create view over corrupt target succeeded")
+	} else if errors.Is(err, ErrNotFound) {
+		t.Fatalf("corrupt target misreported: %v", err)
+	}
+	// RunCollection reports the distinct error too.
+	if _, err := e.RunCollection("broken", analytics.WCC{}, RunOptions{}); err == nil || errors.Is(err, ErrNotFound) {
+		t.Fatalf("RunCollection on corrupt collection: %v", err)
+	}
+}
+
+func writeFile(path string, data []byte) error { return os.WriteFile(path, data, 0o644) }
+
+// TestSlashyGraphNameStillResolves pins the review fix on LookupView's
+// error classification: a *graph* whose name the view store refuses (path
+// separators) must still resolve as a statement target on an engine with a
+// data directory — an invalid view name means "no such view", never a load
+// failure that aborts the graph-store fallback.
+func TestSlashyGraphNameStillResolves(t *testing.T) {
+	dir := t.TempDir()
+	// The graph store persists to <name>.graph.gob, so the nested directory
+	// must exist for a slashy graph name to register at all.
+	if err := os.MkdirAll(dir+"/team", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(Options{DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := datagen.Temporal(datagen.TemporalConfig{Nodes: 30, Edges: 100, Days: 10, Seed: 5})
+	g.Name = "team/graph"
+	if err := e.AddGraph(g); err != nil {
+		t.Fatal(err)
+	}
+	resolved, fv, err := e.resolveTarget("team/graph")
+	if err != nil {
+		t.Fatalf("slashy graph name no longer resolves: %v", err)
+	}
+	if fv != nil || resolved != g {
+		t.Fatalf("resolved %v, %v", resolved, fv)
+	}
+	if _, err := e.LookupView("../escape"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("invalid view name not classified as absence: %v", err)
+	}
+}
+
+// TestAddCollectionPersistFailureLeavesNoPhantom: a failed persist must not
+// leave the collection registered in memory.
+func TestAddCollectionPersistFailureLeavesNoPhantom(t *testing.T) {
+	e, err := NewEngine(Options{DataDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := randomCollection(t, 2, 3)
+	col.Name = "a/b" // the view store rejects it
+	if err := e.AddCollection(col); err == nil {
+		t.Fatal("AddCollection accepted an unpersistable name")
+	}
+	e.mu.RLock()
+	_, registered := e.collections["a/b"]
+	e.mu.RUnlock()
+	if registered {
+		t.Fatal("phantom collection registered despite persist failure")
+	}
+}

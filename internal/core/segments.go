@@ -7,6 +7,7 @@ import (
 
 	"graphsurge/internal/analytics"
 	"graphsurge/internal/graph"
+	"graphsurge/internal/schedule"
 	"graphsurge/internal/splitting"
 	"graphsurge/internal/view"
 )
@@ -41,6 +42,31 @@ func (rp *runPool) Release(r analytics.Runner) {
 	<-rp.sem
 }
 
+// Free reports how many of this run's admission slots are currently
+// unclaimed — the cheap gate speculation checks before bothering to spawn an
+// acquisition. The answer can be stale by the time it is used; TryAcquire is
+// the authoritative, non-blocking claim.
+func (rp *runPool) Free() int { return cap(rp.sem) - len(rp.sem) }
+
+// TryAcquire is the non-blocking form of Acquire used by speculation: it
+// returns ok=false immediately when the run's admission limit is reached,
+// the shared pool has no free replica slot (another run may hold them all),
+// or replica construction fails — instead of stalling or failing the run.
+// A speculation that cannot get a replica simply doesn't happen.
+func (rp *runPool) TryAcquire() (analytics.Runner, time.Duration, bool) {
+	select {
+	case rp.sem <- struct{}{}:
+	default:
+		return nil, 0, false
+	}
+	r, setup, ok := rp.pool.TryAcquire()
+	if !ok {
+		<-rp.sem
+		return nil, 0, false
+	}
+	return r, setup, true
+}
+
 // viewJob is one view handed to a segment executor: the view's index, its
 // mode label for stats, and — on a segment's first view only — the full edge
 // list seeding the segment's fresh dataflow.
@@ -65,10 +91,18 @@ type collectionRun struct {
 	triples func(idxs []uint32) []graph.Triple
 	stats   []ViewStats
 
-	accMu    sync.Mutex
-	work     []int64 // per-worker counters summed over segment replicas
-	iterCap  bool
-	segStats []SegmentStats
+	accMu      sync.Mutex
+	work       []int64 // per-worker counters summed over segment replicas
+	iterCap    bool
+	segStats   []SegmentStats
+	specHits   int
+	specMisses int
+	finalRes   map[analytics.VertexValue]int64 // snapshotted from the final view's segment
+
+	// estimator receives every view's measured runtime for the engine's
+	// scheduling cost model (LPT ordering of later runs). It is
+	// mutex-guarded internally, so segment goroutines feed it directly.
+	estimator *schedule.Estimator
 
 	// observe, when set (adaptive mode), receives each view's measured
 	// runtime for the optimizer's online models. It must be safe to call
@@ -92,6 +126,7 @@ type segmentExec struct {
 	start     int           // first view index, for SegmentStats
 	setupStat time.Duration // setup cost, surviving the fold into the seed view
 	drain     time.Duration // summed wall time of the segment's Steps
+	spec      bool          // opened by a committed speculation
 }
 
 // runJob executes one view on the segment's runner and records its stats.
@@ -122,6 +157,11 @@ func (cr *collectionRun) runJob(s *segmentExec, j viewJob) {
 		DiffSize:    cr.stream.DiffSize(j.t),
 		OutputDiffs: s.r.OutputDiffs(v),
 	}
+	if j.seed != nil {
+		cr.estimator.ObserveScratch(cr.sizes[j.t], dur)
+	} else {
+		cr.estimator.ObserveDiff(cr.stream.DiffSize(j.t), dur)
+	}
 	if cr.observe != nil {
 		cr.observe(j, dur)
 	}
@@ -142,12 +182,20 @@ func (cr *collectionRun) consume(s *segmentExec) {
 
 // finishSegment folds a completed segment into the run's aggregates: its
 // replica's work counters and iteration-cap flag (snapshotted now, because
-// the replica is about to be released and reset for reuse) and its
-// SegmentStats entry. Must be called exactly once per segment, after its
-// last view and before its replica is released.
+// the replica is about to be released and reset for reuse), its
+// SegmentStats entry, and — when the segment contains the collection's
+// final view — the per-vertex results the RunResult reports. Snapshotting
+// here lets every replica return to the pool uniformly no matter the
+// dispatch order (under LPT the final segment can finish first). Must be
+// called exactly once per segment, after its last view and before its
+// replica is released.
 func (cr *collectionRun) finishSegment(s *segmentExec, end int) {
 	wc := s.r.WorkCounts()
 	hit := s.r.IterCapHit()
+	var finalRes map[analytics.VertexValue]int64
+	if end == cr.stream.NumViews() {
+		finalRes = s.r.Results()
+	}
 	cr.accMu.Lock()
 	if cr.work == nil {
 		cr.work = make([]int64, len(wc))
@@ -157,11 +205,15 @@ func (cr *collectionRun) finishSegment(s *segmentExec, end int) {
 	}
 	cr.iterCap = cr.iterCap || hit
 	cr.segStats = append(cr.segStats, SegmentStats{
-		Start: s.start,
-		End:   end,
-		Setup: s.setupStat,
-		Drain: s.drain,
+		Start:       s.start,
+		End:         end,
+		Setup:       s.setupStat,
+		Drain:       s.drain,
+		Speculative: s.spec,
 	})
+	if finalRes != nil {
+		cr.finalRes = finalRes
+	}
 	cr.accMu.Unlock()
 }
 
@@ -174,61 +226,114 @@ func (cr *collectionRun) segmentStats() []SegmentStats {
 }
 
 // acquireSegment takes a replica from the pool and builds the seed for a
-// segment opening at view t, folding the seed scan's time into the setup
-// cost the seed view will report. The membership fold happens untimed first,
-// matching the sequential executor, which updated membership per view
-// outside the split timer and timed only the final scan.
-func acquireSegment(pool *runPool, ss *seedScan, t int) (*segmentExec, []uint32, error) {
+// segment opening at view t, folding the seed build time into the setup
+// cost the seed view will report (the cache attributes a seed built ahead
+// of dispatch to the segment that uses it).
+func acquireSegment(pool *runPool, seeds *seedCache, t int) (*segmentExec, []uint32, error) {
 	r, setup, err := pool.Acquire()
 	if err != nil {
 		return nil, nil, err
 	}
-	ss.advance(t)
-	start := time.Now()
-	seed := ss.at(t)
-	setup += time.Since(start)
+	seed, build := seeds.take(t)
+	setup += build
 	return &segmentExec{r: r, setup: setup, start: t, setupStat: setup}, seed, nil
 }
 
-// runStatic dispatches a fully precomputed plan's segments onto the pool, in
-// collection order. Segments share no dataflow state, so up to the run's
-// admission limit execute concurrently (Acquire provides the backpressure).
-// Every segment's replica returns to the pool as it finishes except the
-// final segment's, which is returned by the caller after snapshotting the
-// run's results from it. An empty collection acquires nothing and returns a
-// nil runner.
-func (cr *collectionRun) runStatic(plan splitting.Plan, ss *seedScan, pool *runPool) (analytics.Runner, error) {
-	if len(plan.Segments) == 0 {
-		return nil, nil
-	}
-	last := len(plan.Segments) - 1
+// runStatic dispatches a fully precomputed plan's segments onto the pool in
+// the scheduler's dispatch order — collection order under FIFO, longest
+// predicted cost first under LPT (order is a permutation of the segment
+// indices). Segments share no dataflow state, so up to the run's admission
+// limit execute concurrently (Acquire provides the backpressure, making the
+// dispatch a list schedule in the given order). Every segment's replica
+// returns to the pool as it finishes — the final collection segment's
+// results are snapshotted by finishSegment before its release, so even when
+// LPT dispatches (and finishes) that segment first, its replica slot frees
+// for the remaining segments rather than deadlocking a Parallelism=1 run.
+// An empty collection acquires nothing.
+func (cr *collectionRun) runStatic(plan splitting.Plan, seeds *seedCache, pool *runPool, order []int) error {
 	var wg sync.WaitGroup
-	var final analytics.Runner
-	for si := range plan.Segments {
+	for _, si := range order {
 		seg := plan.Segments[si]
-		s, seed, err := acquireSegment(pool, ss, seg.Start)
+		s, seed, err := acquireSegment(pool, seeds, seg.Start)
 		if err != nil {
 			wg.Wait()
-			return nil, err
-		}
-		if si == last {
-			final = s.r
+			return err
 		}
 		wg.Add(1)
-		go func(si int, seg splitting.Segment, s *segmentExec, seed []uint32) {
+		go func(seg splitting.Segment, s *segmentExec, seed []uint32) {
 			defer wg.Done()
 			cr.runJob(s, viewJob{t: seg.Start, mode: plan.Modes[seg.Start], seed: seed})
 			for t := seg.Start + 1; t < seg.End; t++ {
 				cr.runJob(s, viewJob{t: t, mode: plan.Modes[t]})
 			}
 			cr.finishSegment(s, seg.End)
-			if si != last {
-				pool.Release(s.r)
-			}
-		}(si, seg, s, seed)
+			pool.Release(s.r)
+		}(seg, s, seed)
 	}
 	wg.Wait()
-	return final, nil
+	return nil
+}
+
+// speculation is one in-flight speculative segment start: the predicted
+// split view, the replica seeded with it (nil when no idle replica could be
+// claimed or construction failed), and the seed view's stats, published via
+// the done channel.
+type speculation struct {
+	t    int
+	done chan struct{}
+	s    *segmentExec // set only if a replica was acquired and seeded
+	st   ViewStats    // the speculatively executed seed view's stats
+}
+
+// speculate predicts the planner's next split point from the optimizer's
+// current models and, when this run has an idle replica slot, seeds that
+// segment on it ahead of the decision: the replica is acquired, the seed
+// built on a fork of the scan (the parent scan cannot rewind if the
+// prediction misses short), and the predicted view stepped from scratch.
+// The segment is independent dataflow state, so the work is correct
+// whether or not the planner later declares the split — a hit converts
+// replica idle time into overlap, a miss releases the replica (its state
+// is discarded by the pool's reset on the next acquire). Returns nil when
+// no split is predicted.
+func (cr *collectionRun) speculate(opt *splitting.Optimizer, mu *sync.Mutex, pool *runPool, scan *seedScan, from, k int, diffs []int) *speculation {
+	mu.Lock()
+	p, ok := schedule.PredictSplit(opt, from, k, cr.sizes, diffs)
+	mu.Unlock()
+	if !ok {
+		return nil
+	}
+	sp := &speculation{t: p, done: make(chan struct{})}
+	fork := scan.fork() // fork on the planner goroutine: the scan is not concurrency-safe
+	go func() {
+		defer close(sp.done)
+		r, setup, ok := pool.TryAcquire()
+		if !ok {
+			return
+		}
+		jobStart := time.Now()
+		fork.advance(p)
+		scanStart := time.Now()
+		seed := fork.at(p)
+		setup += time.Since(scanStart)
+		// Mirror runJob's split timing: replica setup, seed scan, triple
+		// materialization and the step are one measured duration.
+		stepStart := time.Now()
+		r.Step(cr.triples(seed), nil)
+		dur := setup + time.Since(stepStart)
+		v, _ := r.Version()
+		sp.st = ViewStats{
+			Index:       p,
+			Name:        cr.stream.Names[p],
+			Mode:        splitting.ModeScratch,
+			Duration:    dur,
+			ViewSize:    cr.sizes[p],
+			DiffSize:    cr.stream.DiffSize(p),
+			OutputDiffs: r.OutputDiffs(v),
+		}
+		r.DropOutputsBefore(v)
+		sp.s = &segmentExec{r: r, start: p, setupStat: setup, drain: time.Since(jobStart), spec: true}
+	}()
+	return sp
 }
 
 // runAdaptive interleaves online planning with segment execution. The
@@ -245,10 +350,17 @@ func (cr *collectionRun) runStatic(plan splitting.Plan, ss *seedScan, pool *runP
 // whatever observations have arrived (the models are merely less warm, never
 // wrong), so split points — but not results — may vary with timing, just as
 // they already vary with machine load sequentially.
-func (cr *collectionRun) runAdaptive(opts RunOptions, pool *runPool, ss *seedScan) (analytics.Runner, splitting.Plan, error) {
+//
+// With Speculate additionally set, an idle replica is seeded with the
+// predicted next split point's segment while the planner is still deciding
+// (see speculate); stats and model observations for a speculative seed view
+// are recorded only if its segment commits, so a miss leaves the run's
+// results, ViewStats and work aggregates exactly as if it never happened.
+func (cr *collectionRun) runAdaptive(opts RunOptions, pool *runPool, scan *seedScan) (splitting.Plan, error) {
 	k := cr.stream.NumViews()
 	opt := &splitting.Optimizer{BatchSize: opts.BatchSize}
 	planner := splitting.NewPlanner(opt)
+	seeds := newSeedCache(scan, splitting.Plan{})
 
 	// One mutex serializes planner decisions against observations arriving
 	// from segment goroutines; the optimizer is not safe for concurrent use.
@@ -266,27 +378,62 @@ func (cr *collectionRun) runAdaptive(opts RunOptions, pool *runPool, ss *seedSca
 	// Inline is this run's parallelism, not the pool's capacity: a shared
 	// engine pool may be larger than this run is allowed to use.
 	inline := opts.Parallelism == 1
+	speculating := opts.Speculate && !inline
+	var diffs []int
+	if speculating {
+		diffs = make([]int, k)
+		for t := range diffs {
+			diffs[t] = cr.stream.DiffSize(t)
+		}
+	}
 	var segs []*segmentExec // asynchronously executing segments, in order
 	var cur *segmentExec
+	var spec *speculation
 	// handoffs tracks the goroutines finishing closed segments; they must be
 	// joined before returning, or their finishSegment aggregation would race
 	// with the caller reading the run's work counters and segment stats.
 	var handoffs sync.WaitGroup
+	// resolveSpec joins the outstanding speculation, if any, and returns it
+	// when it seeded the segment the planner just opened at commitAt (a
+	// hit); any other outcome — no split at the predicted view, a split
+	// elsewhere (commitAt -1), or a speculation that never got a replica —
+	// discards it, releasing the replica for the pool to reset.
+	resolveSpec := func(commitAt int) *speculation {
+		if spec == nil {
+			return nil
+		}
+		sp := spec
+		spec = nil
+		<-sp.done
+		if sp.s == nil {
+			return nil
+		}
+		if sp.t == commitAt {
+			return sp
+		}
+		pool.Release(sp.s.r)
+		cr.accMu.Lock()
+		cr.specMisses++
+		cr.accMu.Unlock()
+		return nil
+	}
 	// fail drains the already-dispatched segments before returning; it is
 	// only reached from the acquire path, where every segment so far —
 	// including the one just closed by the split — has a closed queue.
-	fail := func(err error) (analytics.Runner, splitting.Plan, error) {
+	fail := func(err error) (splitting.Plan, error) {
 		for _, s := range segs {
 			<-s.done
 		}
 		handoffs.Wait()
-		return nil, planner.Plan(), err
+		resolveSpec(-1)
+		return planner.Plan(), err
 	}
 	for t := 0; t < k; t++ {
 		mu.Lock()
 		mode, split := planner.Extend(cr.sizes[t], cr.stream.DiffSize(t))
 		mu.Unlock()
 		var seed []uint32
+		committed := false
 		if split {
 			if cur != nil {
 				if inline {
@@ -306,28 +453,63 @@ func (cr *collectionRun) runAdaptive(opts RunOptions, pool *runPool, ss *seedSca
 					}(cur, t)
 				}
 			}
-			var err error
-			cur, seed, err = acquireSegment(pool, ss, t)
-			if err != nil {
-				return fail(err)
+			if sp := resolveSpec(t); sp != nil {
+				// Hit: the segment's seed view already ran on the
+				// speculative replica. Publish its stats and feed the models
+				// now — exactly what runJob would have done had the view run
+				// after the decision.
+				cur = sp.s
+				cr.stats[t] = sp.st
+				cr.estimator.ObserveScratch(cr.sizes[t], sp.st.Duration)
+				mu.Lock()
+				opt.ObserveScratch(cr.sizes[t], sp.st.Duration)
+				mu.Unlock()
+				cr.accMu.Lock()
+				cr.specHits++
+				cr.accMu.Unlock()
+				committed = true
+			} else {
+				var err error
+				cur, seed, err = acquireSegment(pool, seeds, t)
+				if err != nil {
+					return fail(err)
+				}
 			}
 			if !inline {
-				cur.jobs = make(chan viewJob, k-t)
+				// Speculative mode paces the planner: an unbuffered queue
+				// keeps it at most one view ahead of execution, so decisions
+				// see near-sequential observations — the "pending decision"
+				// whose replica idle time speculation converts into overlap.
+				// Without speculation the queue is deep and the planner runs
+				// ahead, deciding with whatever observations have arrived.
+				bufCap := k - t
+				if speculating {
+					bufCap = 0
+				}
+				cur.jobs = make(chan viewJob, bufCap)
 				cur.done = make(chan struct{})
 				segs = append(segs, cur)
 				go cr.consume(cur)
 			}
+		} else if spec != nil && t >= spec.t {
+			// The predicted split point passed without a split: a miss.
+			resolveSpec(-1)
 		}
-		j := viewJob{t: t, mode: mode, seed: seed}
-		if inline {
-			cr.runJob(cur, j)
-		} else {
-			cur.jobs <- j
+		if !committed {
+			j := viewJob{t: t, mode: mode, seed: seed}
+			if inline {
+				cr.runJob(cur, j)
+			} else {
+				cur.jobs <- j
+			}
+		}
+		if speculating && spec == nil && pool.Free() > 0 {
+			spec = cr.speculate(opt, &mu, pool, scan, t+1, k, diffs)
 		}
 	}
 	if cur == nil {
 		// Empty collection: nothing ran, nothing to acquire.
-		return nil, planner.Plan(), nil
+		return planner.Plan(), nil
 	}
 	if !inline {
 		close(cur.jobs)
@@ -336,6 +518,8 @@ func (cr *collectionRun) runAdaptive(opts RunOptions, pool *runPool, ss *seedSca
 		}
 		handoffs.Wait()
 	}
+	resolveSpec(-1)
 	cr.finishSegment(cur, k)
-	return cur.r, planner.Plan(), nil
+	pool.Release(cur.r)
+	return planner.Plan(), nil
 }

@@ -210,3 +210,54 @@ func TestValueHelpers(t *testing.T) {
 		t.Fatal("PropType String()")
 	}
 }
+
+// TestStoreRejectsTraversalNames pins the disk-path guard: graph names that
+// would escape the store directory are refused by persist and the disk
+// fallback (never reading or writing outside it), while subdirectory names
+// without traversal keep working and memory-only stores are unrestricted.
+func TestStoreRejectsTraversalNames(t *testing.T) {
+	dir := t.TempDir()
+	outside := t.TempDir()
+	s, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(name string) *Graph {
+		return &Graph{Name: name, NumNodes: 2, Srcs: []uint64{0}, Dsts: []uint64{1}}
+	}
+	for _, name := range []string{"../escape", "a/../../escape", `a\b`} {
+		if err := s.Add(mk(name)); err == nil {
+			t.Fatalf("Add accepted traversal name %q", name)
+		}
+		if _, err := s.Graph(name); err == nil {
+			t.Fatalf("Graph resolved traversal name %q from disk", name)
+		}
+	}
+	// Nothing escaped: a matching file outside the store stays unread and
+	// the outside directory stays empty of writes.
+	if entries, _ := os.ReadDir(outside); len(entries) != 0 {
+		t.Fatalf("store wrote outside its directory: %v", entries)
+	}
+	// A failed Add leaves no phantom in-memory graph either.
+	if _, err := s.Graph("../escape"); err == nil {
+		t.Fatal("phantom graph registered despite rejected persist")
+	}
+	// Subdirectory names without traversal still work once the dir exists.
+	if err := os.MkdirAll(filepath.Join(dir, "team"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(mk("team/g")); err != nil {
+		t.Fatalf("subdirectory name rejected: %v", err)
+	}
+	if _, err := s.Graph("team/g"); err != nil {
+		t.Fatal(err)
+	}
+	// Memory-only stores accept any name.
+	mem, err := NewStore("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mem.Add(mk("../whatever")); err != nil {
+		t.Fatalf("memory-only store rejected a name: %v", err)
+	}
+}

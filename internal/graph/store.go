@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 )
 
@@ -30,7 +31,10 @@ func NewStore(dir string) (*Store, error) {
 }
 
 // Add registers a graph under its name, persisting it if the store has a
-// directory. Re-adding a name replaces the previous graph.
+// directory. Re-adding a name replaces the previous graph. Persistence
+// happens before registration so a failed persist (unwritable directory,
+// name the disk layer rejects) never leaves a phantom in-memory graph the
+// caller was told failed.
 func (s *Store) Add(g *Graph) error {
 	if g.Name == "" {
 		return fmt.Errorf("graph: cannot store unnamed graph")
@@ -38,12 +42,14 @@ func (s *Store) Add(g *Graph) error {
 	if err := g.Validate(); err != nil {
 		return err
 	}
+	if s.dir != "" {
+		if err := s.persist(g); err != nil {
+			return err
+		}
+	}
 	s.mu.Lock()
 	s.graphs[g.Name] = g
 	s.mu.Unlock()
-	if s.dir != "" {
-		return s.persist(g)
-	}
 	return nil
 }
 
@@ -79,12 +85,31 @@ func (s *Store) Names() []string {
 	return out
 }
 
-func (s *Store) path(name string) string {
-	return filepath.Join(s.dir, name+".graph.gob")
+// path validates that name stays inside the store directory when joined
+// into a disk path. Unlike the view store, slash-separated subdirectory
+// names are allowed — they have always been functional for graphs — but
+// the joined path must remain under dir: ".." traversal escapes it, and
+// backslashes are rejected for portability (a literal filename character
+// on Unix becomes a separator on Windows). In-memory registration and
+// lookup are unaffected; only the disk fallback refuses such names.
+func (s *Store) path(name string) (string, error) {
+	if strings.Contains(name, `\`) {
+		return "", fmt.Errorf("graph: invalid name %q: contains a path separator", name)
+	}
+	p := filepath.Join(s.dir, name+".graph.gob")
+	rel, err := filepath.Rel(s.dir, p)
+	if err != nil || rel == ".." || strings.HasPrefix(rel, ".."+string(filepath.Separator)) {
+		return "", fmt.Errorf("graph: invalid name %q: escapes the store directory", name)
+	}
+	return p, nil
 }
 
 func (s *Store) persist(g *Graph) error {
-	f, err := os.Create(s.path(g.Name))
+	path, err := s.path(g.Name)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
@@ -96,7 +121,11 @@ func (s *Store) persist(g *Graph) error {
 }
 
 func (s *Store) load(name string) (*Graph, error) {
-	f, err := os.Open(s.path(name))
+	path, err := s.path(name)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}

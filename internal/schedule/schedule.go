@@ -1,0 +1,180 @@
+// Package schedule is Graphsurge's cost-model segment scheduler. The
+// splitting optimizer (paper §5) fits online linear models of scratch and
+// differential cost to pick each view's execution mode; this package turns
+// the same predictions into *scheduling* decisions:
+//
+//   - LPT ordering for static plans: predict each segment's cost (scratch
+//     model on its seed size plus diff model on its successors' diff sizes,
+//     falling back to the raw sizes while the models are cold) and dispatch
+//     segments longest-predicted-first onto the replica pool. For skewed
+//     collections this tightens the makespan the same way Longest Processing
+//     Time tightens any list schedule — the largest segment can no longer
+//     land last and serialize the tail.
+//
+//   - Split-point prediction for adaptive mode: simulate the optimizer's
+//     upcoming batch decisions with its current models to name the view it
+//     is most likely to run from scratch next, so an idle replica can seed
+//     that segment speculatively while the planner is still deciding.
+//
+// The Estimator here is deliberately separate from the adaptive optimizer's
+// per-run models: an engine keeps one Estimator per (computation, workers)
+// across RunCollection calls, so a static-mode run can be scheduled with
+// costs learned from earlier runs, while each adaptive run still bootstraps
+// its own optimizer exactly as the paper describes.
+package schedule
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"graphsurge/internal/splitting"
+)
+
+// Policy selects the dispatch order for a static plan's segments.
+type Policy uint8
+
+const (
+	// FIFO dispatches segments in collection order (the pre-scheduler
+	// behavior).
+	FIFO Policy = iota
+	// LPT dispatches segments longest-predicted-first.
+	LPT
+)
+
+func (p Policy) String() string {
+	if p == LPT {
+		return "lpt"
+	}
+	return "fifo"
+}
+
+// ParsePolicy parses a CLI policy name.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "fifo", "":
+		return FIFO, nil
+	case "lpt":
+		return LPT, nil
+	}
+	return FIFO, fmt.Errorf("schedule: unknown policy %q (want fifo or lpt)", s)
+}
+
+// Estimator is a concurrency-safe online cost model for segment scheduling:
+// the same two simple linear regressions the splitting optimizer fits —
+// (|GV|, scratch seconds) and (|δC|, differential seconds) — behind a mutex
+// so segment executor goroutines can feed observations while a scheduler
+// reads predictions. The zero value is a cold estimator, ready for use.
+type Estimator struct {
+	mu      sync.Mutex
+	scratch splitting.Model
+	diff    splitting.Model
+}
+
+// ObserveScratch records a from-scratch run of a view with |GV| = size.
+func (e *Estimator) ObserveScratch(size int, d time.Duration) {
+	e.mu.Lock()
+	e.scratch.Observe(float64(size), d.Seconds())
+	e.mu.Unlock()
+}
+
+// ObserveDiff records a differential run of a view with |δC| = size.
+func (e *Estimator) ObserveDiff(size int, d time.Duration) {
+	e.mu.Lock()
+	e.diff.Observe(float64(size), d.Seconds())
+	e.mu.Unlock()
+}
+
+// Observations reports how many scratch and differential runs the estimator
+// has seen (observability, tests).
+func (e *Estimator) Observations() (scratch, diff int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.scratch.Count(), e.diff.Count()
+}
+
+// SegmentCost predicts the wall time of one segment: the scratch cost of
+// its seed view plus the diff cost of each differential successor. The
+// returned cost is in seconds when modeled is true. When any needed model
+// is still cold the whole segment falls back to the raw sizes as a unitless
+// proxy — sizes and seconds must not be mixed within one cost, and for LPT
+// only the relative order matters, which the size proxy preserves (cost
+// grows with work either way).
+func (e *Estimator) SegmentCost(seedSize int, diffSizes []int) (cost float64, modeled bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	total, ok := e.scratch.Predict(float64(seedSize))
+	for _, d := range diffSizes {
+		if !ok {
+			break
+		}
+		dt, dok := e.diff.Predict(float64(d))
+		total, ok = total+dt, dok
+	}
+	if ok {
+		return total, true
+	}
+	proxy := float64(seedSize)
+	for _, d := range diffSizes {
+		proxy += float64(d)
+	}
+	return proxy, false
+}
+
+// PlanCosts predicts every segment's cost for a plan over a collection with
+// the given per-view full sizes and difference-set sizes.
+func (e *Estimator) PlanCosts(plan splitting.Plan, viewSizes, diffSizes []int) []float64 {
+	costs := make([]float64, len(plan.Segments))
+	for i, seg := range plan.Segments {
+		costs[i], _ = e.SegmentCost(viewSizes[seg.Start], diffSizes[seg.Start+1:seg.End])
+	}
+	return costs
+}
+
+// LPTOrder returns a dispatch permutation over the segments, longest
+// predicted cost first. Ties keep collection order (stable), so the
+// permutation — and therefore dispatch — is deterministic for equal costs.
+func LPTOrder(costs []float64) []int {
+	order := make([]int, len(costs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return costs[order[a]] > costs[order[b]] })
+	return order
+}
+
+// PredictSplit simulates the optimizer's upcoming decisions with its
+// current models and returns the index ≥ from of the next view it is
+// expected to run from scratch — the predicted next split point. Inside a
+// scratch batch every remaining view runs from scratch (the planner opens
+// a segment at each), so the prediction is simply the next view; otherwise
+// fresh decisions happen only at batch boundaries (NextDecision, then
+// every Batch views) and those are the candidate split points. ok is false
+// when no split is predicted before the collection's k views end. The
+// prediction is a snapshot: observations arriving between now and the real
+// decision shift the models, which is exactly why callers treat a
+// speculatively seeded segment as discardable.
+func PredictSplit(opt *splitting.Optimizer, from, k int, viewSizes, diffSizes []int) (int, bool) {
+	b := opt.NextDecision()
+	if from >= 2 && from < b && from < k && opt.BatchMode() == splitting.ModeScratch {
+		// Mid-batch with a cached scratch decision: view `from` itself will
+		// split (from ≥ 2 excludes the fixed scratch/diff bootstrap views).
+		return from, true
+	}
+	if b < 2 {
+		// Bootstrap decisions (views 0 and 1) are fixed scratch/diff; the
+		// first modeled decision is at view 2.
+		b = 2
+	}
+	step := opt.Batch()
+	for ; b < k; b += step {
+		if b < from {
+			continue
+		}
+		if opt.PeekMode(viewSizes[b], diffSizes[b]) == splitting.ModeScratch {
+			return b, true
+		}
+	}
+	return 0, false
+}

@@ -108,6 +108,54 @@ func (o *Optimizer) ObserveDiff(size int, d time.Duration) {
 // Models exposes the fitted models (observability, tests).
 func (o *Optimizer) Models() (scratch, diff *Model) { return &o.scratch, &o.diff }
 
+// PredictScratch estimates the from-scratch runtime of a view with
+// |GV| = size from the fitted scratch model. ok is false while the model is
+// cold (no observations yet).
+func (o *Optimizer) PredictScratch(size int) (time.Duration, bool) {
+	y, ok := o.scratch.Predict(float64(size))
+	return time.Duration(y * float64(time.Second)), ok
+}
+
+// PredictDiff estimates the differential runtime of a view with |δC| = size
+// from the fitted diff model. ok is false while the model is cold.
+func (o *Optimizer) PredictDiff(size int) (time.Duration, bool) {
+	y, ok := o.diff.Predict(float64(size))
+	return time.Duration(y * float64(time.Second)), ok
+}
+
+// PeekMode returns the mode the current models would choose for a view with
+// the given sizes, without advancing the optimizer's decision state. Decide
+// uses the same comparison; PeekMode is the read-only form schedulers use to
+// anticipate upcoming decisions (speculative segment start).
+func (o *Optimizer) PeekMode(viewSize, diffSize int) Mode {
+	st, sok := o.scratch.Predict(float64(viewSize))
+	dt, dok := o.diff.Predict(float64(diffSize))
+	switch {
+	case sok && dok:
+		if st < dt {
+			return ModeScratch
+		}
+		return ModeDiff
+	case sok:
+		return ModeScratch
+	default:
+		return ModeDiff
+	}
+}
+
+// NextDecision returns the index of the next view at which the optimizer
+// will make a fresh decision rather than reuse the current batch's mode.
+// During bootstrap (before view 2) it reports the bootstrap position.
+func (o *Optimizer) NextDecision() int { return o.decided }
+
+// BatchMode returns the mode views before NextDecision inherit — the
+// current batch's cached decision. Meaningful once the bootstrap views have
+// been decided.
+func (o *Optimizer) BatchMode() Mode { return o.mode }
+
+// Batch returns the effective decision batch size ℓ.
+func (o *Optimizer) Batch() int { return o.batch() }
+
 func (o *Optimizer) batch() int {
 	if o.BatchSize > 0 {
 		return o.BatchSize
@@ -131,20 +179,7 @@ func (o *Optimizer) Decide(i, viewSize, diffSize int) Mode {
 	if i < o.decided {
 		return o.mode
 	}
-	st, sok := o.scratch.Predict(float64(viewSize))
-	dt, dok := o.diff.Predict(float64(diffSize))
-	switch {
-	case sok && dok:
-		if st < dt {
-			o.mode = ModeScratch
-		} else {
-			o.mode = ModeDiff
-		}
-	case sok:
-		o.mode = ModeScratch
-	default:
-		o.mode = ModeDiff
-	}
+	o.mode = o.PeekMode(viewSize, diffSize)
 	o.decided = i + o.batch()
 	return o.mode
 }

@@ -163,3 +163,61 @@ func TestDefaultBatchSize(t *testing.T) {
 		}
 	}
 }
+
+// TestPredictionAPI pins the scheduler-facing prediction surface: PredictScratch/
+// PredictDiff mirror the fitted models, PeekMode matches what Decide would
+// choose without advancing the decision state, and NextDecision/Batch expose
+// the batch boundaries speculation simulates.
+func TestPredictionAPI(t *testing.T) {
+	o := &Optimizer{BatchSize: 3}
+	if _, ok := o.PredictScratch(100); ok {
+		t.Fatal("cold scratch model predicted")
+	}
+	if _, ok := o.PredictDiff(100); ok {
+		t.Fatal("cold diff model predicted")
+	}
+	if o.Batch() != 3 {
+		t.Fatalf("Batch() = %d", o.Batch())
+	}
+	// Cold models: PeekMode must fall back exactly as Decide does (diff).
+	if o.PeekMode(100, 10) != ModeDiff {
+		t.Fatal("cold PeekMode != ModeDiff")
+	}
+
+	// Scratch costs 1ms per unit size, diff 10ms per unit: scratch wins.
+	o.ObserveScratch(100, 100*time.Millisecond)
+	o.ObserveScratch(200, 200*time.Millisecond)
+	o.ObserveDiff(10, 100*time.Millisecond)
+	o.ObserveDiff(20, 200*time.Millisecond)
+
+	st, ok := o.PredictScratch(300)
+	if !ok || st < 250*time.Millisecond || st > 350*time.Millisecond {
+		t.Fatalf("PredictScratch(300) = %v, %v", st, ok)
+	}
+	dt, ok := o.PredictDiff(50)
+	if !ok || dt < 400*time.Millisecond || dt > 600*time.Millisecond {
+		t.Fatalf("PredictDiff(50) = %v, %v", dt, ok)
+	}
+
+	// PeekMode must agree with Decide at a fresh decision point, and must
+	// not advance the decision state the way Decide does.
+	peek := o.PeekMode(300, 50)
+	o.Decide(0, 0, 0) // bootstrap
+	o.Decide(1, 0, 0)
+	before := o.NextDecision()
+	if before != 2 {
+		t.Fatalf("NextDecision after bootstrap = %d", before)
+	}
+	if again := o.PeekMode(300, 50); again != peek {
+		t.Fatalf("PeekMode unstable: %v then %v", peek, again)
+	}
+	if o.NextDecision() != before {
+		t.Fatal("PeekMode advanced the decision state")
+	}
+	if got := o.Decide(2, 300, 50); got != peek {
+		t.Fatalf("Decide(2) = %v, PeekMode said %v", got, peek)
+	}
+	if o.NextDecision() != 2+o.Batch() {
+		t.Fatalf("NextDecision after Decide = %d", o.NextDecision())
+	}
+}

@@ -2,9 +2,11 @@ package view
 
 import (
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"graphsurge/internal/graph"
 )
@@ -15,6 +17,26 @@ import (
 // base graph's name plus edge indices; a collection is its name, order and
 // difference stream.
 
+// ErrInvalidName marks a view/collection name the store refuses to join
+// into a path. Callers with a fallback (the engine's target resolution
+// tries the graph store next) branch on it with errors.Is: an invalid name
+// can never correspond to a stored view, so for lookup it means absence,
+// not failure.
+var ErrInvalidName = errors.New("invalid name")
+
+// validName rejects view/collection names that could escape the data
+// directory when joined into a path: empty names, the dot paths "." and
+// "..", and names containing either flavor of path separator (both are
+// rejected on every OS so persisted data stays portable). Checked on both
+// save and load — a crafted name must fail no matter which side sees it
+// first (`run -view '../x'` must not read outside the data directory).
+func validName(name string) error {
+	if name == "" || name == "." || name == ".." || strings.ContainsAny(name, `/\`) {
+		return fmt.Errorf("view: %w %q: must be non-empty and contain no path separators", ErrInvalidName, name)
+	}
+	return nil
+}
+
 // filteredGob is the on-disk form of a Filtered view.
 type filteredGob struct {
 	Name  string
@@ -24,6 +46,9 @@ type filteredGob struct {
 
 // SaveFiltered persists a filtered view under dir.
 func SaveFiltered(dir string, f *Filtered) error {
+	if err := validName(f.Name); err != nil {
+		return err
+	}
 	if f.Base == nil || f.Base.Name == "" {
 		return fmt.Errorf("view: cannot persist view %q without a named base graph", f.Name)
 	}
@@ -41,6 +66,9 @@ func SaveFiltered(dir string, f *Filtered) error {
 // LoadFiltered loads a persisted filtered view, resolving its base graph
 // through lookup (typically graph.Store.Graph).
 func LoadFiltered(dir, name string, lookup func(string) (*graph.Graph, error)) (*Filtered, error) {
+	if err := validName(name); err != nil {
+		return nil, err
+	}
 	file, err := os.Open(filepath.Join(dir, name+".view.gob"))
 	if err != nil {
 		return nil, err
@@ -79,6 +107,9 @@ type collectionGob struct {
 // (the EBM is not retained — it is only needed for ordering, which has
 // already happened).
 func SaveCollection(dir string, c *Collection) error {
+	if err := validName(c.Name); err != nil {
+		return err
+	}
 	if c.Graph == nil || c.Graph.Name == "" {
 		return fmt.Errorf("view: cannot persist collection %q without a named base graph", c.Name)
 	}
@@ -103,6 +134,9 @@ func SaveCollection(dir string, c *Collection) error {
 
 // LoadCollection loads a persisted collection.
 func LoadCollection(dir, name string, lookup func(string) (*graph.Graph, error)) (*Collection, error) {
+	if err := validName(name); err != nil {
+		return nil, err
+	}
 	file, err := os.Open(filepath.Join(dir, name+".collection.gob"))
 	if err != nil {
 		return nil, err

@@ -2,6 +2,7 @@ package view
 
 import (
 	"fmt"
+	"path/filepath"
 	"testing"
 
 	"graphsurge/internal/graph"
@@ -77,5 +78,51 @@ func TestCollectionPersistence(t *testing.T) {
 	badLookup := func(string) (*graph.Graph, error) { return nil, fmt.Errorf("gone") }
 	if _, err := LoadCollection(dir, "c", badLookup); err == nil {
 		t.Fatal("expected error for missing base graph")
+	}
+}
+
+// TestPersistNameValidation pins the path-traversal guard: names that would
+// escape the data directory when joined into a path are rejected on both
+// save and load, before any filesystem access.
+func TestPersistNameValidation(t *testing.T) {
+	dir := t.TempDir()
+	g := chainGraph(10)
+	lookup := func(string) (*graph.Graph, error) { return g, nil }
+	bad := []string{"", ".", "..", "../escape", "a/b", `a\b`, "/abs", `..\win`}
+	for _, name := range bad {
+		if err := SaveFiltered(dir, &Filtered{Name: name, Base: g}); err == nil {
+			t.Fatalf("SaveFiltered accepted %q", name)
+		}
+		if _, err := LoadFiltered(dir, name, lookup); err == nil {
+			t.Fatalf("LoadFiltered accepted %q", name)
+		}
+		if err := SaveCollection(dir, &Collection{Name: name, Graph: g, Stream: &DiffStream{}}); err == nil {
+			t.Fatalf("SaveCollection accepted %q", name)
+		}
+		if _, err := LoadCollection(dir, name, lookup); err == nil {
+			t.Fatalf("LoadCollection accepted %q", name)
+		}
+	}
+	// A traversal name must not read files outside the data directory even
+	// when a matching file exists there.
+	outside := t.TempDir()
+	f := &Filtered{Name: "x", Base: g, Edges: []uint32{1}}
+	if err := SaveFiltered(outside, f); err != nil {
+		t.Fatal(err)
+	}
+	rel, err := filepath.Rel(dir, filepath.Join(outside, "x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFiltered(dir, rel, lookup); err == nil {
+		t.Fatal("traversal name read a view outside the data directory")
+	}
+	// Ordinary names (including dots inside) still round-trip.
+	ok := &Filtered{Name: "v1.2-ok", Base: g, Edges: []uint32{0}}
+	if err := SaveFiltered(dir, ok); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := LoadFiltered(dir, "v1.2-ok", lookup); err != nil || got.NumEdges() != 1 {
+		t.Fatalf("round trip of dotted name: %v, %+v", err, got)
 	}
 }
