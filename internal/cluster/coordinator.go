@@ -1,0 +1,466 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"net/rpc"
+	"sync"
+	"time"
+
+	"graphsurge/internal/analytics"
+	"graphsurge/internal/core"
+	"graphsurge/internal/schedule"
+	"graphsurge/internal/view"
+)
+
+// Options configures a Coordinator's failure detection.
+type Options struct {
+	// JobTimeout bounds one shard RPC; a worker that blows it is marked
+	// dead and the shard re-queues locally (0 = the 10-minute default; < 0
+	// disables the deadline).
+	JobTimeout time.Duration
+	// Heartbeat is the ping interval per worker; a missed ping kills the
+	// worker's connection, failing its in-flight shards immediately (0 = the
+	// 2-second default; < 0 disables heartbeats).
+	Heartbeat time.Duration
+	// DialTimeout bounds AddWorker's dial and handshake (0 = 5 seconds).
+	DialTimeout time.Duration
+}
+
+func (o *Options) defaults() {
+	if o.JobTimeout == 0 {
+		o.JobTimeout = 10 * time.Minute
+	}
+	if o.Heartbeat == 0 {
+		o.Heartbeat = 2 * time.Second
+	}
+	if o.DialTimeout == 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+}
+
+// errWorkerDead marks a shard sent to a worker already known dead; the
+// dispatch loop re-queues it without another kill.
+var errWorkerDead = errors.New("cluster: worker is dead")
+
+// workerConn is one registered worker: its RPC client, advertised capacity,
+// and liveness. It implements core.SegmentRunner, which is what makes remote
+// workers and the local engine interchangeable behind the dispatch loop.
+type workerConn struct {
+	addr       string
+	capacity   int
+	jobTimeout time.Duration
+
+	mu     sync.Mutex
+	client *rpc.Client
+	dead   bool
+}
+
+func (w *workerConn) alive() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return !w.dead && w.client != nil
+}
+
+// kill marks the worker dead and closes its client, which terminates every
+// in-flight call on it — the dispatch loop sees those calls fail and
+// re-queues their shards. Idempotent.
+func (w *workerConn) kill() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.dead {
+		return
+	}
+	w.dead = true
+	if w.client != nil {
+		w.client.Close()
+	}
+}
+
+// call issues one RPC with a deadline. A timeout returns an error without
+// waiting further; the caller kills the worker, which also terminates the
+// abandoned in-flight call.
+func (w *workerConn) call(method string, args, reply any, timeout time.Duration) error {
+	w.mu.Lock()
+	client, dead := w.client, w.dead
+	w.mu.Unlock()
+	if dead || client == nil {
+		return errWorkerDead
+	}
+	call := client.Go(method, args, reply, make(chan *rpc.Call, 1))
+	if timeout <= 0 {
+		<-call.Done
+		return call.Error
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case <-call.Done:
+		return call.Error
+	case <-timer.C:
+		return fmt.Errorf("cluster: %s to %s exceeded job deadline %v", method, w.addr, timeout)
+	}
+}
+
+// RunSegment implements core.SegmentRunner over the wire: the shard is
+// encoded once, shipped, executed on the worker's engine, and its outcome
+// returned for merging.
+func (w *workerConn) RunSegment(spec *core.SegmentSpec) (*core.SegmentOutcome, error) {
+	payload, err := EncodeWire(spec)
+	if err != nil {
+		return nil, err
+	}
+	var reply RunSegmentReply
+	if err := w.call(ServiceName+".RunSegment", &RunSegmentArgs{Spec: payload}, &reply, w.jobTimeout); err != nil {
+		return nil, err
+	}
+	return &reply.Outcome, nil
+}
+
+// RunStats describes how the last RunCollection was distributed —
+// observability for operators and the integration tests' requeue assertions.
+type RunStats struct {
+	// Remote counts shards completed per worker address.
+	Remote map[string]int
+	// Local counts shards the coordinator's own engine ran (re-queues and
+	// local degradation both land here only via the requeue path; a fully
+	// local fallback run records nothing).
+	Local int
+	// Requeued counts shards that failed on a worker and were re-dispatched.
+	Requeued int
+	// Dead lists workers declared dead during the run.
+	Dead []string
+}
+
+// Coordinator shards collection runs across registered workers. It owns a
+// local engine that serves three jobs: the degradation target when a run
+// cannot be sharded at all (adaptive mode plans online; closure computations
+// cannot cross the wire; no workers are registered), the re-queue executor
+// for shards whose worker died, and the keeper of the persistent cost
+// estimator that drives cross-machine LPT assignment.
+type Coordinator struct {
+	eng  *core.Engine
+	opts Options
+
+	mu      sync.Mutex
+	workers []*workerConn
+	stats   RunStats
+}
+
+// NewCoordinator creates a coordinator around a local engine.
+func NewCoordinator(eng *core.Engine, opts Options) *Coordinator {
+	opts.defaults()
+	return &Coordinator{eng: eng, opts: opts}
+}
+
+// AddWorker dials and registers a worker. The Hello handshake pins the
+// protocol version and learns the worker's capacity — how many shards may
+// be in flight on it concurrently.
+func (c *Coordinator) AddWorker(addr string) error {
+	conn, err := net.DialTimeout("tcp", addr, c.opts.DialTimeout)
+	if err != nil {
+		return fmt.Errorf("cluster: dialing worker %s: %w", addr, err)
+	}
+	w := &workerConn{addr: addr, client: rpc.NewClient(conn), jobTimeout: c.opts.JobTimeout}
+	var hello HelloReply
+	if err := w.call(ServiceName+".Hello", &HelloArgs{Version: ProtocolVersion}, &hello, c.opts.DialTimeout); err != nil {
+		w.kill()
+		return fmt.Errorf("cluster: handshake with worker %s: %w", addr, err)
+	}
+	if hello.Version != ProtocolVersion {
+		w.kill()
+		return fmt.Errorf("cluster: worker %s speaks protocol %d, coordinator %d", addr, hello.Version, ProtocolVersion)
+	}
+	w.capacity = hello.Capacity
+	if w.capacity < 1 {
+		w.capacity = 1
+	}
+	c.mu.Lock()
+	c.workers = append(c.workers, w)
+	c.mu.Unlock()
+	return nil
+}
+
+// WorkerInfo describes one registered worker.
+type WorkerInfo struct {
+	Addr     string
+	Capacity int
+	Alive    bool
+}
+
+// Workers lists the registered workers and their liveness.
+func (c *Coordinator) Workers() []WorkerInfo {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]WorkerInfo, len(c.workers))
+	for i, w := range c.workers {
+		out[i] = WorkerInfo{Addr: w.addr, Capacity: w.capacity, Alive: w.alive()}
+	}
+	return out
+}
+
+// Stats returns how the most recent RunCollection was distributed. The
+// returned value is a deep copy; callers may hold it across later runs.
+func (c *Coordinator) Stats() RunStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := c.stats
+	out.Remote = make(map[string]int, len(c.stats.Remote))
+	for addr, n := range c.stats.Remote {
+		out.Remote[addr] = n
+	}
+	out.Dead = append([]string(nil), c.stats.Dead...)
+	return out
+}
+
+// Close disconnects every worker. Worker processes are unaffected — they
+// keep serving other coordinators.
+func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, w := range c.workers {
+		w.kill()
+	}
+	return nil
+}
+
+// aliveWorkers snapshots the currently usable workers.
+func (c *Coordinator) aliveWorkers() []*workerConn {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []*workerConn
+	for _, w := range c.workers {
+		if w.alive() {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// RunCollection executes a computation over a collection across the cluster
+// and returns the same RunResult the local executor produces: ViewStats in
+// collection order, FinalResults from the view that ends the collection,
+// MaxWork and IterCapHit aggregated across every replica on every machine.
+//
+// The static plan's segments are assigned to worker slots by multi-bin LPT
+// over the engine's persistent cost estimator (size fallback while cold) and
+// shipped as self-contained shards; shards stream to workers in collection
+// order as their seeds are built, so building and remote execution pipeline.
+// Runs that cannot be sharded — adaptive mode (its plan emerges online from
+// live observations), computations without a wire spec, an empty collection,
+// or no live workers — degrade to the local engine, full stop. Worker
+// failure mid-run re-queues the failed worker's shards on the local engine,
+// so the run completes with local semantics rather than erroring.
+func (c *Coordinator) RunCollection(col *view.Collection, comp analytics.Computation, ropts core.RunOptions) (*core.RunResult, error) {
+	start := time.Now()
+	wireSpec, ok := analytics.SpecOf(comp)
+	alive := c.aliveWorkers()
+	k := col.Stream.NumViews()
+	if !ok || ropts.Mode == core.Adaptive || len(alive) == 0 || k == 0 {
+		// The whole run is local: reset the distribution stats so Stats()
+		// never reports a previous sharded run as this one's.
+		c.mu.Lock()
+		c.stats = RunStats{Remote: map[string]int{}}
+		c.mu.Unlock()
+		return c.eng.RunOn(col, comp, ropts)
+	}
+	// ropts.Workers is shipped as-is: 0 means "the executing engine's
+	// default", letting each worker apply its own -workers setting; an
+	// explicit value pins every replica's dataflow parallelism cluster-wide.
+	if ropts.Workers < 0 {
+		ropts.Workers = 0
+	}
+
+	plan := core.StaticPlan(ropts.Mode, k)
+	est := ropts.Estimator
+	if est == nil {
+		est = c.eng.CostEstimator(comp, ropts.Workers)
+	}
+	sizes := col.Stream.ViewSizes()
+	diffs := make([]int, k)
+	for t := range diffs {
+		diffs[t] = col.Stream.DiffSize(t)
+	}
+
+	// One dispatch slot per unit of advertised worker capacity; LPT assigns
+	// each segment to a slot up front, so the only queueing is each slot's
+	// own backlog.
+	type slot struct {
+		w  *workerConn
+		ch chan *core.SegmentSpec
+	}
+	var slots []*slot
+	for _, w := range alive {
+		for i := 0; i < w.capacity; i++ {
+			slots = append(slots, &slot{w: w})
+		}
+	}
+	assign, _ := schedule.AssignLPT(est.PlanCosts(plan, sizes, diffs), len(slots))
+	slotOf := make([]int, len(plan.Segments))
+	for b, idxs := range assign {
+		// Buffered to the slot's full assignment: the shard builder never
+		// blocks on a slow or dead worker.
+		slots[b].ch = make(chan *core.SegmentSpec, len(idxs))
+		for _, si := range idxs {
+			slotOf[si] = b
+		}
+	}
+
+	stats := RunStats{Remote: make(map[string]int)}
+	var resMu sync.Mutex
+	var outcomes []*core.SegmentOutcome
+	var firstErr error
+	// Re-queued shards execute on the local engine — the coordinator
+	// degrades to single-process behavior for exactly the shards that need
+	// it. Buffered to the plan so slot goroutines never block on it.
+	retryCh := make(chan *core.SegmentSpec, len(plan.Segments))
+	requeue := func(sp *core.SegmentSpec) {
+		resMu.Lock()
+		stats.Requeued++
+		resMu.Unlock()
+		retryCh <- sp
+	}
+
+	// Drain re-queues with the local engine's own parallelism: a dead
+	// worker's whole LPT bin lands here, and serializing it would double the
+	// degraded run's tail for no reason.
+	drainers := c.eng.Options().Parallelism
+	if drainers < 1 {
+		drainers = 1
+	}
+	var drainWG sync.WaitGroup
+	for d := 0; d < drainers; d++ {
+		drainWG.Add(1)
+		go func() {
+			defer drainWG.Done()
+			for sp := range retryCh {
+				out, err := c.eng.RunSegment(sp)
+				resMu.Lock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+				} else {
+					outcomes = append(outcomes, out)
+					stats.Local++
+				}
+				resMu.Unlock()
+			}
+		}()
+	}
+
+	// Heartbeats: a worker that stops answering pings is killed, which also
+	// fails its in-flight shard calls immediately — the job deadline is the
+	// backstop for a worker that answers pings but never finishes work. Two
+	// consecutive misses (each given two intervals) are required: one slow
+	// ping on a loaded machine must not execute a healthy worker.
+	hbStop := make(chan struct{})
+	var hbWG sync.WaitGroup
+	if c.opts.Heartbeat > 0 {
+		for _, w := range alive {
+			hbWG.Add(1)
+			go func(w *workerConn) {
+				defer hbWG.Done()
+				ticker := time.NewTicker(c.opts.Heartbeat)
+				defer ticker.Stop()
+				misses := 0
+				for {
+					select {
+					case <-hbStop:
+						return
+					case <-ticker.C:
+						if !w.alive() {
+							return
+						}
+						var reply PingReply
+						if err := w.call(ServiceName+".Ping", &PingArgs{}, &reply, 2*c.opts.Heartbeat); err != nil {
+							if misses++; misses >= 2 {
+								w.kill()
+								return
+							}
+						} else {
+							misses = 0
+						}
+					}
+				}
+			}(w)
+		}
+	}
+
+	var slotWG sync.WaitGroup
+	for _, s := range slots {
+		slotWG.Add(1)
+		go func(s *slot) {
+			defer slotWG.Done()
+			for sp := range s.ch {
+				if !s.w.alive() {
+					requeue(sp)
+					continue
+				}
+				out, err := s.w.RunSegment(sp)
+				if err != nil {
+					// Connection failure, deadline, or a worker-side error:
+					// this worker is done for the run, its shard re-queues.
+					s.w.kill()
+					requeue(sp)
+					continue
+				}
+				resMu.Lock()
+				outcomes = append(outcomes, out)
+				stats.Remote[s.w.addr]++
+				resMu.Unlock()
+			}
+		}(s)
+	}
+
+	// Build shards on this goroutine, streaming each to its slot as its seed
+	// is scanned — remote execution overlaps shard building.
+	berr := core.ForEachSegmentSpec(col, wireSpec, ropts, plan, func(i int, sp *core.SegmentSpec) error {
+		slots[slotOf[i]].ch <- sp
+		return nil
+	})
+	for _, s := range slots {
+		close(s.ch)
+	}
+	slotWG.Wait()
+	close(retryCh)
+	drainWG.Wait()
+	close(hbStop)
+	hbWG.Wait()
+
+	for _, w := range alive {
+		if !w.alive() {
+			stats.Dead = append(stats.Dead, w.addr)
+		}
+	}
+	c.mu.Lock()
+	c.stats = stats
+	c.mu.Unlock()
+
+	if berr != nil {
+		return nil, berr
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	res, err := core.MergeSegmentOutcomes(comp.Name(), col.Name, ropts.Mode, plan, outcomes, time.Since(start))
+	if err != nil {
+		return nil, err
+	}
+	// Feed the measured per-view runtimes back into the scheduling
+	// estimator, exactly as a local run would: the next assignment is
+	// predicted from real costs, wherever the views actually ran.
+	starts := make(map[int]bool, len(plan.Segments))
+	for _, seg := range plan.Segments {
+		starts[seg.Start] = true
+	}
+	for _, st := range res.Stats {
+		if starts[st.Index] {
+			est.ObserveScratch(st.ViewSize, st.Duration)
+		} else {
+			est.ObserveDiff(st.DiffSize, st.Duration)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,187 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"net/rpc"
+	"sync"
+
+	"graphsurge/internal/core"
+)
+
+// service is the RPC surface a worker exposes. It is deliberately thin:
+// decode the shard, hand it to the engine, return the outcome. All warm
+// state (runner pools, estimators) lives in the engine, shared across jobs.
+type service struct {
+	eng      *core.Engine
+	capacity int
+
+	mu   sync.Mutex
+	jobs int
+
+	// beforeRun, when set (tests), runs at the top of every RunSegment call —
+	// the hook integration tests use to stall a worker and kill it mid-job.
+	beforeRun func(spec *core.SegmentSpec)
+}
+
+// Hello implements the registration handshake.
+func (s *service) Hello(args *HelloArgs, reply *HelloReply) error {
+	if args.Version != ProtocolVersion {
+		return fmt.Errorf("cluster: protocol version %d, worker speaks %d", args.Version, ProtocolVersion)
+	}
+	reply.Version = ProtocolVersion
+	reply.Capacity = s.capacity
+	return nil
+}
+
+// Ping implements the heartbeat.
+func (s *service) Ping(_ *PingArgs, reply *PingReply) error {
+	s.mu.Lock()
+	reply.Jobs = s.jobs
+	s.mu.Unlock()
+	return nil
+}
+
+// RunSegment executes one shard on the worker's engine.
+func (s *service) RunSegment(args *RunSegmentArgs, reply *RunSegmentReply) error {
+	var spec core.SegmentSpec
+	if err := DecodeWire(args.Spec, &spec); err != nil {
+		return err
+	}
+	if hook := s.beforeRun; hook != nil {
+		hook(&spec)
+	}
+	out, err := s.eng.RunSegment(&spec)
+	if err != nil {
+		return err
+	}
+	reply.Outcome = *out
+	s.mu.Lock()
+	s.jobs++
+	s.mu.Unlock()
+	return nil
+}
+
+// Server is a running worker: an RPC server wrapping an engine, tracking
+// its connections so Close can sever in-flight calls — which is what lets a
+// coordinator detect a killed worker immediately instead of waiting out the
+// job deadline.
+type Server struct {
+	svc *service
+	rpc *rpc.Server
+
+	mu     sync.Mutex
+	l      net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+}
+
+// NewServer creates a worker server around an engine. capacity is the
+// number of shards the worker advertises it can run concurrently (minimum
+// 1); it should match the engine's Parallelism so concurrent jobs each get
+// a replica instead of queuing on the pool.
+func NewServer(eng *core.Engine, capacity int) *Server {
+	if capacity < 1 {
+		capacity = 1
+	}
+	s := &Server{
+		svc:   &service{eng: eng, capacity: capacity},
+		rpc:   rpc.NewServer(),
+		conns: make(map[net.Conn]struct{}),
+	}
+	if err := s.rpc.RegisterName(ServiceName, s.svc); err != nil {
+		// Registration only fails for a malformed service type — a
+		// programming error, not a runtime condition.
+		panic(err)
+	}
+	return s
+}
+
+// Jobs returns the number of shards completed over the server's lifetime.
+func (s *Server) Jobs() int {
+	s.svc.mu.Lock()
+	defer s.svc.mu.Unlock()
+	return s.svc.jobs
+}
+
+// Start begins accepting connections on l in a background goroutine and
+// returns immediately. The listener is owned by the server from here on:
+// Close closes it.
+func (s *Server) Start(l net.Listener) {
+	s.mu.Lock()
+	s.l = l
+	s.mu.Unlock()
+	go s.acceptLoop(l)
+}
+
+// Serve accepts connections on l until Close (or a fatal listener error) —
+// the blocking form of Start, used by the CLI worker subcommand.
+func (s *Server) Serve(l net.Listener) {
+	s.mu.Lock()
+	s.l = l
+	s.mu.Unlock()
+	s.acceptLoop(l)
+}
+
+// Addr returns the listen address (nil before Start/ListenAndServe).
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.l == nil {
+		return nil
+	}
+	return s.l.Addr()
+}
+
+func (s *Server) acceptLoop(l net.Listener) {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			// Listener closed (Close) or fatal accept error: stop serving.
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		go func() {
+			s.rpc.ServeConn(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+			conn.Close()
+		}()
+	}
+}
+
+// Close stops the server: the listener closes, every open connection is
+// severed (in-flight calls on the coordinator side fail immediately), and
+// the accept loop exits. Connection goroutines finish on their own as their
+// severed connections drain. The engine is left to the caller — its pools
+// stay warm for a restarted server.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	l := s.l
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	var err error
+	if l != nil {
+		err = l.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	return err
+}

@@ -61,16 +61,24 @@ type Engine struct {
 	collections map[string]*view.Collection
 	aggViews    map[string]*aggregate.View
 
-	poolMu     sync.Mutex
-	pools      map[poolKey]*analytics.Pool
-	estimators map[poolKey]*schedule.Estimator
+	poolMu sync.Mutex
+	pools  map[poolKey]*poolEntry
+}
+
+// poolEntry is one warm-pool map slot: the pool, its scheduling estimator,
+// and the last time a run acquired through it — the recency the LRU
+// eviction below orders by.
+type poolEntry struct {
+	pool    *analytics.Pool
+	est     *schedule.Estimator
+	lastUse time.Time
 }
 
 // maxEnginePools bounds the warm-pool map: parameterized computations (a
 // bfs sweep over thousands of sources) would otherwise accumulate one pool
-// of full-state replicas per parameterization, never reused. At the cap an
-// arbitrary pool is evicted to make room — coarse, but bounded; an LRU/TTL
-// policy is a ROADMAP item.
+// of full-state replicas per parameterization, never reused. At the cap the
+// least-recently-used pool — the coldest parameterization — is evicted to
+// make room.
 const maxEnginePools = 64
 
 // poolKey identifies one warm runner pool: the computation's name, its full
@@ -151,10 +159,12 @@ func NewEngine(opts Options) (*Engine, error) {
 		views:       make(map[string]*view.Filtered),
 		collections: make(map[string]*view.Collection),
 		aggViews:    make(map[string]*aggregate.View),
-		pools:       make(map[poolKey]*analytics.Pool),
-		estimators:  make(map[poolKey]*schedule.Estimator),
+		pools:       make(map[poolKey]*poolEntry),
 	}, nil
 }
+
+// Options returns the engine's effective configuration (defaults applied).
+func (e *Engine) Options() Options { return e.opts }
 
 // runnerPool returns the engine's warm runner pool and scheduling cost
 // estimator for (computation, workers), creating them on first use and
@@ -177,42 +187,45 @@ func (e *Engine) runnerPool(comp analytics.Computation, workers, parallelism int
 	key := poolKey{name: comp.Name(), ident: compIdentity(comp), workers: workers}
 	e.poolMu.Lock()
 	defer e.poolMu.Unlock()
+	now := time.Now()
 	if e.opts.PoolIdleTTL > 0 {
-		now := time.Now()
-		for _, p := range e.pools {
-			p.Prune(now)
+		for _, en := range e.pools {
+			en.pool.Prune(now)
 		}
 	}
-	p := e.pools[key]
-	if p != nil && compIdentity(p.Computation()) != key.ident {
+	en := e.pools[key]
+	if en != nil && compIdentity(en.pool.Computation()) != key.ident {
 		// The cached computation object was mutated after submission (a
 		// pointer computation whose fields changed), so the pool would build
 		// replicas that contradict its key. Drop the stale pool and rebuild.
-		p.DropIdle()
-		p = nil
-		delete(e.estimators, key)
+		en.pool.DropIdle()
+		en = nil
+		delete(e.pools, key)
 	}
-	if p == nil {
+	if en == nil {
 		if len(e.pools) >= maxEnginePools {
+			// Evict the least-recently-acquired pool: the coldest
+			// parameterization is the one least likely to be asked for again.
+			var victim poolKey
+			var oldest time.Time
+			first := true
 			for k, old := range e.pools {
-				old.DropIdle()
-				delete(e.pools, k)
-				delete(e.estimators, k)
-				break
+				if first || old.lastUse.Before(oldest) {
+					victim, oldest, first = k, old.lastUse, false
+				}
 			}
+			e.pools[victim].pool.DropIdle()
+			delete(e.pools, victim)
 		}
-		p = analytics.NewPool(comp, workers, parallelism)
+		p := analytics.NewPool(comp, workers, parallelism)
 		p.SetPolicy(e.opts.PoolMaxIdle, e.opts.PoolIdleTTL)
-		e.pools[key] = p
+		en = &poolEntry{pool: p, est: &schedule.Estimator{}}
+		e.pools[key] = en
 	} else {
-		p.Grow(parallelism)
+		en.pool.Grow(parallelism)
 	}
-	est := e.estimators[key]
-	if est == nil {
-		est = &schedule.Estimator{}
-		e.estimators[key] = est
-	}
-	return p, est
+	en.lastUse = now
+	return en.pool, en.est
 }
 
 // EvictPools drops every warm runner pool whose computation has the given
@@ -223,11 +236,10 @@ func (e *Engine) runnerPool(comp analytics.Computation, workers, parallelism int
 func (e *Engine) EvictPools(computation string) {
 	e.poolMu.Lock()
 	defer e.poolMu.Unlock()
-	for key, p := range e.pools {
+	for key, en := range e.pools {
 		if key.name == computation {
-			p.DropIdle()
+			en.pool.DropIdle()
 			delete(e.pools, key)
-			delete(e.estimators, key)
 		}
 	}
 }
@@ -238,10 +250,9 @@ func (e *Engine) EvictPools(computation string) {
 func (e *Engine) Close() error {
 	e.poolMu.Lock()
 	defer e.poolMu.Unlock()
-	for key, p := range e.pools {
-		p.DropIdle()
+	for key, en := range e.pools {
+		en.pool.DropIdle()
 		delete(e.pools, key)
-		delete(e.estimators, key)
 	}
 	return nil
 }
@@ -269,7 +280,8 @@ func (e *Engine) PoolStats() []PoolStat {
 	defer e.poolMu.Unlock()
 	now := time.Now()
 	stats := make([]PoolStat, 0, len(e.pools))
-	for key, p := range e.pools {
+	for key, en := range e.pools {
+		p := en.pool
 		if e.opts.PoolIdleTTL > 0 {
 			p.Prune(now)
 		}

@@ -41,8 +41,8 @@ func TestEnginePoolReusesRunnersAcrossRuns(t *testing.T) {
 		t.Fatalf("%d pools after first run", len(e.pools))
 	}
 	var pool *analytics.Pool
-	for _, p := range e.pools {
-		pool = p
+	for _, en := range e.pools {
+		pool = en.pool
 	}
 	built1, _ := pool.Counts()
 	if built1 != 1 {
@@ -179,8 +179,8 @@ func TestEngineConcurrentRunsSharePool(t *testing.T) {
 		t.Fatalf("%d pools, want 1", len(e.pools))
 	}
 	var pool *analytics.Pool
-	for _, p := range e.pools {
-		pool = p
+	for _, en := range e.pools {
+		pool = en.pool
 	}
 	if pool.Size() < 3 {
 		t.Fatalf("pool did not grow to the largest parallelism: size %d", pool.Size())
@@ -238,9 +238,9 @@ func TestEmptyCollectionLeaksNoSlot(t *testing.T) {
 			}
 		}
 	}
-	for _, p := range e.pools {
-		if p.Live() != 0 {
-			t.Fatalf("%d slots leaked", p.Live())
+	for _, en := range e.pools {
+		if en.pool.Live() != 0 {
+			t.Fatalf("%d slots leaked", en.pool.Live())
 		}
 	}
 	// The shared pool still serves a real run afterwards.
@@ -324,8 +324,8 @@ func TestEngineParallelismDefault(t *testing.T) {
 		t.Fatal(err)
 	}
 	var pool *analytics.Pool
-	for _, p := range e.pools {
-		pool = p
+	for _, en := range e.pools {
+		pool = en.pool
 	}
 	if pool.Size() != 3 {
 		t.Fatalf("pool size %d, want engine default 3", pool.Size())
@@ -361,7 +361,7 @@ func TestMutatedComputationDropsStalePool(t *testing.T) {
 	if e.pools[key] == stale {
 		t.Fatal("stale pool with mutated computation was reused")
 	}
-	if got := e.pools[key].Computation().(*analytics.SCC).Phases; got != 3 {
+	if got := e.pools[key].pool.Computation().(*analytics.SCC).Phases; got != 3 {
 		t.Fatalf("rebuilt pool builds Phases=%d runners under the Phases:3 key", got)
 	}
 }
@@ -379,6 +379,40 @@ func TestEnginePoolCountBounded(t *testing.T) {
 	}
 	if len(e.pools) > maxEnginePools {
 		t.Fatalf("%d pools, cap %d", len(e.pools), maxEnginePools)
+	}
+}
+
+// TestEnginePoolLRUEviction pins the eviction *order* at the pool-map cap:
+// the least-recently-acquired parameterization goes, not an arbitrary map
+// entry. Pools are created without running (runnerPool alone registers the
+// key), so the test exercises pure map policy.
+func TestEnginePoolLRUEviction(t *testing.T) {
+	e, err := NewEngine(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for src := 0; src < maxEnginePools; src++ {
+		e.runnerPool(analytics.BFS{Source: uint64(src)}, 1, 1)
+	}
+	if len(e.pools) != maxEnginePools {
+		t.Fatalf("%d pools, want the cap %d", len(e.pools), maxEnginePools)
+	}
+	// Re-acquire Source:0, making Source:1 the coldest entry.
+	e.runnerPool(analytics.BFS{Source: 0}, 1, 1)
+	// The next new key must evict Source:1 and keep everything else.
+	e.runnerPool(analytics.BFS{Source: uint64(maxEnginePools)}, 1, 1)
+	if len(e.pools) != maxEnginePools {
+		t.Fatalf("%d pools after eviction, want %d", len(e.pools), maxEnginePools)
+	}
+	evicted := poolKey{name: "bfs", ident: compIdentity(analytics.BFS{Source: 1}), workers: 1}
+	if _, ok := e.pools[evicted]; ok {
+		t.Fatal("LRU kept the coldest pool")
+	}
+	for _, src := range []uint64{0, 2, uint64(maxEnginePools)} {
+		key := poolKey{name: "bfs", ident: compIdentity(analytics.BFS{Source: src}), workers: 1}
+		if _, ok := e.pools[key]; !ok {
+			t.Fatalf("LRU evicted a warmer pool (Source:%d)", src)
+		}
 	}
 }
 

@@ -168,6 +168,15 @@ func (e *Engine) RunCollection(collection string, comp analytics.Computation, op
 	if err != nil {
 		return nil, err
 	}
+	return e.RunOn(col, comp, opts)
+}
+
+// RunOn executes a computation over a materialized collection value with the
+// engine's pools, estimators and option defaults — RunCollection without the
+// catalog lookup. Embedding callers holding a Collection (and the cluster
+// coordinator's local-degradation path) use it to get engine-amortized
+// execution for collections that were never registered.
+func (e *Engine) RunOn(col *view.Collection, comp analytics.Computation, opts RunOptions) (*RunResult, error) {
 	if opts.Workers == 0 {
 		opts.Workers = e.opts.Workers
 	}
@@ -180,6 +189,24 @@ func (e *Engine) RunCollection(collection string, comp analytics.Computation, op
 		opts.Estimator = est
 	}
 	return runCollection(col, comp, opts, pool)
+}
+
+// CostEstimator returns the engine's persistent scheduling cost estimator
+// for (computation, workers) — the model every run over that key warms and
+// LPT dispatch consults. A cluster coordinator schedules cross-machine
+// assignment with it, so segment placement learns from every prior run on
+// this engine. Computations without a faithful identity (closures) get a
+// fresh private estimator, never a shared one. Workers defaults to the
+// engine's option when < 1.
+func (e *Engine) CostEstimator(comp analytics.Computation, workers int) *schedule.Estimator {
+	if workers < 1 {
+		workers = e.opts.Workers
+	}
+	_, est := e.runnerPool(comp, workers, 1)
+	if est == nil {
+		est = &schedule.Estimator{}
+	}
+	return est
 }
 
 func normalizeRunOptions(opts *RunOptions) {

@@ -164,8 +164,8 @@ func TestEngineEstimatorWarmsAcrossRuns(t *testing.T) {
 		t.Fatal(err)
 	}
 	var est *schedule.Estimator
-	for _, cand := range e.estimators {
-		est = cand
+	for _, en := range e.pools {
+		est = en.est
 	}
 	if est == nil {
 		t.Fatal("no estimator persisted")

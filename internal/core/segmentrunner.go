@@ -1,0 +1,281 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"graphsurge/internal/analytics"
+	"graphsurge/internal/graph"
+	"graphsurge/internal/splitting"
+	"graphsurge/internal/view"
+)
+
+// This file is the segment-shard layer under cluster execution: a collection
+// run sliced into self-contained SegmentSpec shards that any SegmentRunner —
+// the local engine or a remote worker behind an RPC client — can execute
+// without access to the collection, the graph, or each other. Segments share
+// no dataflow state (see internal/splitting), which is what makes them the
+// natural cross-machine distribution unit; a shard carries its seed and
+// difference sets as materialized triples so the receiving process needs no
+// graph store at all.
+
+// SegmentSpec is one self-contained shard of a collection run: everything a
+// process needs to execute the half-open view range [Start, End) of a
+// collection and report a mergeable outcome. Edge data travels as
+// materialized (src, dst, weight) triples — the weight column is resolved by
+// the sharding side — so the spec is independent of any store state on the
+// executing side. All fields are flat, exported, gob-encodable wire types.
+type SegmentSpec struct {
+	// Comp identifies the computation; the executing side resolves it back
+	// into a built-in (closures cannot cross a process boundary).
+	Comp analytics.Spec
+	// Workers is the intra-dataflow worker count for the replica; 0 defers
+	// to the executing engine's default, so a worker process sized with its
+	// own -workers flag applies it to shards that don't pin a count.
+	Workers int
+	// Collection names the source collection (logs, observability).
+	Collection string
+	// Start and End delimit the shard's view range within the collection.
+	Start, End int
+	// Names, Modes, ViewSizes and DiffSizes are per-view metadata for the
+	// range, indexed relative to Start (length End-Start); they let the
+	// executing side fill complete ViewStats.
+	Names     []string
+	Modes     []splitting.Mode
+	ViewSizes []int
+	DiffSizes []int
+	// Seed is the full edge list of view Start — the from-scratch load that
+	// opens the segment.
+	Seed []graph.Triple
+	// Adds and Dels are the difference sets of the successor views
+	// Start+1..End-1, indexed relative to Start+1 (length End-Start-1).
+	Adds, Dels [][]graph.Triple
+}
+
+// Validate checks the spec's internal consistency — range sanity and
+// per-view slice lengths — so a corrupt or truncated wire payload fails
+// loudly before any dataflow is built for it.
+func (s *SegmentSpec) Validate() error {
+	n := s.End - s.Start
+	if s.Start < 0 || n < 1 {
+		return fmt.Errorf("core: segment spec has invalid range [%d,%d)", s.Start, s.End)
+	}
+	if len(s.Names) != n || len(s.Modes) != n || len(s.ViewSizes) != n || len(s.DiffSizes) != n {
+		return fmt.Errorf("core: segment spec [%d,%d) has %d/%d/%d/%d per-view entries, want %d",
+			s.Start, s.End, len(s.Names), len(s.Modes), len(s.ViewSizes), len(s.DiffSizes), n)
+	}
+	if len(s.Adds) != n-1 || len(s.Dels) != n-1 {
+		return fmt.Errorf("core: segment spec [%d,%d) has %d/%d difference sets, want %d",
+			s.Start, s.End, len(s.Adds), len(s.Dels), n-1)
+	}
+	return nil
+}
+
+// SegmentOutcome is a completed shard's result, shaped for merging: per-view
+// stats carrying their absolute collection indices, the segment's timing
+// entry, the replica's work counters and iteration-cap flag (snapshotted
+// before the replica was recycled), and the per-vertex results at the
+// shard's last view — the collection's final results when the shard ends the
+// collection.
+type SegmentOutcome struct {
+	Stats   []ViewStats
+	Segment SegmentStats
+	Work    []int64
+	IterCap bool
+	Final   map[analytics.VertexValue]int64
+}
+
+// SegmentRunner executes one self-contained collection shard. The local
+// engine implements it directly (Engine.RunSegment) and the cluster layer
+// implements it with an RPC client per remote worker, so a dispatch loop
+// schedules over machines and local replicas through one interface.
+type SegmentRunner interface {
+	RunSegment(spec *SegmentSpec) (*SegmentOutcome, error)
+}
+
+// RunSegment executes one shard on this engine, drawing the replica from the
+// engine's warm runner pool for (computation, workers) — a worker process
+// serving many jobs for the same computation recycles its dataflows across
+// them exactly as repeated local runs do. Workers defaults to the engine's
+// option when the spec leaves it unset; the pool is grown to the engine's
+// Parallelism so that many concurrent RunSegment calls (a coordinator keeps
+// a worker's slots busy) each get their own replica.
+func (e *Engine) RunSegment(spec *SegmentSpec) (*SegmentOutcome, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	comp, err := spec.Comp.Resolve()
+	if err != nil {
+		return nil, err
+	}
+	workers := spec.Workers
+	if workers < 1 {
+		workers = e.opts.Workers
+	}
+	pool, _ := e.runnerPool(comp, workers, e.opts.Parallelism)
+	r, setup, err := pool.Acquire()
+	if err != nil {
+		return nil, err
+	}
+	defer pool.Release(r)
+	return execSegmentSpec(r, setup, spec), nil
+}
+
+// execSegmentSpec steps a shard's views on an acquired replica, mirroring the
+// in-process executor's accounting (runJob/finishSegment): a mid-collection
+// seed view folds the replica setup cost into its duration, output history is
+// dropped as versions complete, and the replica's counters are snapshotted
+// into the outcome before the caller releases it.
+func execSegmentSpec(r analytics.Runner, setup time.Duration, spec *SegmentSpec) *SegmentOutcome {
+	n := spec.End - spec.Start
+	out := &SegmentOutcome{Stats: make([]ViewStats, n)}
+	jobStart := time.Now()
+	for i := 0; i < n; i++ {
+		var dur time.Duration
+		switch {
+		case i == 0 && spec.Start > 0:
+			// Split: setup and step are one measured duration, as the
+			// sequential executor timed splits.
+			start := time.Now()
+			r.Step(spec.Seed, nil)
+			dur = setup + time.Since(start)
+		case i == 0:
+			// The collection's opening view: only the step is timed.
+			dur = r.Step(spec.Seed, nil)
+		default:
+			dur = r.Step(spec.Adds[i-1], spec.Dels[i-1])
+		}
+		v, _ := r.Version()
+		out.Stats[i] = ViewStats{
+			Index:       spec.Start + i,
+			Name:        spec.Names[i],
+			Mode:        spec.Modes[i],
+			Duration:    dur,
+			ViewSize:    spec.ViewSizes[i],
+			DiffSize:    spec.DiffSizes[i],
+			OutputDiffs: r.OutputDiffs(v),
+		}
+		r.DropOutputsBefore(v)
+	}
+	out.Final = r.Results()
+	out.Work = r.WorkCounts()
+	out.IterCap = r.IterCapHit()
+	out.Segment = SegmentStats{Start: spec.Start, End: spec.End, Setup: setup, Drain: time.Since(jobStart)}
+	return out
+}
+
+// StaticPlan returns the fully precomputable plan for a non-adaptive mode
+// over a k-view collection — the plan a cluster coordinator shards. Adaptive
+// plans are built online against live observations and cannot be sharded up
+// front.
+func StaticPlan(mode ExecMode, k int) splitting.Plan {
+	return staticPlan(mode, k)
+}
+
+// ForEachSegmentSpec materializes a plan's segments as self-contained shards
+// in collection order, invoking fn for each. The underlying membership scan
+// is strictly forward, so shards are built one at a time; the caller decides
+// retention (a dispatcher buffering shards for remote workers trades the
+// sequential executor's peak-memory bound for shipping, exactly like the LPT
+// seed cache does). A non-nil error from fn aborts the walk.
+func ForEachSegmentSpec(col *view.Collection, comp analytics.Spec, opts RunOptions, plan splitting.Plan, fn func(i int, spec *SegmentSpec) error) error {
+	g := col.Graph
+	wc, err := g.WeightColumn(opts.WeightProp)
+	if err != nil {
+		return err
+	}
+	triples := func(idxs []uint32) []graph.Triple {
+		out := make([]graph.Triple, len(idxs))
+		for i, idx := range idxs {
+			out[i] = g.Triple(int(idx), wc)
+		}
+		return out
+	}
+	stream := col.Stream
+	sizes := stream.ViewSizes()
+	scan := newSeedScan(stream, g.NumEdges(), sizes)
+	for i, seg := range plan.Segments {
+		n := seg.End - seg.Start
+		spec := &SegmentSpec{
+			Comp:       comp,
+			Workers:    opts.Workers,
+			Collection: col.Name,
+			Start:      seg.Start,
+			End:        seg.End,
+			Names:      make([]string, n),
+			Modes:      make([]splitting.Mode, n),
+			ViewSizes:  make([]int, n),
+			DiffSizes:  make([]int, n),
+		}
+		scan.advance(seg.Start)
+		spec.Seed = triples(scan.at(seg.Start))
+		for t := seg.Start; t < seg.End; t++ {
+			spec.Names[t-seg.Start] = stream.Names[t]
+			spec.Modes[t-seg.Start] = plan.Modes[t]
+			spec.ViewSizes[t-seg.Start] = sizes[t]
+			spec.DiffSizes[t-seg.Start] = stream.DiffSize(t)
+			if t > seg.Start {
+				spec.Adds = append(spec.Adds, triples(stream.Adds[t]))
+				spec.Dels = append(spec.Dels, triples(stream.Dels[t]))
+			}
+		}
+		if err := fn(i, spec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MergeSegmentOutcomes assembles shard outcomes into the RunResult the local
+// executor would have produced: ViewStats land at their collection indices,
+// per-segment timings sort into collection order, work counters sum per
+// worker index across every replica, the iteration-cap flag ORs, and the
+// final results come from the shard that ends the collection. Outcomes may
+// arrive in any order, but together they must cover the plan's views exactly
+// once — a lost or duplicated shard is a dispatcher bug surfaced here rather
+// than silently folded into wrong results.
+func MergeSegmentOutcomes(computation, collection string, mode ExecMode, plan splitting.Plan, outcomes []*SegmentOutcome, wall time.Duration) (*RunResult, error) {
+	k := plan.NumViews()
+	res := &RunResult{
+		Computation: computation,
+		Collection:  collection,
+		Mode:        mode,
+		Stats:       make([]ViewStats, k),
+		Wall:        wall,
+		Splits:      plan.Splits(),
+		final:       map[analytics.VertexValue]int64{},
+	}
+	covered := make([]bool, k)
+	for _, o := range outcomes {
+		for _, st := range o.Stats {
+			if st.Index < 0 || st.Index >= k {
+				return nil, fmt.Errorf("core: merged view index %d outside collection of %d views", st.Index, k)
+			}
+			if covered[st.Index] {
+				return nil, fmt.Errorf("core: view %d covered by more than one segment outcome", st.Index)
+			}
+			covered[st.Index] = true
+			res.Stats[st.Index] = st
+			res.Total += st.Duration
+		}
+		res.Segments = append(res.Segments, o.Segment)
+		for i, c := range o.Work {
+			for len(res.work) <= i {
+				res.work = append(res.work, 0)
+			}
+			res.work[i] += c
+		}
+		res.iterCap = res.iterCap || o.IterCap
+		if o.Segment.End == k && o.Final != nil {
+			res.final = o.Final
+		}
+	}
+	for t, ok := range covered {
+		if !ok {
+			return nil, fmt.Errorf("core: view %d not covered by any segment outcome", t)
+		}
+	}
+	sort.Slice(res.Segments, func(i, j int) bool { return res.Segments[i].Start < res.Segments[j].Start })
+	return res, nil
+}

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"graphsurge/internal/analytics"
+	"graphsurge/internal/graph"
+	"graphsurge/internal/splitting"
+)
+
+// runViaShards executes a collection by slicing it into SegmentSpec shards
+// and running every shard through a SegmentRunner — the cluster dispatch
+// path without any wire in between.
+func runViaShards(t *testing.T, e *Engine, colName string, mode ExecMode) *RunResult {
+	t.Helper()
+	col, err := e.LookupCollection(colName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, ok := analytics.SpecOf(analytics.WCC{})
+	if !ok {
+		t.Fatal("no wire spec for WCC")
+	}
+	plan := StaticPlan(mode, col.Stream.NumViews())
+	var outcomes []*SegmentOutcome
+	err = ForEachSegmentSpec(col, spec, RunOptions{Workers: 1}, plan, func(i int, sp *SegmentSpec) error {
+		if err := sp.Validate(); err != nil {
+			return err
+		}
+		out, err := e.RunSegment(sp)
+		if err != nil {
+			return err
+		}
+		outcomes = append(outcomes, out)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := MergeSegmentOutcomes("wcc", col.Name, mode, plan, outcomes, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestSegmentShardsMatchLocalRun: slicing a collection into self-contained
+// shards, executing each via Engine.RunSegment and merging must reproduce
+// the local executor exactly — results, per-view stats up to timing, and
+// the aggregated work counters.
+func TestSegmentShardsMatchLocalRun(t *testing.T) {
+	col := randomCollection(t, 8, 51)
+	e := engineWithCollection(t, Options{}, col)
+	for _, mode := range []ExecMode{Scratch, DiffOnly} {
+		local, err := e.RunCollection(col.Name, analytics.WCC{}, RunOptions{Mode: mode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sharded := runViaShards(t, e, col.Name, mode)
+		if !reflect.DeepEqual(local.FinalResults(), sharded.FinalResults()) {
+			t.Fatalf("%v: final results diverge", mode)
+		}
+		if len(local.Stats) != len(sharded.Stats) {
+			t.Fatalf("%v: %d vs %d views", mode, len(local.Stats), len(sharded.Stats))
+		}
+		for i := range local.Stats {
+			l, s := local.Stats[i], sharded.Stats[i]
+			l.Duration, s.Duration = 0, 0
+			if !reflect.DeepEqual(l, s) {
+				t.Fatalf("%v view %d:\nlocal %+v\nshard %+v", mode, i, l, s)
+			}
+		}
+		if local.MaxWork() != sharded.MaxWork() {
+			t.Fatalf("%v: MaxWork %d vs %d", mode, local.MaxWork(), sharded.MaxWork())
+		}
+		if local.Splits != sharded.Splits {
+			t.Fatalf("%v: splits %d vs %d", mode, local.Splits, sharded.Splits)
+		}
+	}
+}
+
+// TestRunSegmentReusesPool: consecutive shards for the same computation on
+// one engine recycle warm replicas instead of rebuilding dataflows — the
+// property that makes a long-lived worker process cheap per job.
+func TestRunSegmentReusesPool(t *testing.T) {
+	col := randomCollection(t, 4, 53)
+	e := engineWithCollection(t, Options{}, col)
+	runViaShards(t, e, col.Name, Scratch)
+	for _, ps := range e.PoolStats() {
+		if ps.Built != 1 {
+			t.Fatalf("%d dataflows built for %d sequential shards, want 1 (reused %d)",
+				ps.Built, col.Stream.NumViews(), ps.Reused)
+		}
+		if ps.Reused != col.Stream.NumViews()-1 {
+			t.Fatalf("%d shards served by reset, want %d", ps.Reused, col.Stream.NumViews()-1)
+		}
+	}
+}
+
+// TestSegmentSpecValidate pins the refusal of inconsistent shards: bad
+// ranges and per-view slices that disagree with the range must error before
+// any dataflow is touched, and RunSegment must enforce it.
+func TestSegmentSpecValidate(t *testing.T) {
+	good := func() *SegmentSpec {
+		return &SegmentSpec{
+			Comp:  analytics.Spec{Algorithm: "wcc"},
+			Start: 2, End: 4,
+			Names:     []string{"a", "b"},
+			Modes:     make([]splitting.Mode, 2),
+			ViewSizes: []int{1, 2},
+			DiffSizes: []int{1, 1},
+			Adds:      make([][]graph.Triple, 1),
+			Dels:      make([][]graph.Triple, 1),
+		}
+	}
+	if err := good().Validate(); err != nil {
+		t.Fatalf("consistent spec refused: %v", err)
+	}
+	mutations := map[string]func(*SegmentSpec){
+		"empty range":    func(s *SegmentSpec) { s.End = s.Start },
+		"negative start": func(s *SegmentSpec) { s.Start = -1 },
+		"short names":    func(s *SegmentSpec) { s.Names = s.Names[:1] },
+		"short modes":    func(s *SegmentSpec) { s.Modes = s.Modes[:1] },
+		"short sizes":    func(s *SegmentSpec) { s.ViewSizes = nil },
+		"short diffs":    func(s *SegmentSpec) { s.DiffSizes = nil },
+		"short adds":     func(s *SegmentSpec) { s.Adds = nil },
+		"extra dels":     func(s *SegmentSpec) { s.Dels = append(s.Dels, nil) },
+	}
+	e, err := NewEngine(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, mutate := range mutations {
+		sp := good()
+		mutate(sp)
+		if err := sp.Validate(); err == nil {
+			t.Fatalf("%s: validated", name)
+		}
+		if _, err := e.RunSegment(sp); err == nil {
+			t.Fatalf("%s: RunSegment accepted it", name)
+		}
+	}
+}
+
+// TestMergeRefusesBadCoverage: a lost or duplicated shard outcome is a
+// dispatcher bug that must surface as an error, never as silent wrong
+// results.
+func TestMergeRefusesBadCoverage(t *testing.T) {
+	col := randomCollection(t, 4, 57)
+	e := engineWithCollection(t, Options{}, col)
+	spec, _ := analytics.SpecOf(analytics.WCC{})
+	plan := StaticPlan(Scratch, col.Stream.NumViews())
+	var outcomes []*SegmentOutcome
+	err := ForEachSegmentSpec(col, spec, RunOptions{Workers: 1}, plan, func(i int, sp *SegmentSpec) error {
+		out, err := e.RunSegment(sp)
+		if err != nil {
+			return err
+		}
+		outcomes = append(outcomes, out)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MergeSegmentOutcomes("wcc", col.Name, Scratch, plan, outcomes[1:], 0); err == nil {
+		t.Fatal("merge accepted a missing shard")
+	}
+	if _, err := MergeSegmentOutcomes("wcc", col.Name, Scratch, plan, append(outcomes, outcomes[0]), 0); err == nil {
+		t.Fatal("merge accepted a duplicated shard")
+	}
+	if _, err := MergeSegmentOutcomes("wcc", col.Name, Scratch, plan, outcomes, 0); err != nil {
+		t.Fatalf("merge refused exact coverage: %v", err)
+	}
+}
