@@ -11,6 +11,7 @@
 package graphsurge
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net"
@@ -326,7 +327,7 @@ func BenchmarkLPTSkew(b *testing.B) {
 				b.Fatal(err)
 			}
 			for i := 0; i < b.N; i++ {
-				res, err := e.RunCollection(col.Name, analytics.WCC{}, core.RunOptions{
+				res, err := e.RunCollection(context.Background(), col.Name, analytics.WCC{}, core.RunOptions{
 					Mode:     core.Scratch,
 					Schedule: policy,
 				})
@@ -552,7 +553,7 @@ func BenchmarkClusterOverhead(b *testing.B) {
 		}
 		defer e.Close()
 		for i := 0; i < b.N; i++ {
-			if _, err := e.RunOn(col, analytics.WCC{}, core.RunOptions{Mode: core.Scratch}); err != nil {
+			if _, err := e.RunOn(context.Background(), col, analytics.WCC{}, core.RunOptions{Mode: core.Scratch}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -581,7 +582,7 @@ func BenchmarkClusterOverhead(b *testing.B) {
 		}
 		defer coord.Close()
 		for i := 0; i < b.N; i++ {
-			if _, err := coord.RunCollection(col, analytics.WCC{}, core.RunOptions{Mode: core.Scratch}); err != nil {
+			if _, err := coord.RunCollection(context.Background(), col, analytics.WCC{}, core.RunOptions{Mode: core.Scratch}); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -9,6 +9,7 @@
 //	graphsurge query -data dir 'create view ... / create view collection ...'
 //	graphsurge run -data dir -collection NAME -algorithm wcc [-mode adaptive]
 //	graphsurge worker -listen :7077
+//	graphsurge serve -listen :7080 -data dir
 //
 // The -data directory persists loaded graphs AND materialized views between
 // invocations (the paper's Graph Store and View Store): a collection defined
@@ -17,20 +18,28 @@
 // `worker` starts a cluster worker; `run -cluster host:port,...` shards a
 // static-plan collection run across those workers and merges the results
 // (see internal/cluster).
+//
+// `serve` exposes the same operations as HTTP+JSON (see internal/server):
+// every subcommand here and every HTTP request goes through the one typed
+// core.Session API, so the two front-ends cannot drift apart.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
-	"sort"
+	"os/signal"
 	"strings"
 
 	"graphsurge/internal/analytics"
 	"graphsurge/internal/cluster"
 	"graphsurge/internal/core"
 	"graphsurge/internal/schedule"
+	"graphsurge/internal/server"
 	"graphsurge/internal/view"
 )
 
@@ -49,6 +58,8 @@ func main() {
 		err = cmdRun(os.Args[2:])
 	case "worker":
 		err = cmdWorker(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -68,6 +79,8 @@ func usage() {
                    [-schedule fifo|lpt] [-speculate] [-source ID] [-ordering optimize]
                    [-cluster HOST:PORT,...]
   graphsurge worker -listen ADDR [-workers N] [-parallel N]
+  graphsurge serve  -listen ADDR [-data DIR] [-workers N] [-parallel N]
+                    [-ordering optimize] [-cluster HOST:PORT,...]
 algorithms: wcc, bfs, sssp, pagerank, scc, degree
 -parallel runs up to N independent collection segments concurrently, each on
 its own dataflow replica (scratch mode: every view; adaptive mode: as the
@@ -85,11 +98,19 @@ miss; hit/miss counts are printed. Neither flag changes results.
 worker processes: segments are assigned by cost-model LPT, shipped as
 self-contained shards, and merged in collection order — results are
 identical to a local run. A worker that dies mid-run has its shards
-re-queued on this process, so the run completes regardless. Adaptive runs
-plan online and always execute locally. Start workers with
-"graphsurge worker -listen :PORT"; workers hold no data (shards carry
-their own edges), -workers sets each replica's dataflow parallelism and
--parallel how many shards the worker runs concurrently.`)
+re-queued on this process, so the run completes regardless; dead workers
+are redialed at the start of each later run. Adaptive runs plan online and
+always execute locally. Start workers with "graphsurge worker -listen
+:PORT"; workers hold no data (shards carry their own edges), -workers sets
+each replica's dataflow parallelism and -parallel how many shards the
+worker runs concurrently.
+serve exposes the same operations over HTTP: POST /v1/do accepts a JSON
+request ({"statements":...}, {"run":...}, {"runView":...}, {"load":...},
+{"poolStats":{}}); run responses stream as NDJSON — segment events as they
+finish, then the summary and one result record per vertex. Disconnecting
+mid-run cancels it (segment dispatch stops, replicas return to their
+pools), locally and with -cluster. Interrupting a run (Ctrl-C) cancels the
+same way.`)
 }
 
 func cmdLoad(args []string) error {
@@ -106,11 +127,16 @@ func cmdLoad(args []string) error {
 	if err != nil {
 		return err
 	}
-	g, err := e.LoadGraphCSV(*name, *nodes, *edges)
+	// No runCtx here: a CSV import has no cancellation points, so capturing
+	// SIGINT would only swallow the first Ctrl-C.
+	resp, err := e.NewSession().Do(context.Background(), &core.LoadGraphRequest{
+		Name: *name, NodesPath: *nodes, EdgesPath: *edges,
+	})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("loaded %s: %d nodes, %d edges\n", g.Name, g.NumNodes, g.NumEdges())
+	g := resp.(*core.GraphLoaded)
+	fmt.Printf("loaded %s: %d nodes, %d edges\n", g.Name, g.Nodes, g.Edges)
 	return nil
 }
 
@@ -120,6 +146,21 @@ func engineFor(data string, ordering string, workers, parallel int) (*core.Engin
 		mode = view.OrderOptimized
 	}
 	return core.NewEngine(core.Options{DataDir: data, Workers: workers, Parallelism: parallel, Ordering: mode})
+}
+
+// runCtx is the CLI's request context: canceled on Ctrl-C, so an
+// interrupted run stops segment dispatch and returns its replicas instead
+// of being killed mid-step. Signal capture ends with the first interrupt —
+// cancellation lands at view boundaries, so a second Ctrl-C during a long
+// fixpoint must fall through to the default exit instead of being
+// swallowed.
+func runCtx() context.Context {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+	return ctx
 }
 
 func cmdQuery(args []string) error {
@@ -135,11 +176,37 @@ func cmdQuery(args []string) error {
 	if err != nil {
 		return err
 	}
-	out, err := e.Execute(strings.Join(fs.Args(), " "))
-	for _, line := range out {
-		fmt.Println(line)
+	// Statements only honor cancellation between statements; a single
+	// materialization is uninterruptible, so query keeps the default SIGINT
+	// exit rather than capturing it.
+	resp, err := e.NewSession().Do(context.Background(), &core.StatementsRequest{Src: strings.Join(fs.Args(), " ")})
+	if sr, ok := resp.(*core.StatementsResponse); ok {
+		// Statements that completed before an error still materialized;
+		// report them either way, exactly as Engine.Execute always has.
+		for _, res := range sr.Results {
+			fmt.Println(res.String())
+		}
 	}
 	return err
+}
+
+// coordinatorFor registers the comma-separated -cluster worker addresses on
+// a fresh coordinator over the given engine — shared by `run -cluster` and
+// `serve -cluster` so the two front-ends register workers identically. A
+// worker that cannot be reached fails registration rather than running
+// silently degraded; the caller owns Close.
+func coordinatorFor(e *core.Engine, addrs string) (*cluster.Coordinator, error) {
+	coord := cluster.NewCoordinator(e, cluster.Options{})
+	for _, addr := range strings.Split(addrs, ",") {
+		if addr = strings.TrimSpace(addr); addr == "" {
+			continue
+		}
+		if err := coord.AddWorker(addr); err != nil {
+			coord.Close()
+			return nil, err
+		}
+	}
+	return coord, nil
 }
 
 // algorithm resolves the -algorithm flag through the analytics spec
@@ -180,6 +247,56 @@ func cmdWorker(args []string) error {
 	return nil
 }
 
+// cmdServe runs the HTTP front-end: the typed Session API as JSON over
+// POST /v1/do, run results streamed as NDJSON (see internal/server). With
+// -cluster, collection runs shard across the listed workers exactly as
+// `run -cluster` does — same Session, same coordinator.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	listen := fs.String("listen", ":7080", "address to serve HTTP on")
+	data := fs.String("data", "graphsurge-data", "data directory")
+	workers := fs.Int("workers", 1, "dataflow workers per replica")
+	parallel := fs.Int("parallel", 1, "default run parallelism (engine default)")
+	ordering := fs.String("ordering", "", `"optimize" to run the collection ordering optimizer`)
+	clusterAddrs := fs.String("cluster", "", "comma-separated worker addresses to shard static-plan runs across")
+	fs.Parse(args)
+	e, err := engineFor(*data, *ordering, *workers, *parallel)
+	if err != nil {
+		return err
+	}
+	defer e.Close()
+	var opts server.Options
+	if *clusterAddrs != "" {
+		coord, err := coordinatorFor(e, *clusterAddrs)
+		if err != nil {
+			return err
+		}
+		defer coord.Close()
+		opts.Runner = coord
+	}
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	// Printed once the listener is live, so scripts can wait on this line.
+	fmt.Printf("serving on %s (data %s)\n", l.Addr(), *data)
+	hs := &http.Server{Handler: server.New(e, opts).Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(l) }()
+	select {
+	case <-ctx.Done():
+		// Interrupt: sever connections so in-flight run contexts cancel and
+		// their replicas return to the pools before the process exits.
+		hs.Close()
+		<-errCh
+		return nil
+	case err := <-errCh:
+		return err
+	}
+}
+
 func cmdRun(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	data := fs.String("data", "graphsurge-data", "data directory")
@@ -205,8 +322,10 @@ func cmdRun(args []string) error {
 	if err != nil {
 		return err
 	}
+	ctx := runCtx()
+	sess := e.NewSession()
 	if *gvdlSrc != "" {
-		if _, err := e.Execute(*gvdlSrc); err != nil {
+		if _, err := sess.Do(ctx, &core.StatementsRequest{Src: *gvdlSrc}); err != nil {
 			return err
 		}
 	}
@@ -215,119 +334,66 @@ func cmdRun(args []string) error {
 		return err
 	}
 	if *viewName != "" {
-		fv, err := e.LookupView(*viewName)
+		resp, err := sess.Do(ctx, &core.RunViewRequest{
+			View:        *viewName,
+			Computation: comp,
+			Workers:     *workers,
+			WeightProp:  *weight,
+		})
 		if err != nil {
-			return fmt.Errorf("run: %w (define views with -gvdl or query)", err)
-		}
-		results, dur, err := core.RunView(fv, comp, *workers, *weight)
-		if err != nil {
+			if errors.Is(err, core.ErrNotFound) {
+				return fmt.Errorf("run: %w (define views with -gvdl or query)", err)
+			}
 			return err
 		}
-		fmt.Printf("%s on view %s (%d edges): %v, %d result vertices\n",
-			comp.Name(), *viewName, fv.NumEdges(), dur.Round(1000), len(results))
-		printResults(results, *top)
+		vr := resp.(*core.ViewRunResult)
+		core.WriteViewRun(os.Stdout, vr)
+		core.WriteResults(os.Stdout, vr.Results, *top)
 		return nil
 	}
+	// One mode vocabulary for the -mode flag and HTTP request bodies: both
+	// parse through ExecMode.UnmarshalText.
 	var mode core.ExecMode
-	switch *modeName {
-	case "diff", "diff-only":
-		mode = core.DiffOnly
-	case "scratch":
-		mode = core.Scratch
-	case "adaptive":
-		mode = core.Adaptive
-	default:
-		return fmt.Errorf("unknown mode %q", *modeName)
+	if err := mode.UnmarshalText([]byte(*modeName)); err != nil {
+		return err
 	}
 	policy, err := schedule.ParsePolicy(*schedName)
 	if err != nil {
 		return err
 	}
-	opts := core.RunOptions{
-		Mode:        mode,
-		Workers:     *workers,
-		Parallelism: *parallel,
-		WeightProp:  *weight,
-		Schedule:    policy,
-		Speculate:   *speculate,
+	req := &core.RunRequest{
+		Collection:  *collection,
+		Computation: comp,
+		Options: core.RunOptions{
+			Mode:        mode,
+			Workers:     *workers,
+			Parallelism: *parallel,
+			WeightProp:  *weight,
+			Schedule:    policy,
+			Speculate:   *speculate,
+		},
 	}
-	var res *core.RunResult
 	var coord *cluster.Coordinator
 	if *clusterAddrs != "" {
-		coord = cluster.NewCoordinator(e, cluster.Options{})
+		if coord, err = coordinatorFor(e, *clusterAddrs); err != nil {
+			return err
+		}
 		defer coord.Close()
-		for _, addr := range strings.Split(*clusterAddrs, ",") {
-			if addr = strings.TrimSpace(addr); addr == "" {
-				continue
-			}
-			if err := coord.AddWorker(addr); err != nil {
-				return err
-			}
-		}
-		col, err := e.LookupCollection(*collection)
-		if err != nil {
-			return err
-		}
-		res, err = coord.RunCollection(col, comp, opts)
-		if err != nil {
-			return err
-		}
-	} else if res, err = e.RunCollection(*collection, comp, opts); err != nil {
+		req.Runner = coord
+	}
+	resp, err := sess.Do(ctx, req)
+	if err != nil {
 		return err
 	}
-	fmt.Printf("%s on %s (%s): %v total, %v wall, %d splits\n",
-		res.Computation, res.Collection, res.Mode, res.Total.Round(1000), res.Wall.Round(1000), res.Splits)
-	segAt := make(map[int]core.SegmentStats, len(res.Segments))
-	for _, seg := range res.Segments {
-		segAt[seg.Start] = seg
-	}
-	for _, st := range res.Stats {
-		if seg, ok := segAt[st.Index]; ok {
-			spec := ""
-			if seg.Speculative {
-				spec = ", speculative"
-			}
-			fmt.Printf("  segment views [%d,%d): replica setup %v, drain %v%s\n",
-				seg.Start, seg.End, seg.Setup.Round(1000), seg.Drain.Round(1000), spec)
-		}
-		fmt.Printf("  view %-3d %-16s %-8s |GV|=%-8d |dC|=%-8d out-diffs=%-8d %v\n",
-			st.Index, st.Name, st.Mode, st.ViewSize, st.DiffSize, st.OutputDiffs, st.Duration.Round(1000))
-	}
+	res := resp.(*core.RunResult)
+	core.WriteRunSummary(os.Stdout, res)
 	if *speculate {
-		fmt.Printf("speculation: %d hits, %d misses\n", res.SpecHits, res.SpecMisses)
+		core.WriteSpeculation(os.Stdout, res)
 	}
 	if coord != nil {
-		cs := coord.Stats()
-		for _, wi := range coord.Workers() {
-			state := "alive"
-			if !wi.Alive {
-				state = "dead"
-			}
-			fmt.Printf("cluster worker %s: capacity=%d %s, %d shards\n",
-				wi.Addr, wi.Capacity, state, cs.Remote[wi.Addr])
-		}
-		fmt.Printf("cluster: %d shards local, %d re-queued\n", cs.Local, cs.Requeued)
+		coord.WriteStats(os.Stdout)
 	}
-	for _, ps := range e.PoolStats() {
-		fmt.Printf("pool %s/w=%d: capacity=%d live=%d idle=%d built=%d reused=%d dropped=%d\n",
-			ps.Computation, ps.Workers, ps.Capacity, ps.Live, ps.Idle, ps.Built, ps.Reused, ps.Dropped)
-	}
-	printResults(res.FinalResults(), *top)
+	core.WritePoolStats(os.Stdout, e.PoolStats())
+	core.WriteResults(os.Stdout, res.FinalResults(), *top)
 	return nil
-}
-
-// printResults prints up to n per-vertex results, ordered by vertex ID.
-func printResults(final map[analytics.VertexValue]int64, n int) {
-	items := make([]analytics.VertexValue, 0, len(final))
-	for v := range final {
-		items = append(items, v)
-	}
-	sort.Slice(items, func(i, j int) bool { return items[i].V < items[j].V })
-	if n > len(items) {
-		n = len(items)
-	}
-	fmt.Printf("results (%d vertices, first %d):\n", len(items), n)
-	for _, it := range items[:n] {
-		fmt.Printf("  vertex %-10d value %d\n", it.V, it.Val)
-	}
 }

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -49,7 +50,7 @@ func main() {
 	}
 
 	// Connected components per quarter: watch the giant component form.
-	res, err := engine.RunCollection("history", analytics.WCC{}, core.RunOptions{Mode: core.DiffOnly})
+	res, err := engine.RunCollection(context.Background(), "history", analytics.WCC{}, core.RunOptions{Mode: core.DiffOnly})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -61,7 +62,7 @@ func main() {
 	}
 
 	// Shortest-path spread from the earliest hub across the same history.
-	bfs, err := engine.RunCollection("history", analytics.BFS{Source: 0}, core.RunOptions{Mode: core.Adaptive})
+	bfs, err := engine.RunCollection(context.Background(), "history", analytics.BFS{Source: 0}, core.RunOptions{Mode: core.Adaptive})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -59,7 +60,7 @@ create view collection call-analysis on Calls
 	fmt.Println(out[0])
 
 	// Run WCC once, differentially across all five views.
-	res, err := engine.RunCollection("call-analysis", analytics.WCC{}, core.RunOptions{
+	res, err := engine.RunCollection(context.Background(), "call-analysis", analytics.WCC{}, core.RunOptions{
 		Mode: core.DiffOnly,
 	})
 	if err != nil {

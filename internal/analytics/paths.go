@@ -61,7 +61,8 @@ func shortestPaths(b *Builder, source uint64, weighted bool) *dataflow.Collectio
 
 // Pair is a source-destination query of an MPSP computation.
 type Pair struct {
-	Src, Dst uint64
+	Src uint64 `json:"src"`
+	Dst uint64 `json:"dst"`
 }
 
 // MPSP computes multiple-pair shortest paths: the weighted distance of each

@@ -1,6 +1,7 @@
 package analytics
 
 import (
+	"context"
 	"sync"
 	"time"
 )
@@ -190,9 +191,29 @@ func (p *Pool) DropIdle() {
 // into the seed view's duration, as the sequential executor measured runner
 // construction); time spent waiting for a slot is scheduling, not splitting
 // cost, and is excluded.
-func (p *Pool) Acquire() (Runner, time.Duration, error) {
+//
+// The wait is bounded by ctx: a caller canceled while queued for a slot
+// returns ctx's error without claiming one, which is what lets a canceled
+// run drain instead of deadlocking behind the replicas it will never get.
+func (p *Pool) Acquire(ctx context.Context) (Runner, time.Duration, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
+	// The condition variable has no channel to select on, so cancellation is
+	// delivered as a broadcast: every waiter wakes, re-checks its own ctx,
+	// and the canceled one leaves the queue.
+	stop := context.AfterFunc(ctx, func() {
+		p.mu.Lock()
+		p.cond.Broadcast()
+		p.mu.Unlock()
+	})
+	defer stop()
 	p.mu.Lock()
 	for p.live >= p.size {
+		if err := ctx.Err(); err != nil {
+			p.mu.Unlock()
+			return nil, 0, err
+		}
 		p.cond.Wait()
 	}
 	p.live++

@@ -1,6 +1,7 @@
 package analytics
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -51,7 +52,7 @@ func TestPoolReusesResettableRunners(t *testing.T) {
 	if p.Size() != 2 {
 		t.Fatalf("size: %d", p.Size())
 	}
-	r1, _, err := p.Acquire()
+	r1, _, err := p.Acquire(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +61,7 @@ func TestPoolReusesResettableRunners(t *testing.T) {
 	if p.Idle() != 1 {
 		t.Fatalf("idle after release: %d", p.Idle())
 	}
-	r2, _, err := p.Acquire()
+	r2, _, err := p.Acquire(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +80,7 @@ func TestPoolReusesResettableRunners(t *testing.T) {
 
 func TestPoolBoundsConcurrency(t *testing.T) {
 	p := NewPool(WCC{}, 1, 1)
-	r, _, err := p.Acquire()
+	r, _, err := p.Acquire(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +89,7 @@ func TestPoolBoundsConcurrency(t *testing.T) {
 	}
 	acquired := make(chan Runner)
 	go func() {
-		r2, _, err := p.Acquire()
+		r2, _, err := p.Acquire(context.Background())
 		if err != nil {
 			t.Error(err)
 		}
@@ -112,13 +113,13 @@ func TestPoolBoundsConcurrency(t *testing.T) {
 // blocked on a full pool proceeds once another caller grows the capacity.
 func TestPoolGrowUnblocksWaiters(t *testing.T) {
 	p := NewPool(WCC{}, 1, 1)
-	r1, _, err := p.Acquire()
+	r1, _, err := p.Acquire(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	acquired := make(chan Runner)
 	go func() {
-		r2, _, err := p.Acquire()
+		r2, _, err := p.Acquire(context.Background())
 		if err != nil {
 			t.Error(err)
 		}
@@ -148,13 +149,13 @@ func TestPoolGrowUnblocksWaiters(t *testing.T) {
 // Resettable, so Release keeps it warm instead of dropping it.
 func TestPoolRecyclesStagedSCCRunner(t *testing.T) {
 	p := NewPool(&SCC{Phases: 3}, 1, 1)
-	r1, _, err := p.Acquire()
+	r1, _, err := p.Acquire(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	r1.Step(poolTriples(), nil)
 	p.Release(r1)
-	r2, _, err := p.Acquire()
+	r2, _, err := p.Acquire(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,7 +173,7 @@ func TestPoolRecyclesStagedSCCRunner(t *testing.T) {
 
 func TestPoolDropIdle(t *testing.T) {
 	p := NewPool(WCC{}, 1, 1)
-	r, _, err := p.Acquire()
+	r, _, err := p.Acquire(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,7 +185,7 @@ func TestPoolDropIdle(t *testing.T) {
 	if p.Idle() != 0 {
 		t.Fatalf("idle after drop: %d", p.Idle())
 	}
-	r2, _, err := p.Acquire()
+	r2, _, err := p.Acquire(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,7 +202,7 @@ func TestPoolIdleHighWaterMark(t *testing.T) {
 	p.SetPolicy(2, 0)
 	var rs []Runner
 	for i := 0; i < 4; i++ {
-		r, _, err := p.Acquire()
+		r, _, err := p.Acquire(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -220,7 +221,7 @@ func TestPoolIdleHighWaterMark(t *testing.T) {
 		t.Fatalf("%d live", p.Live())
 	}
 	// The retained replicas still serve acquisitions via reset.
-	r, _, err := p.Acquire()
+	r, _, err := p.Acquire(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -236,9 +237,9 @@ func TestPoolIdleHighWaterMark(t *testing.T) {
 func TestPoolIdleTTL(t *testing.T) {
 	p := NewPool(WCC{}, 1, 3)
 	p.SetPolicy(0, time.Minute)
-	r1, _, _ := p.Acquire()
-	r2, _, _ := p.Acquire()
-	held, _, err := p.Acquire()
+	r1, _, _ := p.Acquire(context.Background())
+	r2, _, _ := p.Acquire(context.Background())
+	held, _, err := p.Acquire(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -272,7 +273,7 @@ func TestPoolIdleTTL(t *testing.T) {
 // behind other runs — and succeed once a slot frees.
 func TestPoolTryAcquireNonBlocking(t *testing.T) {
 	p := NewPool(WCC{}, 1, 1)
-	r, _, err := p.Acquire()
+	r, _, err := p.Acquire(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -307,7 +308,7 @@ func TestPoolPruneReleasesBackingReferences(t *testing.T) {
 	p.SetPolicy(0, time.Minute)
 	var rs []Runner
 	for i := 0; i < 3; i++ {
-		r, _, err := p.Acquire()
+		r, _, err := p.Acquire(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}

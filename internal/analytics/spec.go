@@ -16,16 +16,17 @@ import "fmt"
 type Spec struct {
 	// Algorithm is the canonical algorithm name: wcc, bfs, sssp, pagerank,
 	// scc, degree or mpsp (the CLI aliases bellman-ford and pr are accepted
-	// by Resolve but never produced by SpecOf).
-	Algorithm string
+	// by Resolve but never produced by SpecOf). The JSON names are the HTTP
+	// API's wire schema (core.RunRequest); gob ignores them.
+	Algorithm string `json:"algorithm"`
 	// Source is the source vertex for bfs and sssp.
-	Source uint64
+	Source uint64 `json:"source,omitempty"`
 	// Iterations is PageRank's iteration count (0 = the default).
-	Iterations uint32
+	Iterations uint32 `json:"iterations,omitempty"`
 	// Phases is SCC's staged phase count (0 = the default).
-	Phases int
+	Phases int `json:"phases,omitempty"`
 	// Pairs are MPSP's source-destination queries.
-	Pairs []Pair
+	Pairs []Pair `json:"pairs,omitempty"`
 }
 
 // Resolve instantiates the computation a Spec describes.

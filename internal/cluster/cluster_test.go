@@ -1,6 +1,8 @@
 package cluster
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"net"
@@ -134,14 +136,14 @@ func TestClusterMatchesLocal(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	local, err := localEng.RunOn(col, analytics.WCC{}, core.RunOptions{Mode: core.Scratch, Parallelism: 2})
+	local, err := localEng.RunOn(context.Background(), col, analytics.WCC{}, core.RunOptions{Mode: core.Scratch, Parallelism: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	w1, w2 := startWorker(t, 1), startWorker(t, 1)
 	coord := newTestCoordinator(t, w1, w2)
-	clustered, err := coord.RunCollection(col, analytics.WCC{}, core.RunOptions{Mode: core.Scratch})
+	clustered, err := coord.RunCollection(context.Background(), col, analytics.WCC{}, core.RunOptions{Mode: core.Scratch})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +166,7 @@ func TestClusterMatchesLocal(t *testing.T) {
 
 	// A second run over the same cluster reuses worker pools and the warmed
 	// estimator; results stay identical.
-	again, err := coord.RunCollection(col, analytics.WCC{}, core.RunOptions{Mode: core.Scratch})
+	again, err := coord.RunCollection(context.Background(), col, analytics.WCC{}, core.RunOptions{Mode: core.Scratch})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +175,7 @@ func TestClusterMatchesLocal(t *testing.T) {
 	// A fully-local fallback run (adaptive plans online) must reset the
 	// distribution stats — Stats() reports the most recent run, never a
 	// stale sharded one.
-	if _, err := coord.RunCollection(col, analytics.WCC{}, core.RunOptions{Mode: core.Adaptive}); err != nil {
+	if _, err := coord.RunCollection(context.Background(), col, analytics.WCC{}, core.RunOptions{Mode: core.Adaptive}); err != nil {
 		t.Fatal(err)
 	}
 	if stats := coord.Stats(); len(stats.Remote) != 0 || stats.Local != 0 || stats.Requeued != 0 {
@@ -199,7 +201,7 @@ func TestClusterWorkerAppliesOwnWorkers(t *testing.T) {
 	t.Cleanup(func() { srv.Close() })
 
 	coord := newTestCoordinator(t, srv)
-	if _, err := coord.RunCollection(col, analytics.WCC{}, core.RunOptions{Mode: core.Scratch}); err != nil {
+	if _, err := coord.RunCollection(context.Background(), col, analytics.WCC{}, core.RunOptions{Mode: core.Scratch}); err != nil {
 		t.Fatal(err)
 	}
 	stats := wEng.PoolStats()
@@ -222,7 +224,7 @@ func TestClusterSurvivesWorkerKill(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	local, err := localEng.RunOn(col, analytics.WCC{}, core.RunOptions{Mode: core.Scratch, Parallelism: 2})
+	local, err := localEng.RunOn(context.Background(), col, analytics.WCC{}, core.RunOptions{Mode: core.Scratch, Parallelism: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -247,7 +249,7 @@ func TestClusterSurvivesWorkerKill(t *testing.T) {
 	var runErr error
 	go func() {
 		defer close(done)
-		clustered, runErr = coord.RunCollection(col, analytics.WCC{}, core.RunOptions{Mode: core.Scratch})
+		clustered, runErr = coord.RunCollection(context.Background(), col, analytics.WCC{}, core.RunOptions{Mode: core.Scratch})
 	}()
 
 	<-entered      // the victim is mid-shard
@@ -298,7 +300,7 @@ func TestClusterJobDeadline(t *testing.T) {
 	}
 	defer coord.Close()
 
-	res, err := coord.RunCollection(col, analytics.WCC{}, core.RunOptions{Mode: core.Scratch})
+	res, err := coord.RunCollection(context.Background(), col, analytics.WCC{}, core.RunOptions{Mode: core.Scratch})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -306,7 +308,7 @@ func TestClusterJobDeadline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	local, err := localEng.RunOn(col, analytics.WCC{}, core.RunOptions{Mode: core.Scratch})
+	local, err := localEng.RunOn(context.Background(), col, analytics.WCC{}, core.RunOptions{Mode: core.Scratch})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -328,7 +330,7 @@ func TestClusterDegradesToLocal(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	adaptive, err := coord.RunCollection(col, analytics.WCC{}, core.RunOptions{Mode: core.Adaptive})
+	adaptive, err := coord.RunCollection(context.Background(), col, analytics.WCC{}, core.RunOptions{Mode: core.Adaptive})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -343,7 +345,7 @@ func TestClusterDegradesToLocal(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	custom, err := coord.RunCollection(col, customWCC{}, core.RunOptions{Mode: core.Scratch})
+	custom, err := coord.RunCollection(context.Background(), col, customWCC{}, core.RunOptions{Mode: core.Scratch})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -361,6 +363,153 @@ type customWCC struct{ analytics.WCC }
 
 func (customWCC) Name() string { return "custom-wcc" }
 
+// TestClusterRedialsDeadWorkers: a worker that dies is degraded around for
+// that run, but the next run redials it — a restarted worker process on the
+// same address rejoins the cluster without re-registration.
+func TestClusterRedialsDeadWorkers(t *testing.T) {
+	col := skewedCollection(t, 6, 53)
+	w := startWorker(t, 1)
+	addr := w.Addr().String()
+	coord := newTestCoordinator(t, w)
+
+	if _, err := coord.RunCollection(context.Background(), col, analytics.WCC{}, core.RunOptions{Mode: core.Scratch}); err != nil {
+		t.Fatal(err)
+	}
+	if stats := coord.Stats(); stats.Remote[addr] == 0 {
+		t.Fatalf("healthy worker ran no shards: %+v", stats)
+	}
+
+	w.Close()
+	if _, err := coord.RunCollection(context.Background(), col, analytics.WCC{}, core.RunOptions{Mode: core.Scratch}); err != nil {
+		t.Fatal(err)
+	}
+	if ws := coord.Workers(); len(ws) != 1 || ws[0].Alive {
+		t.Fatalf("killed worker still listed alive: %+v", ws)
+	}
+
+	// Restart a fresh worker process on the same address, advertising a
+	// different capacity — redial must pick both up.
+	eng2, err := core.NewEngine(core.Options{Workers: 1, Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2 := NewServer(eng2, 2)
+	var l net.Listener
+	for i := 0; ; i++ {
+		if l, err = net.Listen("tcp", addr); err == nil {
+			break
+		}
+		if i >= 100 {
+			t.Fatalf("could not rebind %s: %v", addr, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	srv2.Start(l)
+	t.Cleanup(func() { srv2.Close() })
+
+	res, err := coord.RunCollection(context.Background(), col, analytics.WCC{}, core.RunOptions{Mode: core.Scratch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats := coord.Stats(); stats.Remote[addr] == 0 {
+		t.Fatalf("redialed worker ran no shards: %+v", stats)
+	}
+	ws := coord.Workers()
+	if len(ws) != 1 || !ws[0].Alive || ws[0].Capacity != 2 {
+		t.Fatalf("redialed worker roster %+v, want alive with refreshed capacity 2", ws)
+	}
+	local, err := core.RunCollection(col, analytics.WCC{}, core.RunOptions{Mode: core.Scratch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameRun(t, local, res)
+}
+
+// TestClusterCancelMidRun: cancelling a cluster run's ctx stops shard
+// dispatch, abandons the in-flight worker call without declaring the worker
+// dead, and leaks neither coordinator goroutines nor worker replicas — the
+// worker finishes its shard on its own and stays usable for the next run.
+func TestClusterCancelMidRun(t *testing.T) {
+	col := skewedCollection(t, 8, 59)
+	wEng, err := core.NewEngine(core.Options{Workers: 1, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(wEng, 1)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start(l)
+	t.Cleanup(func() { srv.Close() })
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once bool
+	srv.svc.beforeRun = func(*core.SegmentSpec) {
+		if once {
+			return
+		}
+		once = true
+		close(entered)
+		<-release
+	}
+
+	coord := newTestCoordinator(t, srv)
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := coord.RunCollection(ctx, col, analytics.WCC{}, core.RunOptions{Mode: core.Scratch})
+		errCh <- err
+	}()
+	<-entered // the worker is mid-shard
+	cancel()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("canceled cluster run returned %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("canceled cluster run did not return while its worker was stalled")
+	}
+	// Cancellation is not failure: the stalled worker must not be executed.
+	if ws := coord.Workers(); !ws[0].Alive {
+		t.Fatal("cancellation marked the worker dead")
+	}
+	if stats := coord.Stats(); len(stats.Dead) != 0 {
+		t.Fatalf("cancellation recorded dead workers: %+v", stats)
+	}
+
+	// Let the abandoned shard finish; the worker's replica must return to
+	// its pool even though nobody is waiting for the reply.
+	close(release)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		live := 0
+		for _, ps := range wEng.PoolStats() {
+			live += ps.Live
+		}
+		if live == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("worker still holds %d live replicas after the abandoned shard finished", live)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The same coordinator and worker serve the next run normally.
+	res, err := coord.RunCollection(context.Background(), col, analytics.WCC{}, core.RunOptions{Mode: core.Scratch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := core.RunCollection(col, analytics.WCC{}, core.RunOptions{Mode: core.Scratch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameRun(t, local, res)
+}
+
 // TestHandshakeRejectsVersionMismatch: a worker speaking another protocol
 // version is refused at registration.
 func TestHandshakeRejectsVersionMismatch(t *testing.T) {
@@ -377,7 +526,7 @@ func TestHandshakeRejectsVersionMismatch(t *testing.T) {
 
 	var reply HelloReply
 	wc := coord.aliveWorkers()[0]
-	if err := wc.call(ServiceName+".Hello", &HelloArgs{Version: ProtocolVersion + 1}, &reply, time.Second); err == nil {
+	if err := wc.call(context.Background(), ServiceName+".Hello", &HelloArgs{Version: ProtocolVersion + 1}, &reply, time.Second); err == nil {
 		t.Fatal("worker accepted a mismatched protocol version")
 	}
 }

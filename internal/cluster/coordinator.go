@@ -1,8 +1,10 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/rpc"
 	"sync"
@@ -55,6 +57,10 @@ type workerConn struct {
 	mu     sync.Mutex
 	client *rpc.Client
 	dead   bool
+	// lastRedial stamps the most recent failed redial attempt; while a host
+	// stays down, at most one run per DialTimeout window pays the dial
+	// stall instead of every run.
+	lastRedial time.Time
 }
 
 func (w *workerConn) alive() bool {
@@ -63,9 +69,38 @@ func (w *workerConn) alive() bool {
 	return !w.dead && w.client != nil
 }
 
+// cap returns the worker's advertised capacity. Guarded because a redial
+// can refresh it (a restarted worker may advertise a different -parallel)
+// while another goroutine reads Workers().
+func (w *workerConn) cap() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.capacity
+}
+
+// revive installs a fresh client on a worker previously marked dead — the
+// redial path. A worker that was never killed keeps its existing client and
+// the new one is closed.
+func (w *workerConn) revive(client *rpc.Client, capacity int) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if !w.dead {
+		client.Close()
+		return
+	}
+	w.client = client
+	w.dead = false
+	if capacity >= 1 {
+		w.capacity = capacity
+	}
+}
+
 // kill marks the worker dead and closes its client, which terminates every
 // in-flight call on it — the dispatch loop sees those calls fail and
-// re-queues their shards. Idempotent.
+// re-queues their shards. Idempotent. Used by teardown paths (Close,
+// handshake failure) that own the worker outright; failure observers use
+// killClient so a stale failure can never execute a freshly redialed
+// connection.
 func (w *workerConn) kill() {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -78,44 +113,93 @@ func (w *workerConn) kill() {
 	}
 }
 
-// call issues one RPC with a deadline. A timeout returns an error without
-// waiting further; the caller kills the worker, which also terminates the
-// abandoned in-flight call.
-func (w *workerConn) call(method string, args, reply any, timeout time.Duration) error {
+// killClient kills the worker only if the given client — the connection the
+// caller actually observed failing — is still the worker's current one. A
+// failure on a connection that has since been replaced by a redial belongs
+// to the old connection; the revived worker is left alone.
+func (w *workerConn) killClient(client *rpc.Client) {
+	if client == nil {
+		return
+	}
 	w.mu.Lock()
-	client, dead := w.client, w.dead
-	w.mu.Unlock()
-	if dead || client == nil {
-		return errWorkerDead
+	defer w.mu.Unlock()
+	if w.dead || w.client != client {
+		return
 	}
+	w.dead = true
+	client.Close()
+}
+
+// currentClient snapshots the worker's live connection.
+func (w *workerConn) currentClient() (*rpc.Client, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.dead || w.client == nil {
+		return nil, errWorkerDead
+	}
+	return w.client, nil
+}
+
+// callClient issues one RPC on an explicit client, bounded by ctx and a
+// deadline. A timeout returns an error without waiting further; the caller
+// kills the connection it observed failing, which also terminates the
+// abandoned in-flight call. A canceled ctx abandons the call the same way
+// but returns ctx's error, so the caller can tell cancellation (leave the
+// worker alone) from failure (kill it).
+func callClient(ctx context.Context, client *rpc.Client, addr, method string, args, reply any, timeout time.Duration) error {
 	call := client.Go(method, args, reply, make(chan *rpc.Call, 1))
-	if timeout <= 0 {
-		<-call.Done
-		return call.Error
+	var timeC <-chan time.Time
+	if timeout > 0 {
+		timer := time.NewTimer(timeout)
+		defer timer.Stop()
+		timeC = timer.C
 	}
-	timer := time.NewTimer(timeout)
-	defer timer.Stop()
 	select {
 	case <-call.Done:
 		return call.Error
-	case <-timer.C:
-		return fmt.Errorf("cluster: %s to %s exceeded job deadline %v", method, w.addr, timeout)
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-timeC:
+		return fmt.Errorf("cluster: %s to %s exceeded job deadline %v", method, addr, timeout)
 	}
+}
+
+// call issues one RPC on the worker's current connection.
+func (w *workerConn) call(ctx context.Context, method string, args, reply any, timeout time.Duration) error {
+	client, err := w.currentClient()
+	if err != nil {
+		return err
+	}
+	return callClient(ctx, client, w.addr, method, args, reply, timeout)
 }
 
 // RunSegment implements core.SegmentRunner over the wire: the shard is
 // encoded once, shipped, executed on the worker's engine, and its outcome
-// returned for merging.
-func (w *workerConn) RunSegment(spec *core.SegmentSpec) (*core.SegmentOutcome, error) {
+// returned for merging. Cancellation abandons the in-flight call — the
+// worker finishes the shard on its own engine and returns the replica to
+// its pool; the coordinator just stops waiting.
+func (w *workerConn) RunSegment(ctx context.Context, spec *core.SegmentSpec) (*core.SegmentOutcome, error) {
+	out, _, err := w.runSegment(ctx, spec)
+	return out, err
+}
+
+// runSegment is RunSegment plus the connection the call actually used, so a
+// failure observer can kill exactly that connection (killClient) and never
+// a redialed replacement.
+func (w *workerConn) runSegment(ctx context.Context, spec *core.SegmentSpec) (*core.SegmentOutcome, *rpc.Client, error) {
 	payload, err := EncodeWire(spec)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
+	}
+	client, err := w.currentClient()
+	if err != nil {
+		return nil, nil, err
 	}
 	var reply RunSegmentReply
-	if err := w.call(ServiceName+".RunSegment", &RunSegmentArgs{Spec: payload}, &reply, w.jobTimeout); err != nil {
-		return nil, err
+	if err := callClient(ctx, client, w.addr, ServiceName+".RunSegment", &RunSegmentArgs{Spec: payload}, &reply, w.jobTimeout); err != nil {
+		return nil, client, err
 	}
-	return &reply.Outcome, nil
+	return &reply.Outcome, client, nil
 }
 
 // RunStats describes how the last RunCollection was distributed —
@@ -154,32 +238,93 @@ func NewCoordinator(eng *core.Engine, opts Options) *Coordinator {
 	return &Coordinator{eng: eng, opts: opts}
 }
 
+// dialWorker dials an address and completes the Hello handshake, returning
+// the connected client and the worker's advertised capacity — shared by
+// initial registration (AddWorker) and per-run redial of dead workers.
+func (c *Coordinator) dialWorker(addr string) (*rpc.Client, int, error) {
+	conn, err := net.DialTimeout("tcp", addr, c.opts.DialTimeout)
+	if err != nil {
+		return nil, 0, fmt.Errorf("cluster: dialing worker %s: %w", addr, err)
+	}
+	client := rpc.NewClient(conn)
+	probe := &workerConn{addr: addr, client: client}
+	var hello HelloReply
+	if err := probe.call(context.Background(), ServiceName+".Hello", &HelloArgs{Version: ProtocolVersion}, &hello, c.opts.DialTimeout); err != nil {
+		client.Close()
+		return nil, 0, fmt.Errorf("cluster: handshake with worker %s: %w", addr, err)
+	}
+	if hello.Version != ProtocolVersion {
+		client.Close()
+		return nil, 0, fmt.Errorf("cluster: worker %s speaks protocol %d, coordinator %d", addr, hello.Version, ProtocolVersion)
+	}
+	capacity := hello.Capacity
+	if capacity < 1 {
+		capacity = 1
+	}
+	return client, capacity, nil
+}
+
 // AddWorker dials and registers a worker. The Hello handshake pins the
 // protocol version and learns the worker's capacity — how many shards may
 // be in flight on it concurrently.
 func (c *Coordinator) AddWorker(addr string) error {
-	conn, err := net.DialTimeout("tcp", addr, c.opts.DialTimeout)
+	client, capacity, err := c.dialWorker(addr)
 	if err != nil {
-		return fmt.Errorf("cluster: dialing worker %s: %w", addr, err)
+		return err
 	}
-	w := &workerConn{addr: addr, client: rpc.NewClient(conn), jobTimeout: c.opts.JobTimeout}
-	var hello HelloReply
-	if err := w.call(ServiceName+".Hello", &HelloArgs{Version: ProtocolVersion}, &hello, c.opts.DialTimeout); err != nil {
-		w.kill()
-		return fmt.Errorf("cluster: handshake with worker %s: %w", addr, err)
-	}
-	if hello.Version != ProtocolVersion {
-		w.kill()
-		return fmt.Errorf("cluster: worker %s speaks protocol %d, coordinator %d", addr, hello.Version, ProtocolVersion)
-	}
-	w.capacity = hello.Capacity
-	if w.capacity < 1 {
-		w.capacity = 1
-	}
+	w := &workerConn{addr: addr, client: client, capacity: capacity, jobTimeout: c.opts.JobTimeout}
 	c.mu.Lock()
 	c.workers = append(c.workers, w)
 	c.mu.Unlock()
 	return nil
+}
+
+// redialDead attempts to re-register every dead worker — called at the
+// start of each run, so a worker that crashed (or was restarted) during one
+// run rejoins the cluster on the next instead of being dropped for the
+// coordinator's lifetime. Dials run concurrently (one crashed endpoint
+// costs one DialTimeout regardless of how many are down) and are skipped
+// entirely when ctx is already canceled. Failures are silent: the worker
+// simply stays dead for this run and is retried on the next one.
+func (c *Coordinator) redialDead(ctx context.Context) {
+	if ctx.Err() != nil {
+		return
+	}
+	now := time.Now()
+	c.mu.Lock()
+	var dead []*workerConn
+	for _, w := range c.workers {
+		if w.alive() {
+			continue
+		}
+		w.mu.Lock()
+		recent := !w.lastRedial.IsZero() && now.Sub(w.lastRedial) < c.opts.DialTimeout
+		w.mu.Unlock()
+		if !recent {
+			dead = append(dead, w)
+		}
+	}
+	c.mu.Unlock()
+	var wg sync.WaitGroup
+	for _, w := range dead {
+		wg.Add(1)
+		go func(w *workerConn) {
+			defer wg.Done()
+			client, capacity, err := c.dialWorker(w.addr)
+			if err != nil {
+				w.mu.Lock()
+				w.lastRedial = now
+				w.mu.Unlock()
+				return
+			}
+			if ctx.Err() != nil {
+				client.Close()
+				return
+			}
+			w.revive(client, capacity)
+		}(w)
+	}
+	wg.Wait()
 }
 
 // WorkerInfo describes one registered worker.
@@ -195,7 +340,7 @@ func (c *Coordinator) Workers() []WorkerInfo {
 	defer c.mu.Unlock()
 	out := make([]WorkerInfo, len(c.workers))
 	for i, w := range c.workers {
-		out[i] = WorkerInfo{Addr: w.addr, Capacity: w.capacity, Alive: w.alive()}
+		out[i] = WorkerInfo{Addr: w.addr, Capacity: w.cap(), Alive: w.alive()}
 	}
 	return out
 }
@@ -212,6 +357,22 @@ func (c *Coordinator) Stats() RunStats {
 	}
 	out.Dead = append([]string(nil), c.stats.Dead...)
 	return out
+}
+
+// WriteStats renders the coordinator's worker roster and the last run's
+// shard distribution as the CLI's text lines — the cluster part of the
+// typed-response rendering layer (see core's render.go).
+func (c *Coordinator) WriteStats(w io.Writer) {
+	cs := c.Stats()
+	for _, wi := range c.Workers() {
+		state := "alive"
+		if !wi.Alive {
+			state = "dead"
+		}
+		fmt.Fprintf(w, "cluster worker %s: capacity=%d %s, %d shards\n",
+			wi.Addr, wi.Capacity, state, cs.Remote[wi.Addr])
+	}
+	fmt.Fprintf(w, "cluster: %d shards local, %d re-queued\n", cs.Local, cs.Requeued)
 }
 
 // Close disconnects every worker. Worker processes are unaffected — they
@@ -238,13 +399,22 @@ func (c *Coordinator) aliveWorkers() []*workerConn {
 	return out
 }
 
+// RunOn implements core.CollectionRunner, so a Session RunRequest can name
+// the coordinator as its runner and shard through the same typed API the
+// local engine serves.
+func (c *Coordinator) RunOn(ctx context.Context, col *view.Collection, comp analytics.Computation, ropts core.RunOptions) (*core.RunResult, error) {
+	return c.RunCollection(ctx, col, comp, ropts)
+}
+
 // RunCollection executes a computation over a collection across the cluster
 // and returns the same RunResult the local executor produces: ViewStats in
 // collection order, FinalResults from the view that ends the collection,
 // MaxWork and IterCapHit aggregated across every replica on every machine.
 //
-// The static plan's segments are assigned to worker slots by multi-bin LPT
-// over the engine's persistent cost estimator (size fallback while cold) and
+// Workers that died in earlier runs are redialed on entry, so a restarted
+// worker process rejoins the cluster without re-registering. The static
+// plan's segments are assigned to worker slots by multi-bin LPT over the
+// engine's persistent cost estimator (size fallback while cold) and
 // shipped as self-contained shards; shards stream to workers in collection
 // order as their seeds are built, so building and remote execution pipeline.
 // Runs that cannot be sharded — adaptive mode (its plan emerges online from
@@ -252,18 +422,31 @@ func (c *Coordinator) aliveWorkers() []*workerConn {
 // or no live workers — degrade to the local engine, full stop. Worker
 // failure mid-run re-queues the failed worker's shards on the local engine,
 // so the run completes with local semantics rather than erroring.
-func (c *Coordinator) RunCollection(col *view.Collection, comp analytics.Computation, ropts core.RunOptions) (*core.RunResult, error) {
+//
+// Cancelling ctx stops the run everywhere the coordinator controls it:
+// shard building aborts, undispatched shards are discarded instead of sent,
+// in-flight worker RPCs are abandoned (the workers finish those shards on
+// their own engines and keep their replicas pooled; they are not marked
+// dead), and locally re-queued shards cancel through the engine's own ctx
+// path. A canceled run returns ctx's error and no result.
+func (c *Coordinator) RunCollection(ctx context.Context, col *view.Collection, comp analytics.Computation, ropts core.RunOptions) (*core.RunResult, error) {
 	start := time.Now()
 	wireSpec, ok := analytics.SpecOf(comp)
-	alive := c.aliveWorkers()
 	k := col.Stream.NumViews()
+	if ok && ropts.Mode != core.Adaptive && k != 0 {
+		// Only a run that can actually shard pays for redialing dead
+		// workers: adaptive and custom-computation runs execute locally no
+		// matter what the roster says.
+		c.redialDead(ctx)
+	}
+	alive := c.aliveWorkers()
 	if !ok || ropts.Mode == core.Adaptive || len(alive) == 0 || k == 0 {
 		// The whole run is local: reset the distribution stats so Stats()
 		// never reports a previous sharded run as this one's.
 		c.mu.Lock()
 		c.stats = RunStats{Remote: map[string]int{}}
 		c.mu.Unlock()
-		return c.eng.RunOn(col, comp, ropts)
+		return c.eng.RunOn(ctx, col, comp, ropts)
 	}
 	// ropts.Workers is shipped as-is: 0 means "the executing engine's
 	// default", letting each worker apply its own -workers setting; an
@@ -292,7 +475,7 @@ func (c *Coordinator) RunCollection(col *view.Collection, comp analytics.Computa
 	}
 	var slots []*slot
 	for _, w := range alive {
-		for i := 0; i < w.capacity; i++ {
+		for i := 0; i < w.cap(); i++ {
 			slots = append(slots, &slot{w: w})
 		}
 	}
@@ -311,6 +494,19 @@ func (c *Coordinator) RunCollection(col *view.Collection, comp analytics.Computa
 	var resMu sync.Mutex
 	var outcomes []*core.SegmentOutcome
 	var firstErr error
+	// record publishes one completed shard outcome and streams its segment
+	// stats to the run's progress hook, exactly as the local executor's
+	// finishSegment would — the hook is called outside resMu so a slow
+	// consumer never stalls other slots' bookkeeping.
+	record := func(out *core.SegmentOutcome, tally func()) {
+		resMu.Lock()
+		outcomes = append(outcomes, out)
+		tally()
+		resMu.Unlock()
+		if ropts.OnSegment != nil {
+			ropts.OnSegment(out.Segment)
+		}
+	}
 	// Re-queued shards execute on the local engine — the coordinator
 	// degrades to single-process behavior for exactly the shards that need
 	// it. Buffered to the plan so slot goroutines never block on it.
@@ -335,17 +531,19 @@ func (c *Coordinator) RunCollection(col *view.Collection, comp analytics.Computa
 		go func() {
 			defer drainWG.Done()
 			for sp := range retryCh {
-				out, err := c.eng.RunSegment(sp)
-				resMu.Lock()
+				if ctx.Err() != nil {
+					continue // canceled: discard the backlog, the run is failing with ctx's error
+				}
+				out, err := c.eng.RunSegment(ctx, sp)
 				if err != nil {
+					resMu.Lock()
 					if firstErr == nil {
 						firstErr = err
 					}
-				} else {
-					outcomes = append(outcomes, out)
-					stats.Local++
+					resMu.Unlock()
+					continue
 				}
-				resMu.Unlock()
+				record(out, func() { stats.Local++ })
 			}
 		}()
 	}
@@ -365,18 +563,25 @@ func (c *Coordinator) RunCollection(col *view.Collection, comp analytics.Computa
 				ticker := time.NewTicker(c.opts.Heartbeat)
 				defer ticker.Stop()
 				misses := 0
+				var observed *rpc.Client
 				for {
 					select {
 					case <-hbStop:
 						return
 					case <-ticker.C:
-						if !w.alive() {
-							return
+						client, err := w.currentClient()
+						if err != nil {
+							return // dead
+						}
+						if client != observed {
+							// A redial replaced the connection mid-sequence;
+							// misses counted against the old one don't carry.
+							observed, misses = client, 0
 						}
 						var reply PingReply
-						if err := w.call(ServiceName+".Ping", &PingArgs{}, &reply, 2*c.opts.Heartbeat); err != nil {
+						if err := callClient(context.Background(), client, w.addr, ServiceName+".Ping", &PingArgs{}, &reply, 2*c.opts.Heartbeat); err != nil {
 							if misses++; misses >= 2 {
-								w.kill()
+								w.killClient(client)
 								return
 							}
 						} else {
@@ -394,29 +599,43 @@ func (c *Coordinator) RunCollection(col *view.Collection, comp analytics.Computa
 		go func(s *slot) {
 			defer slotWG.Done()
 			for sp := range s.ch {
+				if ctx.Err() != nil {
+					continue // canceled: drain undispatched shards without sending
+				}
 				if !s.w.alive() {
 					requeue(sp)
 					continue
 				}
-				out, err := s.w.RunSegment(sp)
+				out, observed, err := s.w.runSegment(ctx, sp)
 				if err != nil {
+					if ctx.Err() != nil {
+						// Cancellation, not failure: the in-flight call is
+						// abandoned but the worker is healthy — leave it
+						// registered and don't re-queue work the run no
+						// longer wants.
+						continue
+					}
 					// Connection failure, deadline, or a worker-side error:
 					// this worker is done for the run, its shard re-queues.
-					s.w.kill()
+					// Only the connection observed failing is killed — a
+					// concurrent run's redial may already have installed a
+					// fresh one.
+					s.w.killClient(observed)
 					requeue(sp)
 					continue
 				}
-				resMu.Lock()
-				outcomes = append(outcomes, out)
-				stats.Remote[s.w.addr]++
-				resMu.Unlock()
+				record(out, func() { stats.Remote[s.w.addr]++ })
 			}
 		}(s)
 	}
 
 	// Build shards on this goroutine, streaming each to its slot as its seed
-	// is scanned — remote execution overlaps shard building.
+	// is scanned — remote execution overlaps shard building. Cancellation
+	// aborts the walk before the next seed scan.
 	berr := core.ForEachSegmentSpec(col, wireSpec, ropts, plan, func(i int, sp *core.SegmentSpec) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		slots[slotOf[i]].ch <- sp
 		return nil
 	})
@@ -438,6 +657,11 @@ func (c *Coordinator) RunCollection(col *view.Collection, comp analytics.Computa
 	c.stats = stats
 	c.mu.Unlock()
 
+	if err := ctx.Err(); err != nil {
+		// Canceled: everything has drained and joined; the partial outcomes
+		// are discarded rather than merged into a run that claims coverage.
+		return nil, err
+	}
 	if berr != nil {
 		return nil, berr
 	}

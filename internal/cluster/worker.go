@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"net/rpc"
@@ -51,7 +52,10 @@ func (s *service) RunSegment(args *RunSegmentArgs, reply *RunSegmentReply) error
 	if hook := s.beforeRun; hook != nil {
 		hook(&spec)
 	}
-	out, err := s.eng.RunSegment(&spec)
+	// net/rpc carries no per-call context; the worker runs the shard to
+	// completion even if the coordinator abandoned the call, keeping its
+	// replica warm for the next job.
+	out, err := s.eng.RunSegment(context.Background(), &spec)
 	if err != nil {
 		return err
 	}

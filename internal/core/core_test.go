@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -76,7 +77,7 @@ func TestExecuteCollectionAndRun(t *testing.T) {
 		t.Fatal("views")
 	}
 
-	res, err := e.RunCollection("hist", analytics.WCC{}, RunOptions{Mode: DiffOnly})
+	res, err := e.RunCollection(context.Background(), "hist", analytics.WCC{}, RunOptions{Mode: DiffOnly})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +90,7 @@ func TestExecuteCollectionAndRun(t *testing.T) {
 	if len(res.FinalResults()) == 0 {
 		t.Fatal("no final results")
 	}
-	if _, err := e.RunCollection("nope", analytics.WCC{}, RunOptions{}); err == nil {
+	if _, err := e.RunCollection(context.Background(), "nope", analytics.WCC{}, RunOptions{}); err == nil {
 		t.Fatal("expected error for unknown collection")
 	}
 }
@@ -211,14 +212,14 @@ func TestRunView(t *testing.T) {
 		t.Fatal(err)
 	}
 	fv, _ := e.View("early")
-	results, dur, err := RunView(fv, analytics.Degree{}, 1, "")
+	results, dur, err := RunView(context.Background(), fv, analytics.Degree{}, 1, "")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(results) == 0 || dur <= 0 {
 		t.Fatal("no results")
 	}
-	if _, _, err := RunView(fv, analytics.Degree{}, 1, "nope"); err == nil {
+	if _, _, err := RunView(context.Background(), fv, analytics.Degree{}, 1, "nope"); err == nil {
 		t.Fatal("expected weight property error")
 	}
 }

@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -49,6 +50,11 @@ type Options struct {
 // graph store only on ErrNotFound, never on a load failure).
 var ErrNotFound = errors.New("not found")
 
+// ErrClosing reports a run rejected because Engine.Close is draining: Close
+// waits for in-flight runs to finish before tearing the pools down, and a
+// run arriving during that wait is refused rather than racing the teardown.
+var ErrClosing = errors.New("core: engine is closing")
+
 // Engine is a Graphsurge instance: graph store, view store, executors, and
 // the warm runner pools that amortize dataflow construction across
 // RunCollection calls (see DESIGN.md on the engine pool lifecycle).
@@ -63,6 +69,14 @@ type Engine struct {
 
 	poolMu sync.Mutex
 	pools  map[poolKey]*poolEntry
+
+	// runMu guards the active-run count and the closing flag; runDone is
+	// signalled as active reaches zero so Close can wait for in-flight runs
+	// instead of racing their pool map accesses and replica releases.
+	runMu   sync.Mutex
+	runDone *sync.Cond
+	active  int
+	closing bool
 }
 
 // poolEntry is one warm-pool map slot: the pool, its scheduling estimator,
@@ -153,14 +167,38 @@ func NewEngine(opts Options) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{
+	e := &Engine{
 		opts:        opts,
 		store:       st,
 		views:       make(map[string]*view.Filtered),
 		collections: make(map[string]*view.Collection),
 		aggViews:    make(map[string]*aggregate.View),
 		pools:       make(map[poolKey]*poolEntry),
-	}, nil
+	}
+	e.runDone = sync.NewCond(&e.runMu)
+	return e, nil
+}
+
+// beginRun admits one run (RunOn, RunSegment) against the engine's pools,
+// refusing with ErrClosing while Close is draining. Every successful
+// beginRun is paired with an endRun.
+func (e *Engine) beginRun() error {
+	e.runMu.Lock()
+	defer e.runMu.Unlock()
+	if e.closing {
+		return ErrClosing
+	}
+	e.active++
+	return nil
+}
+
+func (e *Engine) endRun() {
+	e.runMu.Lock()
+	e.active--
+	if e.active == 0 {
+		e.runDone.Broadcast()
+	}
+	e.runMu.Unlock()
 }
 
 // Options returns the engine's effective configuration (defaults applied).
@@ -244,16 +282,26 @@ func (e *Engine) EvictPools(computation string) {
 	}
 }
 
-// Close releases engine-held resources: every warm runner pool is dropped.
-// The engine remains usable — a later RunCollection simply rebuilds its
-// pools — so Close is also the "evict everything" path for memory pressure.
+// Close releases engine-held resources: it waits for in-flight runs to
+// complete (runs that arrive while it is waiting are refused with
+// ErrClosing — Close never races the pool map or a replica release), then
+// drops every warm runner pool. The engine remains usable once Close
+// returns — a later RunCollection simply rebuilds its pools — so Close is
+// also the "quiesce and evict everything" path for memory pressure.
 func (e *Engine) Close() error {
+	e.runMu.Lock()
+	e.closing = true
+	for e.active > 0 {
+		e.runDone.Wait()
+	}
 	e.poolMu.Lock()
-	defer e.poolMu.Unlock()
 	for key, en := range e.pools {
 		en.pool.DropIdle()
 		delete(e.pools, key)
 	}
+	e.poolMu.Unlock()
+	e.closing = false
+	e.runMu.Unlock()
 	return nil
 }
 
@@ -261,14 +309,15 @@ func (e *Engine) Close() error {
 // capacity and occupancy, and the lifetime effectiveness counters
 // (built/reused acquisitions, policy-dropped idle replicas).
 type PoolStat struct {
-	Computation string // computation name
-	Ident       string // full identity (name plus parameters)
-	Workers     int
-	Capacity    int
-	Live, Idle  int
-	Built       int
-	Reused      int
-	Dropped     int
+	Computation string `json:"computation"` // computation name
+	Ident       string `json:"ident"`       // full identity (name plus parameters)
+	Workers     int    `json:"workers"`
+	Capacity    int    `json:"capacity"`
+	Live        int    `json:"live"`
+	Idle        int    `json:"idle"`
+	Built       int    `json:"built"`
+	Reused      int    `json:"reused"`
+	Dropped     int    `json:"dropped"`
 }
 
 // PoolStats reports every warm runner pool's state, sorted by computation
@@ -475,33 +524,53 @@ func restrictPredicate(p gvdl.EdgePredicate, fv *view.Filtered, numEdges int) gv
 }
 
 // Execute parses and runs GVDL statements, materializing the views they
-// define. It returns a short description per statement.
+// define. It returns a short description per statement — the rendered form
+// of the typed results ExecuteContext produces; both are one code path.
 func (e *Engine) Execute(src string) ([]string, error) {
+	results, err := e.ExecuteContext(context.Background(), src)
+	out := make([]string, 0, len(results))
+	for _, r := range results {
+		out = append(out, r.String())
+	}
+	return out, err
+}
+
+// ExecuteContext parses and runs GVDL statements, materializing the views
+// they define, and returns one typed gvdl.Result per completed statement —
+// the programmatic form Session.Do and the HTTP server consume. ctx is
+// checked between statements: a canceled batch stops before its next
+// statement and returns the results of those already executed alongside
+// ctx's error (statement execution itself is one uninterruptible
+// materialization).
+func (e *Engine) ExecuteContext(ctx context.Context, src string) ([]gvdl.Result, error) {
 	stmts, err := gvdl.ParseAll(src)
 	if err != nil {
 		return nil, err
 	}
-	var out []string
+	var out []gvdl.Result
 	for _, stmt := range stmts {
-		desc, err := e.executeStmt(stmt)
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
+		res, err := e.executeStmt(stmt)
 		if err != nil {
 			return out, err
 		}
-		out = append(out, desc)
+		out = append(out, res)
 	}
 	return out, nil
 }
 
-func (e *Engine) executeStmt(stmt gvdl.Statement) (string, error) {
+func (e *Engine) executeStmt(stmt gvdl.Statement) (gvdl.Result, error) {
 	switch s := stmt.(type) {
 	case *gvdl.CreateView:
 		g, fv, err := e.resolveTarget(s.On)
 		if err != nil {
-			return "", err
+			return nil, err
 		}
 		pred, err := gvdl.CompileEdgePredicate(g, s.Where)
 		if err != nil {
-			return "", fmt.Errorf("view %s: %w", s.Name, err)
+			return nil, fmt.Errorf("view %s: %w", s.Name, err)
 		}
 		pred = restrictPredicate(pred, fv, g.NumEdges())
 		mv := &view.Filtered{Name: s.Name, Base: g}
@@ -515,22 +584,22 @@ func (e *Engine) executeStmt(stmt gvdl.Statement) (string, error) {
 		e.mu.Unlock()
 		if e.opts.DataDir != "" {
 			if err := view.SaveFiltered(e.opts.DataDir, mv); err != nil {
-				return "", err
+				return nil, err
 			}
 		}
-		return fmt.Sprintf("view %s: %d edges", s.Name, mv.NumEdges()), nil
+		return gvdl.ViewCreated{Name: s.Name, Edges: mv.NumEdges()}, nil
 
 	case *gvdl.CreateCollection:
 		g, fv, err := e.resolveTarget(s.On)
 		if err != nil {
-			return "", err
+			return nil, err
 		}
 		names := make([]string, len(s.Views))
 		preds := make([]gvdl.EdgePredicate, len(s.Views))
 		for i, v := range s.Views {
 			p, err := gvdl.CompileEdgePredicate(g, v.Pred)
 			if err != nil {
-				return "", fmt.Errorf("collection %s, view %s: %w", s.Name, v.Name, err)
+				return nil, fmt.Errorf("collection %s, view %s: %w", s.Name, v.Name, err)
 			}
 			names[i], preds[i] = v.Name, restrictPredicate(p, fv, g.NumEdges())
 		}
@@ -539,36 +608,43 @@ func (e *Engine) executeStmt(stmt gvdl.Statement) (string, error) {
 			Mode:    e.opts.Ordering,
 		})
 		if err != nil {
-			return "", err
+			return nil, err
 		}
 		e.mu.Lock()
 		e.collections[s.Name] = col
 		e.mu.Unlock()
 		if e.opts.DataDir != "" {
 			if err := view.SaveCollection(e.opts.DataDir, col); err != nil {
-				return "", err
+				return nil, err
 			}
 		}
-		return fmt.Sprintf("collection %s: %d views, %d diffs (created in %v)",
-			s.Name, col.Stream.NumViews(), col.Stream.TotalDiffs(), col.Timings.Total()), nil
+		return gvdl.CollectionCreated{
+			Name:    s.Name,
+			Views:   col.Stream.NumViews(),
+			Diffs:   col.Stream.TotalDiffs(),
+			Elapsed: col.Timings.Total(),
+		}, nil
 
 	case *gvdl.CreateAggView:
 		g, fv, err := e.resolveTarget(s.On)
 		if err != nil {
-			return "", err
+			return nil, err
 		}
 		if fv != nil {
-			return "", fmt.Errorf("aggregate view %s: aggregate views over filtered views are not supported; target a base graph", s.Name)
+			return nil, fmt.Errorf("aggregate view %s: aggregate views over filtered views are not supported; target a base graph", s.Name)
 		}
 		av, err := aggregate.Evaluate(g, s, e.opts.Workers)
 		if err != nil {
-			return "", err
+			return nil, err
 		}
 		e.mu.Lock()
 		e.aggViews[s.Name] = av
 		e.mu.Unlock()
-		return fmt.Sprintf("aggregate view %s: %d super-nodes, %d super-edges",
-			s.Name, len(av.SuperNodes), len(av.SuperEdges)), nil
+		return gvdl.AggViewCreated{
+			Name:       s.Name,
+			SuperNodes: len(av.SuperNodes),
+			SuperEdges: len(av.SuperEdges),
+		}, nil
 	}
-	return "", fmt.Errorf("core: unknown statement type %T", stmt)
+	return nil, fmt.Errorf("core: unknown statement type %T", stmt)
 }

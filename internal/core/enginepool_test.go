@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -33,7 +34,7 @@ func TestEnginePoolReusesRunnersAcrossRuns(t *testing.T) {
 	col := randomCollection(t, 5, 21)
 	e := engineWithCollection(t, Options{}, col)
 
-	res1, err := e.RunCollection(col.Name, analytics.WCC{}, RunOptions{Mode: Scratch})
+	res1, err := e.RunCollection(context.Background(), col.Name, analytics.WCC{}, RunOptions{Mode: Scratch})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +56,7 @@ func TestEnginePoolReusesRunnersAcrossRuns(t *testing.T) {
 		t.Fatalf("%d idle replicas after the run, want 1 (the final runner returned)", pool.Idle())
 	}
 
-	res2, err := e.RunCollection(col.Name, analytics.WCC{}, RunOptions{Mode: Scratch})
+	res2, err := e.RunCollection(context.Background(), col.Name, analytics.WCC{}, RunOptions{Mode: Scratch})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,10 +70,10 @@ func TestEnginePoolReusesRunnersAcrossRuns(t *testing.T) {
 
 	// Different parameterizations of the same-named computation must not
 	// share recycled dataflows.
-	if _, err := e.RunCollection(col.Name, analytics.BFS{Source: 1}, RunOptions{}); err != nil {
+	if _, err := e.RunCollection(context.Background(), col.Name, analytics.BFS{Source: 1}, RunOptions{}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.RunCollection(col.Name, analytics.BFS{Source: 2}, RunOptions{}); err != nil {
+	if _, err := e.RunCollection(context.Background(), col.Name, analytics.BFS{Source: 2}, RunOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	if len(e.pools) != 3 {
@@ -133,10 +134,10 @@ func TestUnidentifiableComputationNotPooled(t *testing.T) {
 	mk := func(scale int64) funcComp {
 		return funcComp{weight: func(w int64) int64 { return w * scale }}
 	}
-	if _, err := e.RunCollection(col.Name, mk(1), RunOptions{}); err != nil {
+	if _, err := e.RunCollection(context.Background(), col.Name, mk(1), RunOptions{}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.RunCollection(col.Name, mk(2), RunOptions{}); err != nil {
+	if _, err := e.RunCollection(context.Background(), col.Name, mk(2), RunOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	if len(e.pools) != 0 {
@@ -152,7 +153,7 @@ func TestEngineConcurrentRunsSharePool(t *testing.T) {
 	col := randomCollection(t, 6, 33)
 	e := engineWithCollection(t, Options{}, col)
 
-	baseline, err := e.RunCollection(col.Name, analytics.WCC{}, RunOptions{Mode: Scratch})
+	baseline, err := e.RunCollection(context.Background(), col.Name, analytics.WCC{}, RunOptions{Mode: Scratch})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,7 +168,7 @@ func TestEngineConcurrentRunsSharePool(t *testing.T) {
 			defer wg.Done()
 			// Mixed parallelism: the pool grows to the largest request while
 			// each run self-limits to its own.
-			results[i], errs[i] = e.RunCollection(col.Name, analytics.WCC{}, RunOptions{
+			results[i], errs[i] = e.RunCollection(context.Background(), col.Name, analytics.WCC{}, RunOptions{
 				Mode:        Scratch,
 				Parallelism: 1 + i%3,
 			})
@@ -226,7 +227,7 @@ func TestEmptyCollectionLeaksNoSlot(t *testing.T) {
 	for _, mode := range []ExecMode{DiffOnly, Scratch, Adaptive} {
 		// More runs than the pool has slots: a leaked slot would deadlock.
 		for i := 0; i < 3; i++ {
-			res, err := e.RunCollection(empty.Name, analytics.WCC{}, RunOptions{Mode: mode})
+			res, err := e.RunCollection(context.Background(), empty.Name, analytics.WCC{}, RunOptions{Mode: mode})
 			if err != nil {
 				t.Fatalf("%s run %d: %v", mode, i, err)
 			}
@@ -244,7 +245,7 @@ func TestEmptyCollectionLeaksNoSlot(t *testing.T) {
 		}
 	}
 	// The shared pool still serves a real run afterwards.
-	res, err := e.RunCollection(full.Name, analytics.WCC{}, RunOptions{Mode: Scratch})
+	res, err := e.RunCollection(context.Background(), full.Name, analytics.WCC{}, RunOptions{Mode: Scratch})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -320,7 +321,7 @@ func TestSegmentStatsRecorded(t *testing.T) {
 func TestEngineParallelismDefault(t *testing.T) {
 	col := randomCollection(t, 4, 3)
 	e := engineWithCollection(t, Options{Parallelism: 3}, col)
-	if _, err := e.RunCollection(col.Name, analytics.WCC{}, RunOptions{Mode: Scratch}); err != nil {
+	if _, err := e.RunCollection(context.Background(), col.Name, analytics.WCC{}, RunOptions{Mode: Scratch}); err != nil {
 		t.Fatal(err)
 	}
 	var pool *analytics.Pool
@@ -330,7 +331,7 @@ func TestEngineParallelismDefault(t *testing.T) {
 	if pool.Size() != 3 {
 		t.Fatalf("pool size %d, want engine default 3", pool.Size())
 	}
-	if _, err := e.RunCollection(col.Name, analytics.WCC{}, RunOptions{Mode: Scratch, Parallelism: 5}); err != nil {
+	if _, err := e.RunCollection(context.Background(), col.Name, analytics.WCC{}, RunOptions{Mode: Scratch, Parallelism: 5}); err != nil {
 		t.Fatal(err)
 	}
 	if pool.Size() != 5 {
@@ -346,7 +347,7 @@ func TestMutatedComputationDropsStalePool(t *testing.T) {
 	col := randomCollection(t, 3, 31)
 	e := engineWithCollection(t, Options{}, col)
 	c := &analytics.SCC{Phases: 3}
-	if _, err := e.RunCollection(col.Name, c, RunOptions{}); err != nil {
+	if _, err := e.RunCollection(context.Background(), col.Name, c, RunOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	key := poolKey{name: c.Name(), ident: compIdentity(c), workers: 1}
@@ -355,7 +356,7 @@ func TestMutatedComputationDropsStalePool(t *testing.T) {
 		t.Fatal("no pool under the Phases:3 key")
 	}
 	c.Phases = 8 // mutate after submission: the cached object no longer matches its key
-	if _, err := e.RunCollection(col.Name, &analytics.SCC{Phases: 3}, RunOptions{}); err != nil {
+	if _, err := e.RunCollection(context.Background(), col.Name, &analytics.SCC{Phases: 3}, RunOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	if e.pools[key] == stale {
@@ -373,7 +374,7 @@ func TestEnginePoolCountBounded(t *testing.T) {
 	col := randomCollection(t, 2, 37)
 	e := engineWithCollection(t, Options{}, col)
 	for src := 0; src < maxEnginePools+8; src++ {
-		if _, err := e.RunCollection(col.Name, analytics.BFS{Source: uint64(src)}, RunOptions{}); err != nil {
+		if _, err := e.RunCollection(context.Background(), col.Name, analytics.BFS{Source: uint64(src)}, RunOptions{}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -420,10 +421,10 @@ func TestEnginePoolLRUEviction(t *testing.T) {
 func TestEngineCloseAndEvict(t *testing.T) {
 	col := randomCollection(t, 3, 13)
 	e := engineWithCollection(t, Options{}, col)
-	if _, err := e.RunCollection(col.Name, analytics.WCC{}, RunOptions{}); err != nil {
+	if _, err := e.RunCollection(context.Background(), col.Name, analytics.WCC{}, RunOptions{}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.RunCollection(col.Name, analytics.BFS{Source: 1}, RunOptions{}); err != nil {
+	if _, err := e.RunCollection(context.Background(), col.Name, analytics.BFS{Source: 1}, RunOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	if len(e.pools) != 2 {
@@ -440,7 +441,7 @@ func TestEngineCloseAndEvict(t *testing.T) {
 		t.Fatalf("%d pools after Close", len(e.pools))
 	}
 	// The engine stays usable: the next run rebuilds its pool.
-	if _, err := e.RunCollection(col.Name, analytics.WCC{}, RunOptions{}); err != nil {
+	if _, err := e.RunCollection(context.Background(), col.Name, analytics.WCC{}, RunOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	if len(e.pools) != 1 {

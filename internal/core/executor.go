@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -36,29 +37,53 @@ func (m ExecMode) String() string {
 	return fmt.Sprintf("ExecMode(%d)", uint8(m))
 }
 
-// RunOptions configures a computation run over a collection.
+// MarshalText encodes the mode as its name, so JSON request/response bodies
+// carry "scratch" rather than an opaque enum ordinal.
+func (m ExecMode) MarshalText() ([]byte, error) { return []byte(m.String()), nil }
+
+// UnmarshalText parses a mode name. The CLI's short alias "diff" is accepted
+// alongside the canonical names, so HTTP requests and -mode agree.
+func (m *ExecMode) UnmarshalText(text []byte) error {
+	switch string(text) {
+	case "diff", "diff-only", "":
+		*m = DiffOnly
+	case "scratch":
+		*m = Scratch
+	case "adaptive":
+		*m = Adaptive
+	default:
+		return fmt.Errorf("core: unknown execution mode %q", text)
+	}
+	return nil
+}
+
+// RunOptions configures a computation run over a collection. The exported
+// fields are plain values with JSON names, so the struct doubles as the wire
+// options of a Session RunRequest (internal/server); the non-serializable
+// hooks (Estimator, OnSegment) are local-caller extensions excluded from the
+// wire form.
 type RunOptions struct {
-	Mode ExecMode
+	Mode ExecMode `json:"mode"`
 	// Workers overrides the engine default when > 0.
-	Workers int
+	Workers int `json:"workers,omitempty"`
 	// Parallelism is the number of independent collection segments executed
 	// concurrently, each on its own dataflow replica (see DESIGN.md). The
 	// default of 1 preserves strictly sequential execution. Segments only
 	// exist where the plan splits, so DiffOnly gains nothing, Scratch becomes
 	// embarrassingly parallel, and Adaptive overlaps segments as the
 	// optimizer declares split points.
-	Parallelism int
+	Parallelism int `json:"parallelism,omitempty"`
 	// WeightProp names the integer edge property used as edge weight; empty
 	// means unit weights.
-	WeightProp string
+	WeightProp string `json:"weightProp,omitempty"`
 	// BatchSize overrides the adaptive optimizer's ℓ (default 10).
-	BatchSize int
+	BatchSize int `json:"batchSize,omitempty"`
 	// Schedule selects the dispatch order of a static plan's segments (see
 	// internal/schedule): FIFO preserves collection order; LPT dispatches
 	// longest-predicted-first, tightening the makespan on skewed collections.
 	// Results are identical either way — only scheduling changes. Adaptive
 	// mode plans online and ignores it.
-	Schedule schedule.Policy
+	Schedule schedule.Policy `json:"schedule,omitempty"`
 	// Speculate enables speculative segment start in Adaptive mode with
 	// Parallelism > 1: while the planner is still deciding, the predicted
 	// next split point's segment is seeded on an idle replica, committed if
@@ -68,24 +93,32 @@ type RunOptions struct {
 	// models; split points may shift versus the unpaced planner, which is
 	// already true run-to-run. Results are unaffected; only replica idle
 	// time and split placement are.
-	Speculate bool
+	Speculate bool `json:"speculate,omitempty"`
 	// Estimator, when non-nil, is the cost model LPT scheduling consults and
 	// every run's per-view observations warm. Engine.RunCollection supplies
 	// one persisted per (computation, workers) so later static runs are
 	// scheduled with learned costs; nil gives the run a private, initially
 	// cold estimator that falls back to view/diff sizes.
-	Estimator *schedule.Estimator
+	Estimator *schedule.Estimator `json:"-"`
+	// OnSegment, when set, is invoked once per completed segment with its
+	// stats, as the segment finishes — from the executor goroutine that
+	// finished it, concurrently with other segments and before the run
+	// returns. The HTTP server streams these as NDJSON progress events; the
+	// callback must be safe for concurrent use and should not block for
+	// long, since it runs on the segment's dispatch path. Cluster runs
+	// invoke it on the coordinator as each shard outcome arrives.
+	OnSegment func(SegmentStats) `json:"-"`
 }
 
 // ViewStats records one view's execution.
 type ViewStats struct {
-	Index       int
-	Name        string
-	Mode        splitting.Mode
-	Duration    time.Duration
-	ViewSize    int // |GV|
-	DiffSize    int // |δC|
-	OutputDiffs int // output difference-set size
+	Index       int            `json:"index"`
+	Name        string         `json:"name"`
+	Mode        splitting.Mode `json:"mode"`
+	Duration    time.Duration  `json:"duration"`
+	ViewSize    int            `json:"viewSize"`    // |GV|
+	DiffSize    int            `json:"diffSize"`    // |δC|
+	OutputDiffs int            `json:"outputDiffs"` // output difference-set size
 }
 
 // SegmentStats records one segment's execution: the half-open view range it
@@ -95,10 +128,11 @@ type ViewStats struct {
 // a committed speculation (its seed view ran before the planner declared the
 // split; see RunOptions.Speculate).
 type SegmentStats struct {
-	Start, End  int
-	Setup       time.Duration
-	Drain       time.Duration
-	Speculative bool
+	Start       int           `json:"start"`
+	End         int           `json:"end"`
+	Setup       time.Duration `json:"setup"`
+	Drain       time.Duration `json:"drain"`
+	Speculative bool          `json:"speculative,omitempty"`
 }
 
 // Len returns the number of views the segment executed.
@@ -106,24 +140,25 @@ func (s SegmentStats) Len() int { return s.End - s.Start }
 
 // RunResult summarizes a collection run.
 type RunResult struct {
-	Computation string
-	Collection  string
-	Mode        ExecMode
-	Stats       []ViewStats
+	Computation string      `json:"computation"`
+	Collection  string      `json:"collection"`
+	Mode        ExecMode    `json:"mode"`
+	Stats       []ViewStats `json:"views"`
 	// Segments records per-segment replica setup and drain timings, in
 	// collection order (one entry per from-scratch run).
-	Segments []SegmentStats
+	Segments []SegmentStats `json:"segments"`
 	// Total is the summed per-view compute time. With Parallelism > 1
 	// segments overlap, so Total exceeds elapsed time; Wall is the run's
 	// actual wall-clock duration (Total ≈ Wall when sequential).
-	Total  time.Duration
-	Wall   time.Duration
-	Splits int // number of from-scratch runs after view 0
+	Total  time.Duration `json:"total"`
+	Wall   time.Duration `json:"wall"`
+	Splits int           `json:"splits"` // number of from-scratch runs after view 0
 	// SpecHits counts speculatively seeded segments the planner committed
 	// (the prediction named the split point the optimizer then declared);
 	// SpecMisses counts seeded segments it discarded. Both are zero unless
 	// RunOptions.Speculate was set on an adaptive run with Parallelism > 1.
-	SpecHits, SpecMisses int
+	SpecHits   int `json:"specHits,omitempty"`
+	SpecMisses int `json:"specMisses,omitempty"`
 
 	final   map[analytics.VertexValue]int64
 	work    []int64
@@ -163,20 +198,31 @@ func (r *RunResult) IterCapHit() bool { return r.iterCap }
 // the caller supplied its own — the run is scheduled with the engine's
 // persistent cost estimator for that key, so LPT dispatch orders segments
 // by costs learned from earlier runs.
-func (e *Engine) RunCollection(collection string, comp analytics.Computation, opts RunOptions) (*RunResult, error) {
+//
+// ctx cancels the run: segment dispatch stops, replicas waiting for pool
+// slots abandon the wait, and every already-acquired replica returns to the
+// pool once its in-flight view step completes (a differential step cannot be
+// interrupted mid-fixpoint). A canceled run returns ctx's error and no
+// result.
+func (e *Engine) RunCollection(ctx context.Context, collection string, comp analytics.Computation, opts RunOptions) (*RunResult, error) {
 	col, err := e.LookupCollection(collection)
 	if err != nil {
 		return nil, err
 	}
-	return e.RunOn(col, comp, opts)
+	return e.RunOn(ctx, col, comp, opts)
 }
 
 // RunOn executes a computation over a materialized collection value with the
 // engine's pools, estimators and option defaults — RunCollection without the
 // catalog lookup. Embedding callers holding a Collection (and the cluster
 // coordinator's local-degradation path) use it to get engine-amortized
-// execution for collections that were never registered.
-func (e *Engine) RunOn(col *view.Collection, comp analytics.Computation, opts RunOptions) (*RunResult, error) {
+// execution for collections that were never registered. Cancellation
+// semantics match RunCollection.
+func (e *Engine) RunOn(ctx context.Context, col *view.Collection, comp analytics.Computation, opts RunOptions) (*RunResult, error) {
+	if err := e.beginRun(); err != nil {
+		return nil, err
+	}
+	defer e.endRun()
 	if opts.Workers == 0 {
 		opts.Workers = e.opts.Workers
 	}
@@ -188,7 +234,7 @@ func (e *Engine) RunOn(col *view.Collection, comp analytics.Computation, opts Ru
 	if opts.Estimator == nil {
 		opts.Estimator = est
 	}
-	return runCollection(col, comp, opts, pool)
+	return runCollection(ctx, col, comp, opts, pool)
 }
 
 // CostEstimator returns the engine's persistent scheduling cost estimator
@@ -231,8 +277,14 @@ func normalizeRunOptions(opts *RunOptions) {
 // and MaxWork/IterCapHit aggregate every segment replica's counters, so the
 // result is self-contained and all replicas return to the pool.
 func RunCollection(col *view.Collection, comp analytics.Computation, opts RunOptions) (*RunResult, error) {
+	return RunCollectionContext(context.Background(), col, comp, opts)
+}
+
+// RunCollectionContext is RunCollection with a cancellation context —
+// semantics match Engine.RunCollection, on a private replica pool.
+func RunCollectionContext(ctx context.Context, col *view.Collection, comp analytics.Computation, opts RunOptions) (*RunResult, error) {
 	normalizeRunOptions(&opts)
-	return runCollection(col, comp, opts, analytics.NewPool(comp, opts.Workers, opts.Parallelism))
+	return runCollection(ctx, col, comp, opts, analytics.NewPool(comp, opts.Workers, opts.Parallelism))
 }
 
 // runCollection is the shared executor body. The replica pool may be private
@@ -241,7 +293,10 @@ func RunCollection(col *view.Collection, comp analytics.Computation, opts RunOpt
 // concurrently live replicas at opts.Parallelism, and every replica —
 // including the one that ran the final view — returns to the pool when the
 // run completes, after its results have been snapshotted into the RunResult.
-func runCollection(col *view.Collection, comp analytics.Computation, opts RunOptions, shared *analytics.Pool) (*RunResult, error) {
+func runCollection(ctx context.Context, col *view.Collection, comp analytics.Computation, opts RunOptions, shared *analytics.Pool) (*RunResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	g := col.Graph
 	wc, err := g.WeightColumn(opts.WeightProp)
 	if err != nil {
@@ -259,6 +314,7 @@ func runCollection(col *view.Collection, comp analytics.Computation, opts RunOpt
 		sizes:     stream.ViewSizes(),
 		stats:     make([]ViewStats, k),
 		estimator: est,
+		progress:  opts.OnSegment,
 		triples: func(idxs []uint32) []graph.Triple {
 			out := make([]graph.Triple, len(idxs))
 			for i, idx := range idxs {
@@ -273,7 +329,7 @@ func runCollection(col *view.Collection, comp analytics.Computation, opts RunOpt
 
 	var plan splitting.Plan
 	if opts.Mode == Adaptive {
-		plan, err = cr.runAdaptive(opts, pool, scan)
+		plan, err = cr.runAdaptive(ctx, opts, pool, scan)
 	} else {
 		plan = staticPlan(opts.Mode, k)
 		order := fifoOrder(len(plan.Segments))
@@ -284,7 +340,7 @@ func runCollection(col *view.Collection, comp analytics.Computation, opts RunOpt
 			}
 			order = schedule.LPTOrder(est.PlanCosts(plan, cr.sizes, diffs))
 		}
-		err = cr.runStatic(plan, newSeedCache(scan, plan), pool, order)
+		err = cr.runStatic(ctx, plan, newSeedCache(scan, plan), pool, order)
 	}
 	if err != nil {
 		return nil, err
@@ -318,8 +374,12 @@ func runCollection(col *view.Collection, comp analytics.Computation, opts RunOpt
 }
 
 // RunView executes a computation once over an individual filtered view and
-// returns its results and runtime.
-func RunView(fv *view.Filtered, comp analytics.Computation, workers int, weightProp string) (map[analytics.VertexValue]int64, time.Duration, error) {
+// returns its results and runtime. ctx is checked before the dataflow is
+// built; a single view's step is one uninterruptible unit of work.
+func RunView(ctx context.Context, fv *view.Filtered, comp analytics.Computation, workers int, weightProp string) (map[analytics.VertexValue]int64, time.Duration, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
 	if workers < 1 {
 		workers = 1
 	}

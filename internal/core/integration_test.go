@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -50,11 +51,11 @@ create view final-alone on pc edges where src.year <= 2010 and dst.year <= 2010`
 	for _, comp := range comps {
 		comp := comp
 		t.Run(comp.Name(), func(t *testing.T) {
-			res, err := e.RunCollection("c", comp, RunOptions{Mode: DiffOnly, WeightProp: "w", Workers: 2})
+			res, err := e.RunCollection(context.Background(), "c", comp, RunOptions{Mode: DiffOnly, WeightProp: "w", Workers: 2})
 			if err != nil {
 				t.Fatal(err)
 			}
-			want, _, err := RunView(fv, comp, 2, "w")
+			want, _, err := RunView(context.Background(), fv, comp, 2, "w")
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -156,7 +157,7 @@ func TestOrderInvariance(t *testing.T) {
 				fv.Edges = append(fv.Edges, uint32(idx))
 			}
 		}
-		single, _, err := RunView(fv, analytics.WCC{}, 1, "")
+		single, _, err := RunView(context.Background(), fv, analytics.WCC{}, 1, "")
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"graphsurge/internal/analytics"
+)
+
+// This file renders typed responses as the CLI's text output. Rendering
+// lives behind the typed Response layer so every front-end — cmd/graphsurge
+// and the HTTP server's text projections alike — prints identical bytes
+// from identical results, and the output format is pinned by tests against
+// the types rather than against ad-hoc printf calls scattered in main.
+
+// WriteRunSummary renders a collection run: the header line followed by the
+// per-segment and per-view lines, segments interleaved at the view that
+// opens them, exactly as `graphsurge run` prints them.
+func WriteRunSummary(w io.Writer, res *RunResult) {
+	fmt.Fprintf(w, "%s on %s (%s): %v total, %v wall, %d splits\n",
+		res.Computation, res.Collection, res.Mode, res.Total.Round(1000), res.Wall.Round(1000), res.Splits)
+	segAt := make(map[int]SegmentStats, len(res.Segments))
+	for _, seg := range res.Segments {
+		segAt[seg.Start] = seg
+	}
+	for _, st := range res.Stats {
+		if seg, ok := segAt[st.Index]; ok {
+			spec := ""
+			if seg.Speculative {
+				spec = ", speculative"
+			}
+			fmt.Fprintf(w, "  segment views [%d,%d): replica setup %v, drain %v%s\n",
+				seg.Start, seg.End, seg.Setup.Round(1000), seg.Drain.Round(1000), spec)
+		}
+		fmt.Fprintf(w, "  view %-3d %-16s %-8s |GV|=%-8d |dC|=%-8d out-diffs=%-8d %v\n",
+			st.Index, st.Name, st.Mode, st.ViewSize, st.DiffSize, st.OutputDiffs, st.Duration.Round(1000))
+	}
+}
+
+// WriteSpeculation renders the speculation hit/miss line.
+func WriteSpeculation(w io.Writer, res *RunResult) {
+	fmt.Fprintf(w, "speculation: %d hits, %d misses\n", res.SpecHits, res.SpecMisses)
+}
+
+// WritePoolStats renders per-pool replica statistics, one line per pool in
+// the given (already deterministic) order.
+func WritePoolStats(w io.Writer, stats []PoolStat) {
+	for _, ps := range stats {
+		fmt.Fprintf(w, "pool %s/w=%d: capacity=%d live=%d idle=%d built=%d reused=%d dropped=%d\n",
+			ps.Computation, ps.Workers, ps.Capacity, ps.Live, ps.Idle, ps.Built, ps.Reused, ps.Dropped)
+	}
+}
+
+// WriteViewRun renders a single-view run's header line.
+func WriteViewRun(w io.Writer, res *ViewRunResult) {
+	fmt.Fprintf(w, "%s on view %s (%d edges): %v, %d result vertices\n",
+		res.Computation, res.View, res.Edges, res.Duration.Round(1000), len(res.Results))
+}
+
+// SortedResults returns the per-vertex results ordered by ascending vertex
+// ID — the pinned presentation order every front-end uses, so the CLI's
+// result listing and the server's NDJSON result stream enumerate vertices
+// identically.
+func SortedResults(final map[analytics.VertexValue]int64) []analytics.VertexValue {
+	items := make([]analytics.VertexValue, 0, len(final))
+	for v := range final {
+		items = append(items, v)
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].V < items[j].V })
+	return items
+}
+
+// WriteResults renders up to n per-vertex results in SortedResults order.
+func WriteResults(w io.Writer, final map[analytics.VertexValue]int64, n int) {
+	items := SortedResults(final)
+	if n > len(items) {
+		n = len(items)
+	}
+	fmt.Fprintf(w, "results (%d vertices, first %d):\n", len(items), n)
+	for _, it := range items[:n] {
+		fmt.Fprintf(w, "  vertex %-10d value %d\n", it.V, it.Val)
+	}
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"graphsurge/internal/analytics"
+	"graphsurge/internal/splitting"
+)
+
+// TestSortedResultsOrder pins the presentation order of vertex-value
+// output: ascending vertex ID, regardless of map iteration order. Both the
+// CLI's result listing and the server's NDJSON result stream enumerate
+// through SortedResults, so this is the one place the order is defined.
+func TestSortedResultsOrder(t *testing.T) {
+	final := map[analytics.VertexValue]int64{
+		{V: 9, Val: 1}: 1,
+		{V: 2, Val: 7}: 1,
+		{V: 5, Val: 3}: 1,
+		{V: 1, Val: 9}: 1,
+	}
+	for round := 0; round < 10; round++ {
+		items := SortedResults(final)
+		var got []uint64
+		for _, it := range items {
+			got = append(got, it.V)
+		}
+		want := []uint64{1, 2, 5, 9}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("round %d: order %v, want %v", round, got, want)
+			}
+		}
+	}
+}
+
+// TestWriteResultsFormat pins the exact bytes of the result listing —
+// header, truncation to n, and the padded vertex lines.
+func TestWriteResultsFormat(t *testing.T) {
+	final := map[analytics.VertexValue]int64{
+		{V: 3, Val: 30}:   1,
+		{V: 1, Val: 10}:   1,
+		{V: 200, Val: -2}: 1,
+	}
+	var sb strings.Builder
+	WriteResults(&sb, final, 2)
+	want := "results (3 vertices, first 2):\n" +
+		"  vertex 1          value 10\n" +
+		"  vertex 3          value 30\n"
+	if sb.String() != want {
+		t.Fatalf("WriteResults rendered:\n%q\nwant:\n%q", sb.String(), want)
+	}
+}
+
+// TestWriteRunSummaryFormat pins the run summary rendering against a
+// synthetic result: header line, segment lines interleaved at their start
+// views, and the per-view lines.
+func TestWriteRunSummaryFormat(t *testing.T) {
+	res := &RunResult{
+		Computation: "wcc",
+		Collection:  "cc",
+		Mode:        Scratch,
+		Total:       3 * time.Millisecond,
+		Wall:        2 * time.Millisecond,
+		Splits:      1,
+		Segments: []SegmentStats{
+			{Start: 0, End: 1, Setup: time.Millisecond, Drain: time.Millisecond},
+			{Start: 1, End: 2, Setup: time.Millisecond, Drain: time.Millisecond, Speculative: true},
+		},
+		Stats: []ViewStats{
+			{Index: 0, Name: "a", Mode: splitting.ModeScratch, Duration: time.Millisecond, ViewSize: 10, DiffSize: 10, OutputDiffs: 4},
+			{Index: 1, Name: "b", Mode: splitting.ModeScratch, Duration: 2 * time.Millisecond, ViewSize: 8, DiffSize: 5, OutputDiffs: 2},
+		},
+	}
+	var sb strings.Builder
+	WriteRunSummary(&sb, res)
+	want := "wcc on cc (scratch): 3ms total, 2ms wall, 1 splits\n" +
+		"  segment views [0,1): replica setup 1ms, drain 1ms\n" +
+		"  view 0   a                scratch  |GV|=10       |dC|=10       out-diffs=4        1ms\n" +
+		"  segment views [1,2): replica setup 1ms, drain 1ms, speculative\n" +
+		"  view 1   b                scratch  |GV|=8        |dC|=5        out-diffs=2        2ms\n"
+	if sb.String() != want {
+		t.Fatalf("WriteRunSummary rendered:\n%q\nwant:\n%q", sb.String(), want)
+	}
+}

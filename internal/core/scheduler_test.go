@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -160,7 +161,7 @@ func v1(v int) int {
 func TestEngineEstimatorWarmsAcrossRuns(t *testing.T) {
 	col := skewedCollection(t, 6, 43)
 	e := engineWithCollection(t, Options{}, col)
-	if _, err := e.RunCollection(col.Name, analytics.WCC{}, RunOptions{Mode: Scratch}); err != nil {
+	if _, err := e.RunCollection(context.Background(), col.Name, analytics.WCC{}, RunOptions{Mode: Scratch}); err != nil {
 		t.Fatal(err)
 	}
 	var est *schedule.Estimator
@@ -178,7 +179,7 @@ func TestEngineEstimatorWarmsAcrossRuns(t *testing.T) {
 		t.Fatal("estimator still cold after a full run")
 	}
 	// A second LPT run consumes the warm estimator and stays correct.
-	res, err := e.RunCollection(col.Name, analytics.WCC{}, RunOptions{
+	res, err := e.RunCollection(context.Background(), col.Name, analytics.WCC{}, RunOptions{
 		Mode: Scratch, Parallelism: 4, Schedule: schedule.LPT,
 	})
 	if err != nil {
@@ -288,7 +289,7 @@ func TestRunStaticAcquireFailure(t *testing.T) {
 		builds := int32(2)
 		comp := failComp{builds: &builds}
 		pool := analytics.NewPool(comp, 1, 2)
-		_, err := runCollection(col, comp, RunOptions{
+		_, err := runCollection(context.Background(), col, comp, RunOptions{
 			Mode: Scratch, Workers: 1, Parallelism: 2, Schedule: policy,
 		}, pool)
 		if err == nil {
@@ -321,7 +322,7 @@ func TestRunAdaptiveAcquireFailure(t *testing.T) {
 		builds := int32(1)
 		comp := failComp{builds: &builds}
 		pool := analytics.NewPool(comp, 1, c.par)
-		_, err := runCollection(col, comp, RunOptions{
+		_, err := runCollection(context.Background(), col, comp, RunOptions{
 			Mode: Adaptive, Workers: 1, Parallelism: c.par, BatchSize: 2, Speculate: c.speculate,
 		}, pool)
 		if err == nil {
@@ -475,7 +476,7 @@ func TestCorruptViewStoreErrorsAreDistinct(t *testing.T) {
 		t.Fatalf("corrupt target misreported: %v", err)
 	}
 	// RunCollection reports the distinct error too.
-	if _, err := e.RunCollection("broken", analytics.WCC{}, RunOptions{}); err == nil || errors.Is(err, ErrNotFound) {
+	if _, err := e.RunCollection(context.Background(), "broken", analytics.WCC{}, RunOptions{}); err == nil || errors.Is(err, ErrNotFound) {
 		t.Fatalf("RunCollection on corrupt collection: %v", err)
 	}
 }

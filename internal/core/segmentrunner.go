@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -89,9 +90,11 @@ type SegmentOutcome struct {
 // SegmentRunner executes one self-contained collection shard. The local
 // engine implements it directly (Engine.RunSegment) and the cluster layer
 // implements it with an RPC client per remote worker, so a dispatch loop
-// schedules over machines and local replicas through one interface.
+// schedules over machines and local replicas through one interface. ctx
+// bounds the shard: the local engine stops stepping at the next view
+// boundary, the RPC implementation abandons the in-flight call.
 type SegmentRunner interface {
-	RunSegment(spec *SegmentSpec) (*SegmentOutcome, error)
+	RunSegment(ctx context.Context, spec *SegmentSpec) (*SegmentOutcome, error)
 }
 
 // RunSegment executes one shard on this engine, drawing the replica from the
@@ -100,8 +103,10 @@ type SegmentRunner interface {
 // them exactly as repeated local runs do. Workers defaults to the engine's
 // option when the spec leaves it unset; the pool is grown to the engine's
 // Parallelism so that many concurrent RunSegment calls (a coordinator keeps
-// a worker's slots busy) each get their own replica.
-func (e *Engine) RunSegment(spec *SegmentSpec) (*SegmentOutcome, error) {
+// a worker's slots busy) each get their own replica. A canceled ctx aborts
+// the shard at the next view boundary (and any pool wait immediately); the
+// replica still returns to the pool.
+func (e *Engine) RunSegment(ctx context.Context, spec *SegmentSpec) (*SegmentOutcome, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -109,29 +114,41 @@ func (e *Engine) RunSegment(spec *SegmentSpec) (*SegmentOutcome, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := e.beginRun(); err != nil {
+		return nil, err
+	}
+	defer e.endRun()
 	workers := spec.Workers
 	if workers < 1 {
 		workers = e.opts.Workers
 	}
 	pool, _ := e.runnerPool(comp, workers, e.opts.Parallelism)
-	r, setup, err := pool.Acquire()
+	r, setup, err := pool.Acquire(ctx)
 	if err != nil {
 		return nil, err
 	}
 	defer pool.Release(r)
-	return execSegmentSpec(r, setup, spec), nil
+	out, err := execSegmentSpec(ctx, r, setup, spec)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // execSegmentSpec steps a shard's views on an acquired replica, mirroring the
 // in-process executor's accounting (runJob/finishSegment): a mid-collection
 // seed view folds the replica setup cost into its duration, output history is
 // dropped as versions complete, and the replica's counters are snapshotted
-// into the outcome before the caller releases it.
-func execSegmentSpec(r analytics.Runner, setup time.Duration, spec *SegmentSpec) *SegmentOutcome {
+// into the outcome before the caller releases it. Cancellation is honored at
+// view boundaries; a canceled shard returns ctx's error and no outcome.
+func execSegmentSpec(ctx context.Context, r analytics.Runner, setup time.Duration, spec *SegmentSpec) (*SegmentOutcome, error) {
 	n := spec.End - spec.Start
 	out := &SegmentOutcome{Stats: make([]ViewStats, n)}
 	jobStart := time.Now()
 	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		var dur time.Duration
 		switch {
 		case i == 0 && spec.Start > 0:
@@ -162,7 +179,7 @@ func execSegmentSpec(r analytics.Runner, setup time.Duration, spec *SegmentSpec)
 	out.Work = r.WorkCounts()
 	out.IterCap = r.IterCapHit()
 	out.Segment = SegmentStats{Start: spec.Start, End: spec.End, Setup: setup, Drain: time.Since(jobStart)}
-	return out
+	return out, nil
 }
 
 // StaticPlan returns the fully precomputable plan for a non-adaptive mode

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"reflect"
 	"testing"
 	"time"
@@ -29,7 +30,7 @@ func runViaShards(t *testing.T, e *Engine, colName string, mode ExecMode) *RunRe
 		if err := sp.Validate(); err != nil {
 			return err
 		}
-		out, err := e.RunSegment(sp)
+		out, err := e.RunSegment(context.Background(), sp)
 		if err != nil {
 			return err
 		}
@@ -54,7 +55,7 @@ func TestSegmentShardsMatchLocalRun(t *testing.T) {
 	col := randomCollection(t, 8, 51)
 	e := engineWithCollection(t, Options{}, col)
 	for _, mode := range []ExecMode{Scratch, DiffOnly} {
-		local, err := e.RunCollection(col.Name, analytics.WCC{}, RunOptions{Mode: mode})
+		local, err := e.RunCollection(context.Background(), col.Name, analytics.WCC{}, RunOptions{Mode: mode})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -138,7 +139,7 @@ func TestSegmentSpecValidate(t *testing.T) {
 		if err := sp.Validate(); err == nil {
 			t.Fatalf("%s: validated", name)
 		}
-		if _, err := e.RunSegment(sp); err == nil {
+		if _, err := e.RunSegment(context.Background(), sp); err == nil {
 			t.Fatalf("%s: RunSegment accepted it", name)
 		}
 	}
@@ -154,7 +155,7 @@ func TestMergeRefusesBadCoverage(t *testing.T) {
 	plan := StaticPlan(Scratch, col.Stream.NumViews())
 	var outcomes []*SegmentOutcome
 	err := ForEachSegmentSpec(col, spec, RunOptions{Workers: 1}, plan, func(i int, sp *SegmentSpec) error {
-		out, err := e.RunSegment(sp)
+		out, err := e.RunSegment(context.Background(), sp)
 		if err != nil {
 			return err
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 	"sync"
 	"time"
@@ -27,9 +28,16 @@ func newRunPool(p *analytics.Pool, parallelism int) *runPool {
 	return &runPool{pool: p, sem: make(chan struct{}, parallelism)}
 }
 
-func (rp *runPool) Acquire() (analytics.Runner, time.Duration, error) {
-	rp.sem <- struct{}{}
-	r, setup, err := rp.pool.Acquire()
+// Acquire claims one of this run's admission slots and a pool replica,
+// waiting for both under ctx: a canceled run abandons the wait instead of
+// queueing for capacity it will never use.
+func (rp *runPool) Acquire(ctx context.Context) (analytics.Runner, time.Duration, error) {
+	select {
+	case rp.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, 0, ctx.Err()
+	}
+	r, setup, err := rp.pool.Acquire(ctx)
 	if err != nil {
 		<-rp.sem
 		return nil, 0, err
@@ -104,6 +112,11 @@ type collectionRun struct {
 	// mutex-guarded internally, so segment goroutines feed it directly.
 	estimator *schedule.Estimator
 
+	// progress, when set (RunOptions.OnSegment), receives each segment's
+	// stats as finishSegment records them — the streaming hook the HTTP
+	// server uses. Called from segment goroutines, outside accMu.
+	progress func(SegmentStats)
+
 	// observe, when set (adaptive mode), receives each view's measured
 	// runtime for the optimizer's online models. It must be safe to call
 	// from segment goroutines.
@@ -173,8 +186,14 @@ func (cr *collectionRun) runJob(s *segmentExec, j viewJob) {
 }
 
 // consume drains the segment's queued views in order and signals completion.
-func (cr *collectionRun) consume(s *segmentExec) {
+// After ctx is canceled, queued views are discarded instead of executed: the
+// queue still drains to completion (the planner may be blocked sending into
+// it), but no further dataflow steps start.
+func (cr *collectionRun) consume(ctx context.Context, s *segmentExec) {
 	for j := range s.jobs {
+		if ctx.Err() != nil {
+			continue
+		}
 		cr.runJob(s, j)
 	}
 	close(s.done)
@@ -196,6 +215,13 @@ func (cr *collectionRun) finishSegment(s *segmentExec, end int) {
 	if end == cr.stream.NumViews() {
 		finalRes = s.r.Results()
 	}
+	st := SegmentStats{
+		Start:       s.start,
+		End:         end,
+		Setup:       s.setupStat,
+		Drain:       s.drain,
+		Speculative: s.spec,
+	}
 	cr.accMu.Lock()
 	if cr.work == nil {
 		cr.work = make([]int64, len(wc))
@@ -204,17 +230,16 @@ func (cr *collectionRun) finishSegment(s *segmentExec, end int) {
 		cr.work[i] += c
 	}
 	cr.iterCap = cr.iterCap || hit
-	cr.segStats = append(cr.segStats, SegmentStats{
-		Start:       s.start,
-		End:         end,
-		Setup:       s.setupStat,
-		Drain:       s.drain,
-		Speculative: s.spec,
-	})
+	cr.segStats = append(cr.segStats, st)
 	if finalRes != nil {
 		cr.finalRes = finalRes
 	}
 	cr.accMu.Unlock()
+	if cr.progress != nil {
+		// Outside accMu: the callback may write to a network client and must
+		// never hold the run's aggregation lock while it does.
+		cr.progress(st)
+	}
 }
 
 // segmentStats returns the per-segment timings in collection order. Segments
@@ -229,8 +254,8 @@ func (cr *collectionRun) segmentStats() []SegmentStats {
 // segment opening at view t, folding the seed build time into the setup
 // cost the seed view will report (the cache attributes a seed built ahead
 // of dispatch to the segment that uses it).
-func acquireSegment(pool *runPool, seeds *seedCache, t int) (*segmentExec, []uint32, error) {
-	r, setup, err := pool.Acquire()
+func acquireSegment(ctx context.Context, pool *runPool, seeds *seedCache, t int) (*segmentExec, []uint32, error) {
+	r, setup, err := pool.Acquire(ctx)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -250,11 +275,17 @@ func acquireSegment(pool *runPool, seeds *seedCache, t int) (*segmentExec, []uin
 // LPT dispatches (and finishes) that segment first, its replica slot frees
 // for the remaining segments rather than deadlocking a Parallelism=1 run.
 // An empty collection acquires nothing.
-func (cr *collectionRun) runStatic(plan splitting.Plan, seeds *seedCache, pool *runPool, order []int) error {
+//
+// Cancellation stops dispatch at the next acquire (Acquire itself aborts a
+// blocked wait) and makes every in-flight segment goroutine stop stepping
+// after its current view; aborted segments release their replicas without a
+// finishSegment entry — the run is returning an error, so partial aggregates
+// would never be read.
+func (cr *collectionRun) runStatic(ctx context.Context, plan splitting.Plan, seeds *seedCache, pool *runPool, order []int) error {
 	var wg sync.WaitGroup
 	for _, si := range order {
 		seg := plan.Segments[si]
-		s, seed, err := acquireSegment(pool, seeds, seg.Start)
+		s, seed, err := acquireSegment(ctx, pool, seeds, seg.Start)
 		if err != nil {
 			wg.Wait()
 			return err
@@ -262,16 +293,19 @@ func (cr *collectionRun) runStatic(plan splitting.Plan, seeds *seedCache, pool *
 		wg.Add(1)
 		go func(seg splitting.Segment, s *segmentExec, seed []uint32) {
 			defer wg.Done()
+			defer pool.Release(s.r)
 			cr.runJob(s, viewJob{t: seg.Start, mode: plan.Modes[seg.Start], seed: seed})
 			for t := seg.Start + 1; t < seg.End; t++ {
+				if ctx.Err() != nil {
+					return
+				}
 				cr.runJob(s, viewJob{t: t, mode: plan.Modes[t]})
 			}
 			cr.finishSegment(s, seg.End)
-			pool.Release(s.r)
 		}(seg, s, seed)
 	}
 	wg.Wait()
-	return nil
+	return ctx.Err()
 }
 
 // speculation is one in-flight speculative segment start: the predicted
@@ -356,7 +390,7 @@ func (cr *collectionRun) speculate(opt *splitting.Optimizer, mu *sync.Mutex, poo
 // (see speculate); stats and model observations for a speculative seed view
 // are recorded only if its segment commits, so a miss leaves the run's
 // results, ViewStats and work aggregates exactly as if it never happened.
-func (cr *collectionRun) runAdaptive(opts RunOptions, pool *runPool, scan *seedScan) (splitting.Plan, error) {
+func (cr *collectionRun) runAdaptive(ctx context.Context, opts RunOptions, pool *runPool, scan *seedScan) (splitting.Plan, error) {
 	k := cr.stream.NumViews()
 	opt := &splitting.Optimizer{BatchSize: opts.BatchSize}
 	planner := splitting.NewPlanner(opt)
@@ -429,6 +463,25 @@ func (cr *collectionRun) runAdaptive(opts RunOptions, pool *runPool, scan *seedS
 		return planner.Plan(), err
 	}
 	for t := 0; t < k; t++ {
+		if err := ctx.Err(); err != nil {
+			// Canceled: stop planning, drain the open segments (their
+			// consumers discard queued views once they see the canceled ctx),
+			// discard any speculation, and release the still-open segment's
+			// replica — handoff goroutines own the replicas of segments
+			// already closed at split points.
+			if cur != nil && !inline {
+				close(cur.jobs)
+			}
+			for _, s := range segs {
+				<-s.done
+			}
+			handoffs.Wait()
+			resolveSpec(-1)
+			if cur != nil {
+				pool.Release(cur.r)
+			}
+			return planner.Plan(), err
+		}
 		mu.Lock()
 		mode, split := planner.Extend(cr.sizes[t], cr.stream.DiffSize(t))
 		mu.Unlock()
@@ -470,7 +523,7 @@ func (cr *collectionRun) runAdaptive(opts RunOptions, pool *runPool, scan *seedS
 				committed = true
 			} else {
 				var err error
-				cur, seed, err = acquireSegment(pool, seeds, t)
+				cur, seed, err = acquireSegment(ctx, pool, seeds, t)
 				if err != nil {
 					return fail(err)
 				}
@@ -489,7 +542,7 @@ func (cr *collectionRun) runAdaptive(opts RunOptions, pool *runPool, scan *seedS
 				cur.jobs = make(chan viewJob, bufCap)
 				cur.done = make(chan struct{})
 				segs = append(segs, cur)
-				go cr.consume(cur)
+				go cr.consume(ctx, cur)
 			}
 		} else if spec != nil && t >= spec.t {
 			// The predicted split point passed without a split: a miss.
@@ -521,5 +574,8 @@ func (cr *collectionRun) runAdaptive(opts RunOptions, pool *runPool, scan *seedS
 	resolveSpec(-1)
 	cr.finishSegment(cur, k)
 	pool.Release(cur.r)
-	return planner.Plan(), nil
+	// A cancellation that lands during the tail drain still fails the run:
+	// consumers discard queued views after cancel, so the stats would be
+	// partial even though every queue closed normally.
+	return planner.Plan(), ctx.Err()
 }

@@ -1,0 +1,66 @@
+package gvdl
+
+import (
+	"fmt"
+	"time"
+)
+
+// Result is the typed outcome of executing one GVDL statement — what a
+// statement materialized, in structured form. The engine produces one Result
+// per statement so programmatic callers (core.Session, the HTTP server) can
+// consume counts and names directly; String renders the exact human line the
+// CLI prints, so the text path is a projection of the typed path rather than
+// a second code path.
+type Result interface {
+	// Kind names the result variant for wire encodings ("view",
+	// "collection", "aggregate").
+	Kind() string
+	// String renders the one-line human description of the result.
+	String() string
+}
+
+// ViewCreated reports a materialized filtered view.
+type ViewCreated struct {
+	Name  string `json:"name"`
+	Edges int    `json:"edges"`
+}
+
+// Kind implements Result.
+func (ViewCreated) Kind() string { return "view" }
+
+func (r ViewCreated) String() string {
+	return fmt.Sprintf("view %s: %d edges", r.Name, r.Edges)
+}
+
+// CollectionCreated reports a materialized view collection.
+type CollectionCreated struct {
+	Name string `json:"name"`
+	// Views is the number of views in the collection; Diffs the total
+	// difference-set size across them.
+	Views   int           `json:"views"`
+	Diffs   int64         `json:"diffs"`
+	Elapsed time.Duration `json:"elapsed"`
+}
+
+// Kind implements Result.
+func (CollectionCreated) Kind() string { return "collection" }
+
+func (r CollectionCreated) String() string {
+	return fmt.Sprintf("collection %s: %d views, %d diffs (created in %v)",
+		r.Name, r.Views, r.Diffs, r.Elapsed)
+}
+
+// AggViewCreated reports a materialized aggregate view.
+type AggViewCreated struct {
+	Name       string `json:"name"`
+	SuperNodes int    `json:"superNodes"`
+	SuperEdges int    `json:"superEdges"`
+}
+
+// Kind implements Result.
+func (AggViewCreated) Kind() string { return "aggregate" }
+
+func (r AggViewCreated) String() string {
+	return fmt.Sprintf("aggregate view %s: %d super-nodes, %d super-edges",
+		r.Name, r.SuperNodes, r.SuperEdges)
+}

@@ -61,6 +61,21 @@ func ParsePolicy(s string) (Policy, error) {
 	return FIFO, fmt.Errorf("schedule: unknown policy %q (want fifo or lpt)", s)
 }
 
+// MarshalText encodes the policy as its name, so JSON request bodies carry
+// "lpt" rather than an enum ordinal.
+func (p Policy) MarshalText() ([]byte, error) { return []byte(p.String()), nil }
+
+// UnmarshalText parses a policy name — the same names ParsePolicy accepts,
+// so the HTTP API and the -schedule flag agree.
+func (p *Policy) UnmarshalText(text []byte) error {
+	parsed, err := ParsePolicy(string(text))
+	if err != nil {
+		return err
+	}
+	*p = parsed
+	return nil
+}
+
 // Estimator is a concurrency-safe online cost model for segment scheduling:
 // the same two simple linear regressions the splitting optimizer fits —
 // (|GV|, scratch seconds) and (|δC|, differential seconds) — behind a mutex

@@ -1,0 +1,282 @@
+// Package server exposes a core.Session over HTTP: one endpoint accepting
+// the same typed Request values Session.Do consumes, JSON-encoded, with
+// collection-run responses streamed as NDJSON — per-segment stats as the
+// segments finish and final vertex values one record at a time, so a large
+// result is never buffered whole in the response path. Cancellation is the
+// transport's: a client that disconnects mid-run cancels the request
+// context, which stops segment dispatch (local and cluster) and returns
+// every replica to its pool.
+//
+// The server trusts its callers the way the CLI does — a LoadGraphRequest
+// reads CSV paths on the server's filesystem — so it belongs behind the
+// same boundary as the data directory, not on the open internet.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"net/http"
+	"sync"
+
+	"graphsurge/internal/analytics"
+	"graphsurge/internal/core"
+	"graphsurge/internal/gvdl"
+)
+
+// maxRequestBytes bounds a request body; statements and run requests are
+// small (data travels via server-side paths, not request bodies).
+const maxRequestBytes = 1 << 20
+
+// Options configures a Server.
+type Options struct {
+	// Runner, when set, executes collection runs — a cluster Coordinator
+	// shards them across workers. Nil runs on the engine, locally.
+	Runner core.CollectionRunner
+}
+
+// Server serves a Session over HTTP. One Server multiplexes concurrent
+// requests onto one shared engine; each request gets its own Session.
+type Server struct {
+	eng    *core.Engine
+	runner core.CollectionRunner
+}
+
+// New creates a server over an engine.
+func New(eng *core.Engine, opts Options) *Server {
+	return &Server{eng: eng, runner: opts.Runner}
+}
+
+// Handler returns the HTTP handler: POST /v1/do for requests, GET /healthz
+// for liveness (scripts wait on it before issuing requests).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/do", s.handleDo)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	return mux
+}
+
+// Envelope is the wire form of a core.Request: exactly one field set. The
+// field payloads are the core request types themselves — the HTTP API has
+// no second schema.
+type Envelope struct {
+	Statements *core.StatementsRequest `json:"statements,omitempty"`
+	Load       *core.LoadGraphRequest  `json:"load,omitempty"`
+	Run        *core.RunRequest        `json:"run,omitempty"`
+	RunView    *core.RunViewRequest    `json:"runView,omitempty"`
+	PoolStats  *core.PoolStatsRequest  `json:"poolStats,omitempty"`
+}
+
+// Request returns the envelope's single request, or an error when zero or
+// several fields are set.
+func (e *Envelope) Request() (core.Request, error) {
+	var req core.Request
+	n := 0
+	for _, r := range []struct {
+		ok  bool
+		req core.Request
+	}{
+		{e.Statements != nil, e.Statements},
+		{e.Load != nil, e.Load},
+		{e.Run != nil, e.Run},
+		{e.RunView != nil, e.RunView},
+		{e.PoolStats != nil, e.PoolStats},
+	} {
+		if r.ok {
+			req = r.req
+			n++
+		}
+	}
+	if n != 1 {
+		return nil, fmt.Errorf("server: request envelope must set exactly one of statements, load, run, runView, poolStats (got %d)", n)
+	}
+	return req, nil
+}
+
+// statementResult is one statement's wire record: the discriminator, the
+// CLI's text line, and the typed payload.
+type statementResult struct {
+	Kind   string      `json:"kind"`
+	Text   string      `json:"text"`
+	Result gvdl.Result `json:"result"`
+}
+
+func wireStatements(results []gvdl.Result) []statementResult {
+	out := make([]statementResult, len(results))
+	for i, r := range results {
+		out[i] = statementResult{Kind: r.Kind(), Text: r.String(), Result: r}
+	}
+	return out
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// statusFor classifies a Session.Do failure. An engine draining toward
+// Close is a transient server condition clients should retry (503); a
+// filesystem fault underneath the catalog — failed view-store save, corrupt
+// on-disk view — is the server's problem (500); everything else is treated
+// as a malformed or unsatisfiable request (400).
+func statusFor(err error) int {
+	var pathErr *fs.PathError
+	switch {
+	case errors.Is(err, core.ErrClosing):
+		return http.StatusServiceUnavailable
+	case errors.As(err, &pathErr) && !errors.Is(err, fs.ErrNotExist):
+		return http.StatusInternalServerError
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func (s *Server) handleDo(w http.ResponseWriter, r *http.Request) {
+	var env Envelope
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&env); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("server: decoding request: %w", err))
+		return
+	}
+	req, err := env.Request()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if run, ok := req.(*core.RunRequest); ok {
+		s.serveRun(w, r, run)
+		return
+	}
+	sess := s.eng.NewSession()
+	resp, err := sess.Do(r.Context(), req)
+	if err != nil {
+		if sr, ok := resp.(*core.StatementsResponse); ok && len(sr.Results) > 0 {
+			// A failed batch still reports the statements that completed —
+			// they materialized; pretending otherwise would misdescribe the
+			// catalog.
+			writeJSON(w, statusFor(err), map[string]any{
+				"error":   err.Error(),
+				"results": wireStatements(sr.Results),
+			})
+			return
+		}
+		writeError(w, statusFor(err), err)
+		return
+	}
+	switch resp := resp.(type) {
+	case *core.StatementsResponse:
+		writeJSON(w, http.StatusOK, map[string]any{"results": wireStatements(resp.Results)})
+	case *core.ViewRunResult:
+		// The per-vertex map is keyed by a struct and deliberately excluded
+		// from the JSON form; project it through the pinned sort order.
+		writeJSON(w, http.StatusOK, map[string]any{
+			"view":    resp,
+			"results": wireResults(resp.Results),
+		})
+	default:
+		writeJSON(w, http.StatusOK, resp)
+	}
+}
+
+// resultRecord is one vertex's final value on the wire.
+type resultRecord struct {
+	Vertex uint64 `json:"vertex"`
+	Value  int64  `json:"value"`
+}
+
+func wireResults(final map[analytics.VertexValue]int64) []resultRecord {
+	items := core.SortedResults(final)
+	out := make([]resultRecord, len(items))
+	for i, it := range items {
+		out[i] = resultRecord{Vertex: it.V, Value: it.Val}
+	}
+	return out
+}
+
+// Streamed NDJSON events for a run. Every line is one JSON object with an
+// "event" discriminator; consumers switch on it.
+type segmentEvent struct {
+	Event   string            `json:"event"` // "segment"
+	Segment core.SegmentStats `json:"segment"`
+}
+
+type summaryEvent struct {
+	Event string          `json:"event"` // "summary"
+	Run   *core.RunResult `json:"run"`
+}
+
+type resultEvent struct {
+	Event  string `json:"event"` // "result"
+	Vertex uint64 `json:"vertex"`
+	Value  int64  `json:"value"`
+}
+
+type doneEvent struct {
+	Event   string `json:"event"` // "done"
+	Results int    `json:"results"`
+}
+
+type errorEvent struct {
+	Event string `json:"event"` // "error"
+	Error string `json:"error"`
+}
+
+// serveRun executes a collection run and streams its progress and results
+// as NDJSON: segment events as segments finish (concurrently with the run),
+// one summary event, then one result event per vertex of the final view in
+// the pinned sort order, and a terminal done (or error) event. The
+// request's context cancels the run end to end.
+func (s *Server) serveRun(w http.ResponseWriter, r *http.Request, req *core.RunRequest) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	var mu sync.Mutex
+	writeEvent := func(v any, flush bool) {
+		b, err := json.Marshal(v)
+		if err != nil {
+			// Marshal of these event structs cannot fail; keep the stream
+			// well-formed if it ever does.
+			b = []byte(`{"event":"error","error":"event encoding failure"}`)
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		w.Write(b)
+		io.WriteString(w, "\n")
+		if flush && flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	// Progress streams as the run executes; segment completions arrive from
+	// executor goroutines, serialized by writeEvent's mutex.
+	req.Runner = s.runner
+	req.Options.OnSegment = func(st core.SegmentStats) {
+		writeEvent(segmentEvent{Event: "segment", Segment: st}, true)
+	}
+	sess := s.eng.NewSession()
+	resp, err := sess.Do(r.Context(), req)
+	if err != nil {
+		writeEvent(errorEvent{Event: "error", Error: err.Error()}, true)
+		return
+	}
+	res := resp.(*core.RunResult)
+	writeEvent(summaryEvent{Event: "summary", Run: res}, true)
+	n := 0
+	for _, vv := range core.SortedResults(res.FinalResults()) {
+		// Unflushed per record: the ResponseWriter's own buffering bounds
+		// memory, so a million-vertex result streams instead of
+		// accumulating.
+		writeEvent(resultEvent{Event: "result", Vertex: vv.V, Value: vv.Val}, false)
+		n++
+	}
+	writeEvent(doneEvent{Event: "done", Results: n}, true)
+}
