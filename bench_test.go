@@ -577,7 +577,7 @@ func BenchmarkClusterOverhead(b *testing.B) {
 		}
 		defer cEng.Close()
 		coord := cluster.NewCoordinator(cEng, cluster.Options{})
-		if err := coord.AddWorker(l.Addr().String()); err != nil {
+		if err := coord.AddWorker(context.Background(), l.Addr().String()); err != nil {
 			b.Fatal(err)
 		}
 		defer coord.Close()

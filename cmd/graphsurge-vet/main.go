@@ -1,0 +1,20 @@
+// Command graphsurge-vet is the repo's invariant lint suite, packaged as a
+// `go vet -vettool` multichecker:
+//
+//	go build -o bin/graphsurge-vet ./cmd/graphsurge-vet
+//	go vet -vettool=bin/graphsurge-vet ./...
+//
+// It runs the analyzers registered in internal/lint (poolrelease, ctxflow,
+// wiretypes, lockhold) over every package go vet lists, honoring
+// //lint:ignore <analyzer> <reason> suppressions. CI runs it as a required
+// job; see DESIGN.md "Enforced invariants".
+package main
+
+import (
+	"graphsurge/internal/lint"
+	"graphsurge/internal/lint/unitchecker"
+)
+
+func main() {
+	unitchecker.Main(lint.Analyzers...)
+}

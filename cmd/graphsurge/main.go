@@ -194,14 +194,15 @@ func cmdQuery(args []string) error {
 // a fresh coordinator over the given engine — shared by `run -cluster` and
 // `serve -cluster` so the two front-ends register workers identically. A
 // worker that cannot be reached fails registration rather than running
-// silently degraded; the caller owns Close.
-func coordinatorFor(e *core.Engine, addrs string) (*cluster.Coordinator, error) {
+// silently degraded; the caller owns Close. ctx bounds the registration
+// dials, so Ctrl-C during startup aborts instead of waiting out each dial.
+func coordinatorFor(ctx context.Context, e *core.Engine, addrs string) (*cluster.Coordinator, error) {
 	coord := cluster.NewCoordinator(e, cluster.Options{})
 	for _, addr := range strings.Split(addrs, ",") {
 		if addr = strings.TrimSpace(addr); addr == "" {
 			continue
 		}
-		if err := coord.AddWorker(addr); err != nil {
+		if err := coord.AddWorker(ctx, addr); err != nil {
 			coord.Close()
 			return nil, err
 		}
@@ -265,9 +266,11 @@ func cmdServe(args []string) error {
 		return err
 	}
 	defer e.Close()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	var opts server.Options
 	if *clusterAddrs != "" {
-		coord, err := coordinatorFor(e, *clusterAddrs)
+		coord, err := coordinatorFor(ctx, e, *clusterAddrs)
 		if err != nil {
 			return err
 		}
@@ -281,8 +284,6 @@ func cmdServe(args []string) error {
 	// Printed once the listener is live, so scripts can wait on this line.
 	fmt.Printf("serving on %s (data %s)\n", l.Addr(), *data)
 	hs := &http.Server{Handler: server.New(e, opts).Handler()}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.Serve(l) }()
 	select {
@@ -375,7 +376,7 @@ func cmdRun(args []string) error {
 	}
 	var coord *cluster.Coordinator
 	if *clusterAddrs != "" {
-		if coord, err = coordinatorFor(e, *clusterAddrs); err != nil {
+		if coord, err = coordinatorFor(ctx, e, *clusterAddrs); err != nil {
 			return err
 		}
 		defer coord.Close()

@@ -280,6 +280,7 @@ func TestPoolTryAcquireNonBlocking(t *testing.T) {
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
+		//lint:ignore poolrelease failure-path probe: all slots are live, so no runner is handed out
 		if _, _, ok := p.TryAcquire(); ok {
 			t.Error("TryAcquire succeeded with all slots live")
 		}

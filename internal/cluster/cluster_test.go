@@ -91,7 +91,7 @@ func newTestCoordinator(t *testing.T, servers ...*Server) *Coordinator {
 	}
 	coord := NewCoordinator(eng, Options{JobTimeout: 30 * time.Second, Heartbeat: 100 * time.Millisecond})
 	for _, srv := range servers {
-		if err := coord.AddWorker(srv.Addr().String()); err != nil {
+		if err := coord.AddWorker(context.Background(), srv.Addr().String()); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -295,7 +295,7 @@ func TestClusterJobDeadline(t *testing.T) {
 		t.Fatal(err)
 	}
 	coord := NewCoordinator(eng, Options{JobTimeout: 150 * time.Millisecond, Heartbeat: time.Hour})
-	if err := coord.AddWorker(hang.Addr().String()); err != nil {
+	if err := coord.AddWorker(context.Background(), hang.Addr().String()); err != nil {
 		t.Fatal(err)
 	}
 	defer coord.Close()
@@ -520,7 +520,7 @@ func TestHandshakeRejectsVersionMismatch(t *testing.T) {
 	}
 	coord := NewCoordinator(eng, Options{})
 	defer coord.Close()
-	if err := coord.AddWorker(w.Addr().String()); err != nil {
+	if err := coord.AddWorker(context.Background(), w.Addr().String()); err != nil {
 		t.Fatalf("matching version refused: %v", err)
 	}
 

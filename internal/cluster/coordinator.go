@@ -196,7 +196,8 @@ func (w *workerConn) runSegment(ctx context.Context, spec *core.SegmentSpec) (*c
 		return nil, nil, err
 	}
 	var reply RunSegmentReply
-	if err := callClient(ctx, client, w.addr, ServiceName+".RunSegment", &RunSegmentArgs{Spec: payload}, &reply, w.jobTimeout); err != nil {
+	args := &RunSegmentArgs{Spec: payload, TimeoutMillis: w.jobTimeout.Milliseconds()}
+	if err := callClient(ctx, client, w.addr, ServiceName+".RunSegment", args, &reply, w.jobTimeout); err != nil {
 		return nil, client, err
 	}
 	return &reply.Outcome, client, nil
@@ -240,16 +241,19 @@ func NewCoordinator(eng *core.Engine, opts Options) *Coordinator {
 
 // dialWorker dials an address and completes the Hello handshake, returning
 // the connected client and the worker's advertised capacity — shared by
-// initial registration (AddWorker) and per-run redial of dead workers.
-func (c *Coordinator) dialWorker(addr string) (*rpc.Client, int, error) {
-	conn, err := net.DialTimeout("tcp", addr, c.opts.DialTimeout)
+// initial registration (AddWorker) and per-run redial of dead workers. ctx
+// bounds the dial and handshake alongside DialTimeout, so a canceled run
+// stops redialing immediately.
+func (c *Coordinator) dialWorker(ctx context.Context, addr string) (*rpc.Client, int, error) {
+	dialer := net.Dialer{Timeout: c.opts.DialTimeout}
+	conn, err := dialer.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, 0, fmt.Errorf("cluster: dialing worker %s: %w", addr, err)
 	}
 	client := rpc.NewClient(conn)
 	probe := &workerConn{addr: addr, client: client}
 	var hello HelloReply
-	if err := probe.call(context.Background(), ServiceName+".Hello", &HelloArgs{Version: ProtocolVersion}, &hello, c.opts.DialTimeout); err != nil {
+	if err := probe.call(ctx, ServiceName+".Hello", &HelloArgs{Version: ProtocolVersion}, &hello, c.opts.DialTimeout); err != nil {
 		client.Close()
 		return nil, 0, fmt.Errorf("cluster: handshake with worker %s: %w", addr, err)
 	}
@@ -266,9 +270,9 @@ func (c *Coordinator) dialWorker(addr string) (*rpc.Client, int, error) {
 
 // AddWorker dials and registers a worker. The Hello handshake pins the
 // protocol version and learns the worker's capacity — how many shards may
-// be in flight on it concurrently.
-func (c *Coordinator) AddWorker(addr string) error {
-	client, capacity, err := c.dialWorker(addr)
+// be in flight on it concurrently. ctx bounds the dial and handshake.
+func (c *Coordinator) AddWorker(ctx context.Context, addr string) error {
+	client, capacity, err := c.dialWorker(ctx, addr)
 	if err != nil {
 		return err
 	}
@@ -310,7 +314,7 @@ func (c *Coordinator) redialDead(ctx context.Context) {
 		wg.Add(1)
 		go func(w *workerConn) {
 			defer wg.Done()
-			client, capacity, err := c.dialWorker(w.addr)
+			client, capacity, err := c.dialWorker(ctx, w.addr)
 			if err != nil {
 				w.mu.Lock()
 				w.lastRedial = now
@@ -579,6 +583,10 @@ func (c *Coordinator) RunCollection(ctx context.Context, col *view.Collection, c
 							observed, misses = client, 0
 						}
 						var reply PingReply
+						// Heartbeats deliberately ignore the run's ctx: a
+						// canceled run must drain quietly, not fail pings and
+						// execute healthy workers that later runs still need.
+						//lint:ignore ctxflow heartbeat liveness is bounded by its own interval, not the run's ctx
 						if err := callClient(context.Background(), client, w.addr, ServiceName+".Ping", &PingArgs{}, &reply, 2*c.opts.Heartbeat); err != nil {
 							if misses++; misses >= 2 {
 								w.killClient(client)

@@ -94,6 +94,10 @@ type PingReply struct {
 // is explicit and typed — see DecodeWire.
 type RunSegmentArgs struct {
 	Spec []byte
+	// TimeoutMillis is the coordinator's per-job deadline. The worker bounds
+	// the shard's execution with it so a call the coordinator has already
+	// timed out cannot pin a replica indefinitely; 0 means no deadline.
+	TimeoutMillis int64
 }
 
 // RunSegmentReply carries the shard's outcome back.

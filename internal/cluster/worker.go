@@ -6,6 +6,7 @@ import (
 	"net"
 	"net/rpc"
 	"sync"
+	"time"
 
 	"graphsurge/internal/core"
 )
@@ -16,6 +17,12 @@ import (
 type service struct {
 	eng      *core.Engine
 	capacity int
+
+	// ctx is the server's shutdown context: Server.Close cancels it, which
+	// aborts an in-flight segment at its next view boundary so the replica
+	// returns to the pool instead of computing for a coordinator that is
+	// gone.
+	ctx context.Context
 
 	mu   sync.Mutex
 	jobs int
@@ -52,10 +59,17 @@ func (s *service) RunSegment(args *RunSegmentArgs, reply *RunSegmentReply) error
 	if hook := s.beforeRun; hook != nil {
 		hook(&spec)
 	}
-	// net/rpc carries no per-call context; the worker runs the shard to
-	// completion even if the coordinator abandoned the call, keeping its
-	// replica warm for the next job.
-	out, err := s.eng.RunSegment(context.Background(), &spec)
+	// net/rpc carries no per-call context, so the server's shutdown context
+	// stands in, bounded by the coordinator's shipped job deadline: a worker
+	// being closed aborts the shard at its next view boundary, and a call
+	// the coordinator has timed out cannot pin a replica past the deadline.
+	ctx := s.ctx
+	if args.TimeoutMillis > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(args.TimeoutMillis)*time.Millisecond)
+		defer cancel()
+	}
+	out, err := s.eng.RunSegment(ctx, &spec)
 	if err != nil {
 		return err
 	}
@@ -71,8 +85,9 @@ func (s *service) RunSegment(args *RunSegmentArgs, reply *RunSegmentReply) error
 // coordinator detect a killed worker immediately instead of waiting out the
 // job deadline.
 type Server struct {
-	svc *service
-	rpc *rpc.Server
+	svc    *service
+	rpc    *rpc.Server
+	cancel context.CancelFunc // cancels svc.ctx; fired by Close
 
 	mu     sync.Mutex
 	l      net.Listener
@@ -88,10 +103,13 @@ func NewServer(eng *core.Engine, capacity int) *Server {
 	if capacity < 1 {
 		capacity = 1
 	}
+	//lint:ignore ctxflow server lifetime root: Close cancels it, no caller ctx outlives the server
+	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		svc:   &service{eng: eng, capacity: capacity},
-		rpc:   rpc.NewServer(),
-		conns: make(map[net.Conn]struct{}),
+		svc:    &service{eng: eng, capacity: capacity, ctx: ctx},
+		rpc:    rpc.NewServer(),
+		cancel: cancel,
+		conns:  make(map[net.Conn]struct{}),
 	}
 	if err := s.rpc.RegisterName(ServiceName, s.svc); err != nil {
 		// Registration only fails for a malformed service type — a
@@ -162,11 +180,13 @@ func (s *Server) acceptLoop(l net.Listener) {
 	}
 }
 
-// Close stops the server: the listener closes, every open connection is
-// severed (in-flight calls on the coordinator side fail immediately), and
-// the accept loop exits. Connection goroutines finish on their own as their
-// severed connections drain. The engine is left to the caller — its pools
-// stay warm for a restarted server.
+// Close stops the server: the shutdown context is canceled (aborting any
+// in-flight segment at its next view boundary, returning its replica), the
+// listener closes, every open connection is severed (in-flight calls on the
+// coordinator side fail immediately), and the accept loop exits. Connection
+// goroutines finish on their own as their severed connections drain. The
+// engine is left to the caller — its pools stay warm for a restarted
+// server.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -174,6 +194,7 @@ func (s *Server) Close() error {
 		return nil
 	}
 	s.closed = true
+	s.cancel()
 	l := s.l
 	conns := make([]net.Conn, 0, len(s.conns))
 	for c := range s.conns {

@@ -1,0 +1,100 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"graphsurge/internal/analytics"
+	"graphsurge/internal/core"
+	"graphsurge/internal/view"
+)
+
+// oneSegmentSpec shards col as a single DiffOnly segment covering every view
+// — the longest-running shard shape, with a cancellation point at each view
+// boundary.
+func oneSegmentSpec(t *testing.T, col *view.Collection) *core.SegmentSpec {
+	t.Helper()
+	spec, ok := analytics.SpecOf(analytics.WCC{})
+	if !ok {
+		t.Fatal("no wire spec for WCC")
+	}
+	plan := core.StaticPlan(core.DiffOnly, col.Stream.NumViews())
+	if len(plan.Segments) != 1 {
+		t.Fatalf("DiffOnly plan has %d segments, want 1", len(plan.Segments))
+	}
+	var out *core.SegmentSpec
+	err := core.ForEachSegmentSpec(col, spec, core.RunOptions{Workers: 1}, plan, func(_ int, sp *core.SegmentSpec) error {
+		out = sp
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestWorkerCloseAbortsRunningSegment: closing a worker server cancels its
+// shutdown context, which must abort an in-flight segment at its next view
+// boundary with context.Canceled — and the aborted segment's replica must
+// land back in the engine's pool, not leak with the dead job.
+func TestWorkerCloseAbortsRunningSegment(t *testing.T) {
+	col := skewedCollection(t, 120, 73)
+	eng, err := core.NewEngine(core.Options{Workers: 1, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	srv := NewServer(eng, 1)
+	defer srv.Close()
+
+	payload, err := EncodeWire(oneSegmentSpec(t, col))
+	if err != nil {
+		t.Fatal(err)
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- srv.svc.RunSegment(&RunSegmentArgs{Spec: payload}, &RunSegmentReply{})
+	}()
+
+	// Wait until the segment holds a replica — it is genuinely running, not
+	// queued on the pool.
+	deadline := time.Now().Add(10 * time.Second)
+	for live(eng) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("segment never acquired a replica")
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("segment on a closed worker returned %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("segment kept running after the worker closed")
+	}
+	// RunSegment releases via defer before returning, so the replica must
+	// already be back.
+	if n := live(eng); n != 0 {
+		t.Fatalf("%d replicas still live after the aborted segment returned", n)
+	}
+	// Jobs counts completed shards only; an aborted shard is not one.
+	if srv.Jobs() != 0 {
+		t.Fatalf("aborted segment counted as %d completed jobs", srv.Jobs())
+	}
+}
+
+// live sums live replicas across the engine's pools.
+func live(e *core.Engine) int {
+	n := 0
+	for _, ps := range e.PoolStats() {
+		n += ps.Live
+	}
+	return n
+}

@@ -527,6 +527,7 @@ func restrictPredicate(p gvdl.EdgePredicate, fv *view.Filtered, numEdges int) gv
 // define. It returns a short description per statement — the rendered form
 // of the typed results ExecuteContext produces; both are one code path.
 func (e *Engine) Execute(src string) ([]string, error) {
+	//lint:ignore ctxflow compat shim: pre-Session API with no ctx parameter; ExecuteContext is the cancelable path
 	results, err := e.ExecuteContext(context.Background(), src)
 	out := make([]string, 0, len(results))
 	for _, r := range results {

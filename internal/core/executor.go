@@ -277,6 +277,7 @@ func normalizeRunOptions(opts *RunOptions) {
 // and MaxWork/IterCapHit aggregate every segment replica's counters, so the
 // result is self-contained and all replicas return to the pool.
 func RunCollection(col *view.Collection, comp analytics.Computation, opts RunOptions) (*RunResult, error) {
+	//lint:ignore ctxflow compat shim: ctx-free entry point kept for callers without a cancellation chain
 	return RunCollectionContext(context.Background(), col, comp, opts)
 }
 

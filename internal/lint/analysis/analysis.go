@@ -1,0 +1,65 @@
+// Package analysis is a stdlib-only, API-compatible subset of
+// golang.org/x/tools/go/analysis — the modular static-analysis framework
+// the Go project's own vet is built on. The container this repo grows in
+// has no module proxy access and an empty module cache, so the real
+// x/tools dependency cannot be added; this package mirrors its core shapes
+// (Analyzer, Pass, Diagnostic) exactly so the repo's analyzers are written
+// against the upstream contract and become a drop-in import swap the day
+// x/tools is available.
+//
+// Deliberately omitted from the subset: Facts (no cross-package analysis —
+// every graphsurge analyzer is intra-package over export-data type info),
+// Requires/ResultOf (no analyzer composition), and SuggestedFixes.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer describes one analysis function: its name, documentation,
+// and its logic.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, CLI flags, and
+	// //lint:ignore directives. It must be a valid Go identifier.
+	Name string
+
+	// Doc is the analyzer's documentation: one summary line, a blank
+	// line, then the invariant it enforces and how to suppress findings.
+	Doc string
+
+	// Run applies the analyzer to a package. It returns an error only
+	// for an internal failure of the analyzer itself; findings about the
+	// code under analysis are reported via Pass.Report.
+	Run func(*Pass) (interface{}, error)
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// A Pass provides information to an Analyzer's Run function about the
+// single package under analysis and provides operations for reporting
+// diagnostics.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report publishes one diagnostic. The driver owns delivery:
+	// //lint:ignore filtering, output format, and exit status.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is a message associated with a source location.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}

@@ -1,0 +1,245 @@
+// Package analysistest runs an analyzer over fixture packages and checks
+// its diagnostics against expectations written in the fixtures themselves —
+// the testing idiom of golang.org/x/tools/go/analysis/analysistest,
+// reimplemented on the stdlib because x/tools is unavailable in this
+// environment (see internal/lint/analysis).
+//
+// Fixtures live in GOPATH-style trees: testdata/src/<importpath>/*.go.
+// A fixture line documents the diagnostics it must provoke with a trailing
+// comment of quoted regular expressions:
+//
+//	p.Acquire(ctx) // want `replica acquired .* never released`
+//
+// Every `want` pattern must be matched by exactly one diagnostic on its
+// line, and every diagnostic must be claimed by a pattern; either mismatch
+// fails the test. Diagnostics pass through the same //lint:ignore filter
+// the real driver applies, so fixtures can assert both honored and
+// malformed suppressions.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"graphsurge/internal/lint/analysis"
+	"graphsurge/internal/lint/ignore"
+)
+
+// Run loads each fixture package from testdata/src/<path>, applies the
+// analyzer, filters diagnostics through //lint:ignore directives, and
+// verifies them against the fixtures' want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	ld := newLoader(filepath.Join(testdata, "src"))
+	for _, path := range pkgPaths {
+		pkg, err := ld.load(path)
+		if err != nil {
+			t.Fatalf("loading fixture package %s: %v", path, err)
+		}
+		var diags []analysis.Diagnostic
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      ld.fset,
+			Files:     pkg.files,
+			Pkg:       pkg.pkg,
+			TypesInfo: pkg.info,
+			Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+		}
+		if _, err := a.Run(pass); err != nil {
+			t.Fatalf("%s on %s: %v", a.Name, path, err)
+		}
+		dirs := ignore.Parse(ld.fset, pkg.files)
+		diags = ignore.Filter(ld.fset, dirs, a.Name, diags)
+		diags = append(diags, ignore.Malformed(dirs)...)
+		check(t, ld.fset, pkg.files, diags)
+	}
+}
+
+// check compares diagnostics against the want comments of the files.
+func check(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	type key struct {
+		file string
+		line int
+	}
+	remaining := map[key][]analysis.Diagnostic{}
+	for _, d := range diags {
+		p := fset.Position(d.Pos)
+		k := key{p.Filename, p.Line}
+		remaining[k] = append(remaining[k], d)
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				patterns, ok := wantPatterns(c.Text)
+				if !ok {
+					continue
+				}
+				p := fset.Position(c.Pos())
+				k := key{p.Filename, p.Line}
+				for _, pat := range patterns {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Errorf("%s:%d: bad want pattern %q: %v", p.Filename, p.Line, pat, err)
+						continue
+					}
+					idx := -1
+					for i, d := range remaining[k] {
+						if re.MatchString(d.Message) {
+							idx = i
+							break
+						}
+					}
+					if idx < 0 {
+						t.Errorf("%s:%d: expected diagnostic matching %q, got none", p.Filename, p.Line, pat)
+						continue
+					}
+					remaining[k] = append(remaining[k][:idx], remaining[k][idx+1:]...)
+				}
+			}
+		}
+	}
+	var keys []key
+	for k, ds := range remaining {
+		if len(ds) > 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].file != keys[j].file {
+			return keys[i].file < keys[j].file
+		}
+		return keys[i].line < keys[j].line
+	})
+	for _, k := range keys {
+		for _, d := range remaining[k] {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", k.file, k.line, d.Message)
+		}
+	}
+}
+
+// wantPatterns parses a `// want "re" `re“ comment into its patterns. The
+// marker may start the comment or follow other text (e.g. appended to a
+// //lint:ignore directive under test).
+func wantPatterns(comment string) ([]string, bool) {
+	i := strings.Index(comment, "// want")
+	if i < 0 {
+		return nil, false
+	}
+	rest := strings.TrimSpace(comment[i+len("// want"):])
+	if rest == "" {
+		return nil, false
+	}
+	var out []string
+	for rest != "" {
+		var quote byte
+		switch rest[0] {
+		case '"', '`':
+			quote = rest[0]
+		default:
+			return nil, false
+		}
+		end := strings.IndexByte(rest[1:], quote)
+		if end < 0 {
+			return nil, false
+		}
+		lit := rest[:end+2]
+		s, err := strconv.Unquote(lit)
+		if err != nil {
+			return nil, false
+		}
+		out = append(out, s)
+		rest = strings.TrimSpace(rest[end+2:])
+	}
+	return out, true
+}
+
+// loadedPkg is one type-checked fixture package.
+type loadedPkg struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+// loader type-checks fixture packages from a GOPATH-style src tree,
+// resolving imports first against the tree itself and then against the
+// standard library via the stdlib source importer (no export data or
+// network needed).
+type loader struct {
+	src   string
+	fset  *token.FileSet
+	std   types.Importer
+	cache map[string]*loadedPkg
+}
+
+func newLoader(src string) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		src:   src,
+		fset:  fset,
+		std:   importer.ForCompiler(fset, "source", nil),
+		cache: map[string]*loadedPkg{},
+	}
+}
+
+// Import implements types.Importer over the fixture tree + stdlib.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if p, err := ld.load(path); err == nil {
+		return p.pkg, nil
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	}
+	return ld.std.Import(path)
+}
+
+func (ld *loader) load(path string) (*loadedPkg, error) {
+	if p, ok := ld.cache[path]; ok {
+		return p, nil
+	}
+	dir := filepath.Join(ld.src, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("fixture package %s: no Go files in %s", path, dir)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: ld}
+	pkg, err := conf.Check(path, ld.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", path, err)
+	}
+	lp := &loadedPkg{pkg: pkg, files: files, info: info}
+	ld.cache[path] = lp
+	return lp, nil
+}

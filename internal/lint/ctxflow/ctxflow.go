@@ -1,0 +1,113 @@
+// Package ctxflow enforces the repo's cancellation invariant: contexts
+// threaded through core.Session.Do must reach every blocking callee, so no
+// frame may sever the chain by minting a fresh root context.
+//
+// Two rules:
+//
+//  1. context.Background() and context.TODO() are forbidden outside
+//     package main, test files, and explicitly annotated compat shims
+//     (//lint:ignore ctxflow <reason>). PR 5 built end-to-end
+//     cancellation on exactly this discipline; a single Background() in a
+//     library frame silently breaks Engine.Close draining and Ctrl-C.
+//
+//  2. A function that receives a context.Context must never pass
+//     context.Background()/TODO() to a callee instead of (a derivative
+//     of) its own ctx — that is a context *drop*, the bug class
+//     internal/cluster/worker.go shipped with, and it is reported even in
+//     package main.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"graphsurge/internal/lint/analysis"
+	"graphsurge/internal/lint/lintutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc: "forbid context.Background/TODO outside main, tests, and annotated shims; " +
+		"a function holding a ctx must not replace it with a fresh root",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if isTestPackage(pass.Pkg) {
+		return nil, nil
+	}
+	isMain := pass.Pkg.Name() == "main"
+	for _, file := range pass.Files {
+		filename := pass.Fset.Position(file.Pos()).Filename
+		if lintutil.IsTestFile(filename) {
+			continue
+		}
+		// hasCtx tracks, along the enclosing-function stack, whether any
+		// frame in scope received a context.Context parameter — a closure
+		// inside such a function has the ctx available too.
+		var walk func(n ast.Node, hasCtx bool)
+		walk = func(n ast.Node, hasCtx bool) {
+			ast.Inspect(n, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.FuncDecl:
+					if n.Body == nil {
+						return false
+					}
+					walk(n.Body, funcTakesCtx(pass.TypesInfo, n.Type))
+					return false
+				case *ast.FuncLit:
+					walk(n.Body, hasCtx || funcTakesCtx(pass.TypesInfo, n.Type))
+					return false
+				case *ast.CallExpr:
+					name, ok := rootCtxCall(pass.TypesInfo, n)
+					if !ok {
+						return true
+					}
+					switch {
+					case hasCtx:
+						pass.Reportf(n.Pos(),
+							"function receives a context.Context but calls context.%s — thread the caller's ctx instead", name)
+					case !isMain:
+						pass.Reportf(n.Pos(),
+							"context.%s outside main or tests severs the cancellation chain — accept a ctx, or annotate a deliberate root with //lint:ignore ctxflow <reason>", name)
+					}
+				}
+				return true
+			})
+		}
+		walk(file, false)
+	}
+	return nil, nil
+}
+
+// rootCtxCall reports whether call is context.Background() or
+// context.TODO(), returning the function name.
+func rootCtxCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	obj := lintutil.Callee(info, call)
+	if obj == nil || !lintutil.PkgHasSuffix(obj.Pkg(), "context") {
+		return "", false
+	}
+	if n := obj.Name(); n == "Background" || n == "TODO" {
+		return n, true
+	}
+	return "", false
+}
+
+// funcTakesCtx reports whether the function type declares a
+// context.Context parameter.
+func funcTakesCtx(info *types.Info, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		if tv, ok := info.Types[field.Type]; ok && lintutil.IsContext(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+func isTestPackage(pkg *types.Package) bool {
+	name := pkg.Name()
+	return len(name) > 5 && name[len(name)-5:] == "_test"
+}

@@ -1,0 +1,42 @@
+// Fixture for the ctxflow analyzer in a non-main library package: fresh
+// root contexts are forbidden, and a function already holding a ctx must
+// thread it rather than mint a new one.
+package a
+
+import "context"
+
+func fresh() context.Context {
+	return context.Background() // want `context\.Background outside main or tests severs the cancellation chain`
+}
+
+func todo() {
+	ctx := context.TODO() // want `context\.TODO outside main or tests severs the cancellation chain`
+	_ = ctx
+}
+
+func threaded(ctx context.Context) error {
+	return work(ctx)
+}
+
+func dropped(ctx context.Context) error {
+	return work(context.Background()) // want `function receives a context\.Context but calls context\.Background`
+}
+
+func work(ctx context.Context) error { return ctx.Err() }
+
+// closureDrops: the literal inherits the enclosing function's ctx, so a
+// fresh root inside it is a drop, not a standalone root.
+func closureDrops(ctx context.Context) func() {
+	return func() {
+		_ = context.TODO() // want `function receives a context\.Context but calls context\.TODO`
+	}
+}
+
+// annotatedShim is the sanctioned escape hatch for compat wrappers.
+func annotatedShim() context.Context {
+	//lint:ignore ctxflow compat shim for callers predating ctx plumbing
+	return context.Background()
+}
+
+//lint:ignore ctxflow // want `malformed //lint:ignore directive: missing reason`
+var badRoot = context.Background() // want `context\.Background outside main or tests severs the cancellation chain`

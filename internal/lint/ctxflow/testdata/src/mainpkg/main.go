@@ -1,0 +1,19 @@
+// Fixture: package main may create root contexts, but a ctx-holding
+// function dropping its ctx is reported even here.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background() // a root belongs in main
+	run(ctx)
+}
+
+func run(ctx context.Context) {
+	relay(context.TODO(), 1) // want `function receives a context\.Context but calls context\.TODO`
+}
+
+func relay(ctx context.Context, n int) {
+	_ = ctx
+	_ = n
+}

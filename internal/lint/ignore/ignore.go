@@ -1,0 +1,124 @@
+// Package ignore implements the //lint:ignore suppression directive shared
+// by every graphsurge analyzer driver (cmd/graphsurge-vet and the
+// analysistest fixture runner).
+//
+// A directive has the form
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// and suppresses diagnostics of the named analyzer on the directive's own
+// line (trailing comment) or on the line immediately below it (standalone
+// comment line). The reason is mandatory and non-empty: a suppression is a
+// recorded engineering decision, not a mute button, and a directive without
+// one is itself reported as a diagnostic. The analyzer name "all"
+// suppresses every analyzer.
+package ignore
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"graphsurge/internal/lint/analysis"
+)
+
+const prefix = "//lint:ignore"
+
+// A Directive is one parsed //lint:ignore comment.
+type Directive struct {
+	Pos      token.Pos
+	Analyzer string
+	Reason   string
+	// File and Lines locate the suppressed region: the comment's own line
+	// and the one below it, within the comment's file.
+	File  string
+	Lines [2]int
+	// Malformed carries the problem when the directive is unusable; a
+	// malformed directive suppresses nothing.
+	Malformed string
+}
+
+// Parse extracts every //lint:ignore directive from the files' comments.
+func Parse(fset *token.FileSet, files []*ast.File) []Directive {
+	var out []Directive
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				// Fixtures append expectations to the directive comment
+				// itself ("//lint:ignore x // want ..."); the expectation
+				// is not part of the directive.
+				if i := strings.Index(text, "// want"); i > 0 {
+					text = strings.TrimRight(text[:i], " \t")
+				}
+				if !strings.HasPrefix(text, prefix) {
+					continue
+				}
+				rest := text[len(prefix):]
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //lint:ignorexyz — not our directive
+				}
+				d := Directive{Pos: c.Pos()}
+				pos := fset.Position(c.Pos())
+				d.File = pos.Filename
+				d.Lines = [2]int{pos.Line, pos.Line + 1}
+				fields := strings.Fields(rest)
+				switch {
+				case len(fields) == 0:
+					d.Malformed = "malformed //lint:ignore directive: missing analyzer name and reason"
+				case len(fields) == 1:
+					d.Analyzer = fields[0]
+					d.Malformed = "malformed //lint:ignore directive: missing reason — a suppression must say why"
+				default:
+					d.Analyzer = fields[0]
+					d.Reason = strings.Join(fields[1:], " ")
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// Filter drops diagnostics of the named analyzer that a well-formed
+// directive suppresses.
+func Filter(fset *token.FileSet, dirs []Directive, analyzer string, diags []analysis.Diagnostic) []analysis.Diagnostic {
+	if len(dirs) == 0 {
+		return diags
+	}
+	type loc struct {
+		file string
+		line int
+	}
+	suppressed := make(map[loc]bool)
+	for _, d := range dirs {
+		if d.Malformed != "" || (d.Analyzer != analyzer && d.Analyzer != "all") {
+			continue
+		}
+		suppressed[loc{d.File, d.Lines[0]}] = true
+		suppressed[loc{d.File, d.Lines[1]}] = true
+	}
+	if len(suppressed) == 0 {
+		return diags
+	}
+	kept := diags[:0]
+	for _, dg := range diags {
+		p := fset.Position(dg.Pos)
+		if !suppressed[loc{p.Filename, p.Line}] {
+			kept = append(kept, dg)
+		}
+	}
+	return kept
+}
+
+// Malformed renders every malformed directive as a diagnostic. Drivers
+// report these once per package, independent of which analyzers ran.
+func Malformed(dirs []Directive) []analysis.Diagnostic {
+	var out []analysis.Diagnostic
+	for _, d := range dirs {
+		if d.Malformed != "" {
+			out = append(out, analysis.Diagnostic{Pos: d.Pos, Message: d.Malformed})
+		}
+	}
+	return out
+}

@@ -1,0 +1,21 @@
+// Package lint registers the graphsurge invariant analyzers. The list here
+// is the single source of truth consumed by cmd/graphsurge-vet and by the
+// seeded-regression tests: adding an analyzer to the suite means adding it
+// to Analyzers.
+package lint
+
+import (
+	"graphsurge/internal/lint/analysis"
+	"graphsurge/internal/lint/ctxflow"
+	"graphsurge/internal/lint/lockhold"
+	"graphsurge/internal/lint/poolrelease"
+	"graphsurge/internal/lint/wiretypes"
+)
+
+// Analyzers is the graphsurge invariant suite, in deterministic order.
+var Analyzers = []*analysis.Analyzer{
+	ctxflow.Analyzer,
+	lockhold.Analyzer,
+	poolrelease.Analyzer,
+	wiretypes.Analyzer,
+}

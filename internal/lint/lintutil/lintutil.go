@@ -1,0 +1,82 @@
+// Package lintutil holds the small type-resolution helpers shared by the
+// graphsurge analyzers: callee lookup through go/types and package/type
+// identity checks that work both on the real module paths
+// (graphsurge/internal/...) and on the short fixture paths the
+// analysistest loader uses.
+package lintutil
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Callee resolves the object a call expression invokes: a function, a
+// method (through its selection), or nil when the call is a conversion,
+// a builtin, or otherwise unresolvable.
+func Callee(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			return sel.Obj()
+		}
+		// Qualified identifier (pkg.Func) or promoted selector.
+		return info.Uses[fun.Sel]
+	}
+	return nil
+}
+
+// PkgHasSuffix reports whether the package's import path is exactly suffix
+// or ends with "/"+suffix — "analytics" matches both the fixture path
+// "analytics" and the real "graphsurge/internal/analytics".
+func PkgHasSuffix(pkg *types.Package, suffix string) bool {
+	if pkg == nil {
+		return false
+	}
+	path := pkg.Path()
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}
+
+// IsNamed reports whether t (after stripping pointers) is the named type
+// pkgSuffix.name.
+func IsNamed(t types.Type, pkgSuffix, name string) bool {
+	for {
+		ptr, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == name && PkgHasSuffix(obj.Pkg(), pkgSuffix)
+}
+
+// IsMethodOn reports whether obj is a method named name whose receiver
+// (after stripping pointers) is the named type pkgSuffix.recvName.
+func IsMethodOn(obj types.Object, pkgSuffix, recvName, name string) bool {
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Name() != name {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return IsNamed(sig.Recv().Type(), pkgSuffix, recvName)
+}
+
+// IsContext reports whether t is context.Context.
+func IsContext(t types.Type) bool {
+	return IsNamed(t, "context", "Context")
+}
+
+// IsTestFile reports whether the file name marks a test file.
+func IsTestFile(filename string) bool {
+	return strings.HasSuffix(filename, "_test.go")
+}

@@ -1,0 +1,12 @@
+package lockhold_test
+
+import (
+	"testing"
+
+	"graphsurge/internal/lint/analysistest"
+	"graphsurge/internal/lint/lockhold"
+)
+
+func TestLockhold(t *testing.T) {
+	analysistest.Run(t, "testdata", lockhold.Analyzer, "internal/core")
+}

@@ -1,0 +1,12 @@
+package poolrelease_test
+
+import (
+	"testing"
+
+	"graphsurge/internal/lint/analysistest"
+	"graphsurge/internal/lint/poolrelease"
+)
+
+func TestPoolRelease(t *testing.T) {
+	analysistest.Run(t, "testdata", poolrelease.Analyzer, "a", "ignored")
+}

@@ -1,0 +1,31 @@
+// Fixture for //lint:ignore handling by the poolrelease analyzer: an
+// honored suppression with a reason, and a malformed one that suppresses
+// nothing and is itself reported.
+package ignored
+
+import (
+	"context"
+
+	"analytics"
+)
+
+// pinned deliberately keeps a replica out of rotation.
+func pinned(ctx context.Context, p *analytics.Pool) {
+	//lint:ignore poolrelease test pins a replica for the session lifetime
+	r, _, err := p.Acquire(ctx)
+	if err != nil {
+		return
+	}
+	_ = r.Step()
+}
+
+// badDirective omits the reason, so the directive is malformed: it is
+// reported itself and the leak it meant to suppress is still reported.
+func badDirective(ctx context.Context, p *analytics.Pool) {
+	//lint:ignore poolrelease // want `malformed //lint:ignore directive: missing reason`
+	r, _, err := p.Acquire(ctx) // want `replica acquired from analytics\.Pool\.Acquire is not released on every path`
+	if err != nil {
+		return
+	}
+	_ = r.Step()
+}

@@ -1,0 +1,259 @@
+// Package unitchecker implements the driver side of the `go vet -vettool`
+// protocol for the graphsurge analyzers — the role
+// golang.org/x/tools/go/analysis/unitchecker plays for upstream vet tools,
+// reimplemented on the stdlib because x/tools is unavailable in this
+// environment (see internal/lint/analysis).
+//
+// The go command invokes the tool three ways:
+//
+//	tool -V=full        print a version line that identifies the tool
+//	                    binary for build caching (hash of the executable)
+//	tool -flags         print the tool's flag schema as JSON ([] here)
+//	tool <file>.cfg     analyze one package described by the JSON config
+//
+// For each package, the config carries the file list and a map from import
+// paths to gc export-data files; the package is loaded with the gc
+// importer, the analyzers run over the type-checked syntax, //lint:ignore
+// directives are applied, and diagnostics go to stderr as
+// file:line:col: message (analyzer), with exit status 2 when any were
+// reported — which fails the enclosing `go vet`.
+package unitchecker
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+
+	"graphsurge/internal/lint/analysis"
+	"graphsurge/internal/lint/ignore"
+)
+
+// Config mirrors the JSON the go command writes for each vetted package
+// (cmd/go's vetConfig); fields the graphsurge analyzers never consult are
+// kept so the JSON decodes without loss.
+type Config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the entry point for a vettool binary: it dispatches on the
+// protocol flags and otherwise analyzes the single .cfg argument.
+func Main(analyzers ...*analysis.Analyzer) {
+	progname := filepath.Base(os.Args[0])
+	if len(os.Args) == 2 {
+		switch os.Args[1] {
+		case "-V=full", "--V=full":
+			fmt.Println(versionLine(progname))
+			return
+		case "-flags", "--flags":
+			// No tool-specific flags: all analyzers always run.
+			fmt.Println("[]")
+			return
+		case "help", "-help", "--help":
+			usage(progname, analyzers)
+			return
+		}
+	}
+	if len(os.Args) != 2 || !strings.HasSuffix(os.Args[1], ".cfg") {
+		usage(progname, analyzers)
+		os.Exit(1)
+	}
+	diags, err := runPackage(os.Args[1], analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+		os.Exit(1)
+	}
+	if len(diags) > 0 {
+		for _, d := range diags {
+			fmt.Fprintln(os.Stderr, d)
+		}
+		os.Exit(2)
+	}
+}
+
+func usage(progname string, analyzers []*analysis.Analyzer) {
+	fmt.Fprintf(os.Stderr, "%s: graphsurge invariant analyzers; run via go vet -vettool=$(which %s) ./...\n\nAnalyzers:\n", progname, progname)
+	for _, a := range analyzers {
+		fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+	}
+}
+
+// versionLine identifies this tool build to the go command's cache: the
+// line must change whenever the binary does, so it embeds a hash of the
+// executable itself.
+func versionLine(progname string) string {
+	sum := "unknown"
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			h := sha256.New()
+			if _, err := io.Copy(h, f); err == nil {
+				sum = fmt.Sprintf("%x", h.Sum(nil))
+			}
+			f.Close()
+		}
+	}
+	return fmt.Sprintf("%s version devel buildID=%s", progname, sum)
+}
+
+// runPackage analyzes the package described by the config file and returns
+// rendered diagnostic lines.
+func runPackage(cfgFile string, analyzers []*analysis.Analyzer) ([]string, error) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return nil, err
+	}
+	var cfg Config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", cfgFile, err)
+	}
+
+	// The go command requires the facts file to exist even though the
+	// graphsurge analyzers exchange no facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.VetxOnly {
+		// Dependency-only visit: facts written, no diagnostics wanted.
+		return nil, nil
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return nil, nil
+			}
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	pkg, info, err := typecheck(fset, files, &cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("typechecking %s: %w", cfg.ImportPath, err)
+	}
+
+	dirs := ignore.Parse(fset, files)
+	var rendered []diagLine
+	for _, a := range analyzers {
+		var diags []analysis.Diagnostic
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+		}
+		if _, err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+		diags = ignore.Filter(fset, dirs, a.Name, diags)
+		for _, d := range diags {
+			rendered = append(rendered, diagLine{fset.Position(d.Pos), d.Message, a.Name})
+		}
+	}
+	// Malformed directives are reported once per package, not per analyzer.
+	for _, d := range ignore.Malformed(dirs) {
+		rendered = append(rendered, diagLine{fset.Position(d.Pos), d.Message, "lint"})
+	}
+
+	sort.Slice(rendered, func(i, j int) bool {
+		a, b := rendered[i].pos, rendered[j].pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	out := make([]string, len(rendered))
+	for i, d := range rendered {
+		out[i] = fmt.Sprintf("%s: %s (%s)", d.pos, d.message, d.analyzer)
+	}
+	return out, nil
+}
+
+type diagLine struct {
+	pos      token.Position
+	message  string
+	analyzer string
+}
+
+// typecheck loads the package from its parsed files, resolving imports
+// through the gc export data files the go command listed in the config.
+func typecheck(fset *token.FileSet, files []*ast.File, cfg *Config) (*types.Package, *types.Info, error) {
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	gc := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		if mapped, ok := cfg.ImportMap[importPath]; ok {
+			importPath = mapped
+		}
+		if importPath == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return gc.Import(importPath)
+	})
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	tc := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, info, nil
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

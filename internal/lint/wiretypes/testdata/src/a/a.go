@@ -1,0 +1,59 @@
+// Fixture for the wiretypes analyzer's EncodeWire/DecodeWire roots.
+package a
+
+import (
+	"cluster"
+)
+
+type Good struct {
+	Name  string
+	Count int
+	Tags  []string
+	Sub   *Good
+	Table map[string][]int
+}
+
+type HasFunc struct {
+	Name string
+	Hook func() error // want `field HasFunc\.Hook has func type`
+}
+
+type HasChan struct {
+	C chan int // want `field HasChan\.C has chan type`
+}
+
+type Mixed struct {
+	Exported   int
+	unexported int // want `unexported field Mixed\.unexported is silently dropped`
+}
+
+type Nested struct {
+	Inner HasNested
+}
+
+type HasNested struct {
+	hidden string // want `unexported field Nested\.Inner\.hidden is silently dropped`
+}
+
+func send() {
+	var g Good
+	_, _ = cluster.EncodeWire(g)
+	var f HasFunc
+	_, _ = cluster.EncodeWire(f)
+	var c HasChan
+	_, _ = cluster.EncodeWire(&c)
+	var m Mixed
+	_ = cluster.DecodeWire(nil, &m)
+	var n Nested
+	_, _ = cluster.EncodeWire(n)
+}
+
+type Held struct {
+	//lint:ignore wiretypes raw stream is re-established on reconnect, not encoded
+	Raw chan byte
+}
+
+func suppressed() {
+	var h Held
+	_, _ = cluster.EncodeWire(h)
+}

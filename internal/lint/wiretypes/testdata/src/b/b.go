@@ -1,0 +1,47 @@
+// Fixture for the wiretypes analyzer's net/rpc Args/Reply roots and the
+// gob.Register requirement on interface fields.
+package b
+
+import (
+	"encoding/gob"
+	"net/rpc"
+)
+
+var _ rpc.Client
+
+// Payload has a registered concrete implementation, so carrying it on the
+// wire is fine.
+type Payload interface{ Kind() string }
+
+type ConcretePayload struct{ K string }
+
+func (c ConcretePayload) Kind() string { return c.K }
+
+// Handler has no registered implementation.
+type Handler interface{ Handle() error }
+
+func init() { gob.Register(ConcretePayload{}) }
+
+type RunArgs struct {
+	Spec []byte
+	Body Payload
+}
+
+type RunReply struct {
+	Err  string
+	Done chan struct{} // want `field RunReply\.Done has chan type`
+}
+
+type StatusReply struct {
+	Callback func() // want `field StatusReply\.Callback has func type`
+}
+
+type DispatchArgs struct {
+	H Handler // want `interface field DispatchArgs\.H has no gob\.Register`
+}
+
+// helper is not an Args/Reply struct and is unreachable from one, so its
+// unexported field is not a wire problem.
+type helper struct {
+	notWire chan int
+}

@@ -1,0 +1,10 @@
+// Stub of net/rpc for fixture type-checking: importing it marks a package
+// as an RPC package so Args/Reply structs become wire roots, without the
+// fixture loader having to type-check the real net/http dependency tree.
+package rpc
+
+type Client struct{}
+
+func (c *Client) Call(serviceMethod string, args interface{}, reply interface{}) error {
+	return nil
+}

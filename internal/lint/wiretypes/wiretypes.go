@@ -1,0 +1,270 @@
+// Package wiretypes verifies at vet time that every type crossing the
+// cluster's net/rpc + gob wire stays gob-encodable, so wire breakage is a
+// build failure instead of a runtime error in a cluster smoke (the class
+// of failure PR 4's wire tests catch only for the shapes they enumerate).
+//
+// Roots are discovered per package:
+//
+//   - the argument types of calls to the cluster package's EncodeWire and
+//     DecodeWire (the typed encode/decode boundary in cluster/wire.go);
+//   - every struct type declared in a net/rpc-importing package whose name
+//     ends in Args or Reply (the net/rpc argument/reply convention).
+//
+// The whole field graph reachable from a root must be encodable:
+//
+//   - no func- or chan-typed fields (gob cannot encode them);
+//   - no interface-typed fields unless the package gob.Registers at least
+//     one concrete type implementing that interface;
+//   - no unexported fields (gob silently drops them — data loss, not an
+//     error — and a struct with only unexported fields fails encoding).
+//
+// Types implementing gob.GobEncoder or encoding.BinaryMarshaler (e.g.
+// time.Time) encode themselves and end the walk. Suppress with
+// //lint:ignore wiretypes <reason>.
+package wiretypes
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"graphsurge/internal/lint/analysis"
+	"graphsurge/internal/lint/lintutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "wiretypes",
+	Doc:  "types reachable from cluster wire roots (EncodeWire/DecodeWire, RPC Args/Reply structs) must be gob-encodable",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	c := &checker{
+		pass:       pass,
+		seen:       map[types.Type]bool{},
+		registered: registeredGobTypes(pass),
+	}
+	importsRPC := false
+	for _, imp := range pass.Pkg.Imports() {
+		if imp.Path() == "net/rpc" {
+			importsRPC = true
+			break
+		}
+	}
+	for _, file := range pass.Files {
+		if lintutil.IsTestFile(pass.Fset.Position(file.Pos()).Filename) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.TypeSpec:
+				if importsRPC && (strings.HasSuffix(n.Name.Name, "Args") || strings.HasSuffix(n.Name.Name, "Reply")) {
+					if obj, ok := pass.TypesInfo.Defs[n.Name]; ok && obj != nil {
+						if _, isStruct := obj.Type().Underlying().(*types.Struct); isStruct {
+							c.checkRoot(obj.Type(), n.Pos())
+						}
+					}
+				}
+			case *ast.CallExpr:
+				if t, pos, ok := wireCallRoot(pass.TypesInfo, n); ok {
+					c.checkRoot(t, pos)
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// wireCallRoot extracts the payload type of an EncodeWire/DecodeWire call.
+func wireCallRoot(info *types.Info, call *ast.CallExpr) (types.Type, token.Pos, bool) {
+	obj := lintutil.Callee(info, call)
+	if obj == nil || !lintutil.PkgHasSuffix(obj.Pkg(), "cluster") {
+		return nil, token.NoPos, false
+	}
+	var arg ast.Expr
+	switch obj.Name() {
+	case "EncodeWire":
+		if len(call.Args) != 1 {
+			return nil, token.NoPos, false
+		}
+		arg = call.Args[0]
+	case "DecodeWire":
+		if len(call.Args) != 2 {
+			return nil, token.NoPos, false
+		}
+		arg = call.Args[1]
+	default:
+		return nil, token.NoPos, false
+	}
+	tv, ok := info.Types[arg]
+	if !ok {
+		return nil, token.NoPos, false
+	}
+	return tv.Type, call.Pos(), true
+}
+
+// registeredGobTypes collects the concrete types this package passes to
+// gob.Register / gob.RegisterName.
+func registeredGobTypes(pass *analysis.Pass) []types.Type {
+	var out []types.Type
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			obj := lintutil.Callee(pass.TypesInfo, call)
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "encoding/gob" {
+				return true
+			}
+			var arg ast.Expr
+			switch obj.Name() {
+			case "Register":
+				if len(call.Args) == 1 {
+					arg = call.Args[0]
+				}
+			case "RegisterName":
+				if len(call.Args) == 2 {
+					arg = call.Args[1]
+				}
+			}
+			if arg != nil {
+				if tv, ok := pass.TypesInfo.Types[arg]; ok {
+					out = append(out, tv.Type)
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+type checker struct {
+	pass       *analysis.Pass
+	seen       map[types.Type]bool
+	registered []types.Type
+}
+
+// checkRoot walks the field graph reachable from a wire root type.
+func (c *checker) checkRoot(t types.Type, pos token.Pos) {
+	t = deref(t)
+	c.walk(t, typeName(t), pos)
+}
+
+func (c *checker) walk(t types.Type, path string, pos token.Pos) {
+	t = deref(t)
+	if c.seen[t] {
+		return
+	}
+	c.seen[t] = true
+	if selfEncoding(t) {
+		return
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		// All gob-encodable (string, numbers, bool, complex).
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			f := u.Field(i)
+			fpath := path + "." + f.Name()
+			fpos := f.Pos()
+			if !fpos.IsValid() {
+				fpos = pos
+			}
+			if !f.Exported() {
+				c.pass.Reportf(fpos, "wire type %s: unexported field %s is silently dropped by gob — exported fields only on wire types", path, fpath)
+				continue
+			}
+			c.checkField(f.Type(), fpath, fpos)
+		}
+	case *types.Slice:
+		c.walk(u.Elem(), path+"[]", pos)
+	case *types.Array:
+		c.walk(u.Elem(), path+"[]", pos)
+	case *types.Map:
+		c.walk(u.Key(), path+"[key]", pos)
+		c.walk(u.Elem(), path+"[value]", pos)
+	case *types.Pointer:
+		c.walk(u.Elem(), path, pos)
+	case *types.Chan:
+		c.pass.Reportf(pos, "wire type %s is a chan — gob cannot encode channels", path)
+	case *types.Signature:
+		c.pass.Reportf(pos, "wire type %s is a func — gob cannot encode functions", path)
+	case *types.Interface:
+		c.checkInterface(u, path, pos)
+	}
+}
+
+// checkField checks one exported struct field's type, reporting func/chan/
+// interface problems with the field's path.
+func (c *checker) checkField(t types.Type, path string, pos token.Pos) {
+	ft := deref(t)
+	if selfEncoding(ft) {
+		return
+	}
+	switch u := ft.Underlying().(type) {
+	case *types.Signature:
+		c.pass.Reportf(pos, "wire type %s: field %s has func type — gob cannot encode it and the cluster RPC fails at runtime", typeRoot(path), path)
+	case *types.Chan:
+		c.pass.Reportf(pos, "wire type %s: field %s has chan type — gob cannot encode it and the cluster RPC fails at runtime", typeRoot(path), path)
+	case *types.Interface:
+		c.checkInterface(u, path, pos)
+	default:
+		c.walk(ft, path, pos)
+	}
+}
+
+// checkInterface requires a gob.Register in this package for a concrete
+// type satisfying the interface.
+func (c *checker) checkInterface(iface *types.Interface, path string, pos token.Pos) {
+	for _, reg := range c.registered {
+		if types.Implements(reg, iface) || types.Implements(types.NewPointer(reg), iface) {
+			return
+		}
+	}
+	c.pass.Reportf(pos, "wire type %s: interface field %s has no gob.Register of an implementing concrete type in this package — gob will reject it at runtime", typeRoot(path), path)
+}
+
+// selfEncoding reports whether the type encodes itself via gob.GobEncoder
+// or encoding.BinaryMarshaler.
+func selfEncoding(t types.Type) bool {
+	return hasMethod(t, "GobEncode") || hasMethod(t, "MarshalBinary")
+}
+
+func hasMethod(t types.Type, name string) bool {
+	obj, _, _ := types.LookupFieldOrMethod(types.NewPointer(t), true, nil, name)
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	sig := fn.Type().(*types.Signature)
+	// GobEncode/MarshalBinary: func() ([]byte, error).
+	return sig.Params().Len() == 0 && sig.Results().Len() == 2
+}
+
+func deref(t types.Type) types.Type {
+	for {
+		ptr, ok := t.(*types.Pointer)
+		if !ok {
+			return t
+		}
+		t = ptr.Elem()
+	}
+}
+
+func typeName(t types.Type) string {
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return t.String()
+}
+
+// typeRoot trims a field path back to its root type name for messages.
+func typeRoot(path string) string {
+	if i := strings.IndexAny(path, ".["); i > 0 {
+		return path[:i]
+	}
+	return path
+}

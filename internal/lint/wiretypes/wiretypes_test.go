@@ -1,0 +1,12 @@
+package wiretypes_test
+
+import (
+	"testing"
+
+	"graphsurge/internal/lint/analysistest"
+	"graphsurge/internal/lint/wiretypes"
+)
+
+func TestWiretypes(t *testing.T) {
+	analysistest.Run(t, "testdata", wiretypes.Analyzer, "a", "b")
+}
