@@ -430,6 +430,7 @@ func BenchmarkPoolReuse(b *testing.B) {
 		{"scc", &analytics.SCC{Phases: 3}},
 	} {
 		b.Run(c.name+"/fresh-build", func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := analytics.NewRunner(c.comp, 1); err != nil {
 					b.Fatal(err)
@@ -437,6 +438,7 @@ func BenchmarkPoolReuse(b *testing.B) {
 			}
 		})
 		b.Run(c.name+"/pool-reset", func(b *testing.B) {
+			b.ReportAllocs()
 			r, err := analytics.NewRunner(c.comp, 1)
 			if err != nil {
 				b.Fatal(err)
@@ -523,11 +525,13 @@ func BenchmarkOrdering(b *testing.B) {
 // BenchmarkClusterOverhead measures what the RPC boundary costs: the same
 // scratch-mode collection run (a) in-process on one engine and (b) through a
 // cluster coordinator with a single localhost worker, where every shard is
-// gob-encoded, shipped over loopback net/rpc, executed on the worker's
-// engine and merged back. Results are identical by construction (the
-// integration tests pin that); the ns/op gap between the sub-benchmarks is
-// the per-run protocol overhead — shard serialization plus RPC round trips —
-// and cluster-shards reports how many shards crossed the wire per run.
+// encoded (columnar edge batches in their binary codec inside the gob
+// envelope), shipped over loopback net/rpc, executed on the worker's engine
+// and merged back. Results are identical by construction (the integration
+// tests pin that); the ns/op gap between the sub-benchmarks is the per-run
+// protocol overhead — shard serialization plus RPC round trips —
+// cluster-shards reports how many shards crossed the wire per run, and
+// wire-bytes/op how many encoded payload bytes they cost.
 func BenchmarkClusterOverhead(b *testing.B) {
 	const k, perView = 8, 1_500
 	g := datagen.Temporal(datagen.TemporalConfig{Nodes: 2_000, Edges: k * perView, Days: 64, Seed: 29})
@@ -547,6 +551,7 @@ func BenchmarkClusterOverhead(b *testing.B) {
 	col := view.NewCollection("cluster-col", g, &view.DiffStream{Names: names, Adds: adds, Dels: dels})
 
 	b.Run("local", func(b *testing.B) {
+		b.ReportAllocs()
 		e, err := core.NewEngine(core.Options{Workers: 1})
 		if err != nil {
 			b.Fatal(err)
@@ -559,6 +564,7 @@ func BenchmarkClusterOverhead(b *testing.B) {
 		}
 	})
 	b.Run("cluster-1worker", func(b *testing.B) {
+		b.ReportAllocs()
 		wEng, err := core.NewEngine(core.Options{Workers: 1})
 		if err != nil {
 			b.Fatal(err)
@@ -592,6 +598,10 @@ func BenchmarkClusterOverhead(b *testing.B) {
 			shards += n
 		}
 		b.ReportMetric(float64(shards), "cluster-shards")
+		// Stats accumulate across iterations; divide out b.N so the metric is
+		// per-run bytes shipped under the columnar codec, comparable across
+		// benchtime settings.
+		b.ReportMetric(float64(stats.WireBytes)/float64(b.N), "wire-bytes/op")
 		if stats.Requeued != 0 {
 			b.Fatalf("benchmark run re-queued %d shards", stats.Requeued)
 		}

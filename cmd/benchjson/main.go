@@ -9,7 +9,10 @@
 //
 // Every benchmark line — name, iteration count, and each "value unit" pair
 // (ns/op, B/op, and custom b.ReportMetric units like proj-speedup or
-// pool-built) — becomes one entry; non-benchmark lines are ignored.
+// pool-built) — becomes one entry; non-benchmark lines are ignored. The
+// allocation counters (allocs/op, B/op) and the cluster benchmarks'
+// wire-bytes/op metric are additionally lifted to stable top-level fields
+// for trajectory tooling.
 package main
 
 import (
@@ -32,6 +35,17 @@ type Benchmark struct {
 	// Metrics maps unit → value for every "value unit" pair on the line:
 	// the standard ns/op plus any custom b.ReportMetric units.
 	Metrics map[string]float64 `json:"metrics"`
+	// AllocsPerOp lifts Metrics["allocs/op"] (from b.ReportAllocs runs) to a
+	// stable top-level field, so trajectory tooling tracking allocation
+	// regressions does not have to know the Go unit string. Omitted when the
+	// benchmark did not report allocations.
+	AllocsPerOp float64 `json:"allocsPerOp,omitempty"`
+	// BytesPerOp lifts Metrics["B/op"], the heap bytes companion.
+	BytesPerOp float64 `json:"bytesPerOp,omitempty"`
+	// WireBytesPerOp lifts Metrics["wire-bytes/op"]: the encoded shard
+	// payload bytes shipped to cluster workers per run, reported by
+	// BenchmarkClusterOverhead under the columnar edge-batch codec.
+	WireBytesPerOp float64 `json:"wireBytesPerOp,omitempty"`
 }
 
 // Report is the top-level BENCH.json document.
@@ -58,6 +72,9 @@ func parseLine(line string) (Benchmark, bool) {
 		}
 		b.Metrics[fields[i+1]] = v
 	}
+	b.AllocsPerOp = b.Metrics["allocs/op"]
+	b.BytesPerOp = b.Metrics["B/op"]
+	b.WireBytesPerOp = b.Metrics["wire-bytes/op"]
 	return b, true
 }
 

@@ -13,6 +13,7 @@ pkg: graphsurge
 BenchmarkLPTSkew/policy=fifo-8         	       1	 52031337 ns/op	         2.110 proj-speedup	         4.000 pool-built
 BenchmarkLPTSkew/policy=lpt-8          	       1	 41022518 ns/op	         3.480 proj-speedup	         0 pool-built	         4.000 pool-reused
 BenchmarkEngineWCCStep-8               	  150000	      8012 ns/op
+BenchmarkClusterOverhead/cluster-1worker-8 	       1	 93817042 ns/op	 4211044 B/op	   61230 allocs/op	         8.000 cluster-shards	    104857 wire-bytes/op
 PASS
 ok  	graphsurge	3.211s
 `
@@ -26,8 +27,8 @@ func TestConvert(t *testing.T) {
 	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
 		t.Fatalf("output is not valid JSON: %v\n%s", err, out.String())
 	}
-	if len(rep.Benchmarks) != 3 {
-		t.Fatalf("parsed %d benchmarks, want 3: %+v", len(rep.Benchmarks), rep.Benchmarks)
+	if len(rep.Benchmarks) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4: %+v", len(rep.Benchmarks), rep.Benchmarks)
 	}
 	lpt := rep.Benchmarks[1]
 	if lpt.Name != "BenchmarkLPTSkew/policy=lpt-8" || lpt.Iterations != 1 {
@@ -36,9 +37,24 @@ func TestConvert(t *testing.T) {
 	if lpt.Metrics["ns/op"] != 41022518 || lpt.Metrics["proj-speedup"] != 3.48 || lpt.Metrics["pool-reused"] != 4 {
 		t.Fatalf("lpt metrics: %+v", lpt.Metrics)
 	}
+	// Lines without allocation or wire metrics leave the lifted fields zero
+	// (omitted from the JSON).
+	if lpt.AllocsPerOp != 0 || lpt.WireBytesPerOp != 0 {
+		t.Fatalf("lpt lifted fields should be zero: %+v", lpt)
+	}
 	step := rep.Benchmarks[2]
 	if step.Iterations != 150000 || step.Metrics["ns/op"] != 8012 {
 		t.Fatalf("step entry: %+v", step)
+	}
+	clu := rep.Benchmarks[3]
+	if clu.Name != "BenchmarkClusterOverhead/cluster-1worker-8" {
+		t.Fatalf("cluster entry: %+v", clu)
+	}
+	if clu.AllocsPerOp != 61230 || clu.BytesPerOp != 4211044 || clu.WireBytesPerOp != 104857 {
+		t.Fatalf("cluster lifted fields: %+v", clu)
+	}
+	if clu.Metrics["cluster-shards"] != 8 || clu.Metrics["wire-bytes/op"] != 104857 {
+		t.Fatalf("cluster metrics: %+v", clu.Metrics)
 	}
 }
 

@@ -71,6 +71,10 @@ type Runner interface {
 	// Step advances to the next version with the given edge changes and
 	// runs to quiescence, returning the elapsed time.
 	Step(adds, dels []graph.Triple) time.Duration
+	// StepBatch is Step for columnar edge batches (nil batches are empty) —
+	// the executor's path, feeding the dataflow straight from shared columns
+	// without materializing intermediate []graph.Triple slices.
+	StepBatch(adds, dels *graph.EdgeBatch) time.Duration
 	// Version returns the last version fed, if any.
 	Version() (uint32, bool)
 	// OutputDiffs returns the output difference-set size at version v.
@@ -130,13 +134,24 @@ func NewInstance(comp Computation, workers int) (*Instance, error) {
 // the elapsed wall-clock time (the per-view runtime the splitting optimizer
 // observes).
 func (inst *Instance) Step(adds, dels []graph.Triple) time.Duration {
+	return inst.step(len(adds), func(i int) graph.Triple { return adds[i] },
+		len(dels), func(i int) graph.Triple { return dels[i] })
+}
+
+// StepBatch implements Runner over columnar batches; the update slice is
+// built directly from the shared columns.
+func (inst *Instance) StepBatch(adds, dels *graph.EdgeBatch) time.Duration {
+	return inst.step(adds.Len(), adds.Triple, dels.Len(), dels.Triple)
+}
+
+func (inst *Instance) step(na int, addAt func(int) graph.Triple, nd int, delAt func(int) graph.Triple) time.Duration {
 	start := time.Now()
-	ups := make([]dataflow.Update[graph.Triple], 0, len(adds)+len(dels))
-	for _, t := range adds {
-		ups = append(ups, dataflow.Update[graph.Triple]{Rec: t, D: 1})
+	ups := make([]dataflow.Update[graph.Triple], 0, na+nd)
+	for i := 0; i < na; i++ {
+		ups = append(ups, dataflow.Update[graph.Triple]{Rec: addAt(i), D: 1})
 	}
-	for _, t := range dels {
-		ups = append(ups, dataflow.Update[graph.Triple]{Rec: t, D: -1})
+	for i := 0; i < nd; i++ {
+		ups = append(ups, dataflow.Update[graph.Triple]{Rec: delAt(i), D: -1})
 	}
 	v := inst.next
 	inst.input.SendAt(v, ups)

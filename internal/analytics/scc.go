@@ -159,11 +159,21 @@ type sccRunner struct {
 }
 
 func (r *sccRunner) Step(adds, dels []graph.Triple) time.Duration {
+	return r.step(len(adds), func(i int) graph.Triple { return adds[i] },
+		len(dels), func(i int) graph.Triple { return dels[i] })
+}
+
+// StepBatch implements Runner over columnar batches.
+func (r *sccRunner) StepBatch(adds, dels *graph.EdgeBatch) time.Duration {
+	return r.step(adds.Len(), adds.Triple, dels.Len(), dels.Triple)
+}
+
+func (r *sccRunner) step(na int, addAt func(int) graph.Triple, nd int, delAt func(int) graph.Triple) time.Duration {
 	start := time.Now()
 	v := r.next
 	r.next++
 
-	edgeUps := make([]dataflow.Update[graph.Triple], 0, len(adds)+len(dels))
+	edgeUps := make([]dataflow.Update[graph.Triple], 0, na+nd)
 	var aliveDiff []dataflow.Update[uint64]
 	bump := func(n uint64, by int64) {
 		old := r.nodeDeg[n]
@@ -181,12 +191,14 @@ func (r *sccRunner) Step(adds, dels []graph.Triple) time.Duration {
 			delete(r.alive[0], n)
 		}
 	}
-	for _, t := range adds {
+	for i := 0; i < na; i++ {
+		t := addAt(i)
 		edgeUps = append(edgeUps, dataflow.Update[graph.Triple]{Rec: t, D: 1})
 		bump(t.Src, 1)
 		bump(t.Dst, 1)
 	}
-	for _, t := range dels {
+	for i := 0; i < nd; i++ {
+		t := delAt(i)
 		edgeUps = append(edgeUps, dataflow.Update[graph.Triple]{Rec: t, D: -1})
 		bump(t.Src, -1)
 		bump(t.Dst, -1)

@@ -1,0 +1,443 @@
+// Package arrange implements columnar arrangements: immutable, sorted,
+// columnar batches of (key, value, time, diff) tuples with k-way merging,
+// lazy compaction, binary-search lookup, and O(1) copy-on-write snapshot
+// sharing. It is the Go equivalent of Differential Dataflow's arrangement
+// substrate (the paper's §5 "shared arrangements"), replacing the map-of-
+// slices traces the engine used before: a trace is a small stack of
+// immutable batches plus a bounded mutable stage, so dropping all state is
+// a pointer release rather than a map walk, and snapshotting is a slice
+// copy of batch references rather than a deep copy of tuples.
+//
+// Keys and values are arbitrary comparable types; batches order tuples by
+// (maphash(key), time, maphash(value)). The hash order is not meaningful
+// across processes, but it is stable within a trace, groups equal keys into
+// contiguous runs for binary-search lookup, and makes equal (key, value,
+// time) tuples adjacent so merges can consolidate diffs lazily. Hash
+// collisions only cost a short equality-checked scan within the run.
+package arrange
+
+import (
+	"hash/maphash"
+	"sort"
+
+	"graphsurge/internal/timestamp"
+)
+
+// stageThreshold is the number of staged tuples that triggers sealing into
+// an immutable batch. It bounds both the linear portion of lookups and the
+// cost of snapshotting a trace (the stage is the only part copied).
+const stageThreshold = 256
+
+// tuple is one staged (key, value, time, diff) update, not yet columnar.
+type tuple[K comparable, V comparable] struct {
+	k K
+	v V
+	t timestamp.Time
+	d int64
+}
+
+// Batch is an immutable sorted columnar batch. Tuples are stored as
+// parallel columns ordered by (hks, times lex, hvs); equal keys form one
+// contiguous run located by binary search on hks. Batches are shared by
+// reference between a trace and its snapshots and must never be mutated.
+type Batch[K comparable, V comparable] struct {
+	hks   []uint64 // maphash of keys, the primary sort key
+	keys  []K
+	vals  []V
+	hvs   []uint64 // maphash of vals, the tie-break within (hk, time)
+	times []timestamp.Time
+	diffs []int64
+}
+
+// Len returns the number of tuples in the batch.
+func (b *Batch[K, V]) Len() int { return len(b.keys) }
+
+// keyRun returns the half-open index range of tuples whose key hash is hk.
+func (b *Batch[K, V]) keyRun(hk uint64) (int, int) {
+	lo := sort.Search(len(b.hks), func(i int) bool { return b.hks[i] >= hk })
+	hi := lo
+	for hi < len(b.hks) && b.hks[hi] == hk {
+		hi++
+	}
+	return lo, hi
+}
+
+// needsClamp reports whether any tuple's time has Outer < outer.
+func (b *Batch[K, V]) needsClamp(outer uint32) bool {
+	for _, t := range b.times {
+		if t.Outer < outer {
+			return true
+		}
+	}
+	return false
+}
+
+// lexLess orders tuples by (hk, time lex, hv) — the batch sort order.
+func lexLess(hk1 uint64, t1 timestamp.Time, hv1 uint64, hk2 uint64, t2 timestamp.Time, hv2 uint64) bool {
+	if hk1 != hk2 {
+		return hk1 < hk2
+	}
+	if t1 != t2 {
+		return t1.LexLess(t2)
+	}
+	return hv1 < hv2
+}
+
+// buildBatch sorts, clamps (to outer when clamp is set), and consolidates
+// staged tuples into an immutable batch. Equal (key, value, time) tuples
+// merge their diffs; zero diffs are dropped. Returns nil when everything
+// cancels.
+func buildBatch[K comparable, V comparable](kseed, vseed maphash.Seed, ts []tuple[K, V], outer uint32, clamp bool) *Batch[K, V] {
+	if len(ts) == 0 {
+		return nil
+	}
+	b := &Batch[K, V]{
+		hks:   make([]uint64, len(ts)),
+		keys:  make([]K, len(ts)),
+		vals:  make([]V, len(ts)),
+		hvs:   make([]uint64, len(ts)),
+		times: make([]timestamp.Time, len(ts)),
+		diffs: make([]int64, len(ts)),
+	}
+	for i, e := range ts {
+		t := e.t
+		if clamp && t.Outer < outer {
+			t.Outer = outer
+		}
+		b.hks[i] = maphash.Comparable(kseed, e.k)
+		b.keys[i] = e.k
+		b.vals[i] = e.v
+		b.hvs[i] = maphash.Comparable(vseed, e.v)
+		b.times[i] = t
+		b.diffs[i] = e.d
+	}
+	sort.Sort(batchSorter[K, V]{b})
+	return consolidateSorted(b)
+}
+
+// batchSorter sorts a batch's columns in place by (hk, time, hv).
+type batchSorter[K comparable, V comparable] struct {
+	b *Batch[K, V]
+}
+
+func (s batchSorter[K, V]) Len() int { return len(s.b.keys) }
+func (s batchSorter[K, V]) Less(i, j int) bool {
+	b := s.b
+	return lexLess(b.hks[i], b.times[i], b.hvs[i], b.hks[j], b.times[j], b.hvs[j])
+}
+func (s batchSorter[K, V]) Swap(i, j int) {
+	b := s.b
+	b.hks[i], b.hks[j] = b.hks[j], b.hks[i]
+	b.keys[i], b.keys[j] = b.keys[j], b.keys[i]
+	b.vals[i], b.vals[j] = b.vals[j], b.vals[i]
+	b.hvs[i], b.hvs[j] = b.hvs[j], b.hvs[i]
+	b.times[i], b.times[j] = b.times[j], b.times[i]
+	b.diffs[i], b.diffs[j] = b.diffs[j], b.diffs[i]
+}
+
+// consolidateSorted merges equal (key, value, time) tuples of an already
+// sorted batch in place and drops zero diffs. Equal tuples share
+// (hk, time, hv), so they sit in one contiguous run; within a run, true
+// equality is re-checked (hash collisions), costing a short quadratic scan
+// over runs that are almost always length one. Returns nil when empty.
+func consolidateSorted[K comparable, V comparable](b *Batch[K, V]) *Batch[K, V] {
+	n := len(b.keys)
+	m := 0 // write cursor: b[:m] is consolidated
+	for i := 0; i < n; {
+		j := i + 1
+		for j < n && b.hks[j] == b.hks[i] && b.times[j] == b.times[i] && b.hvs[j] == b.hvs[i] {
+			j++
+		}
+		// Merge equal (key, value) tuples within the run [i, j).
+		runStart := m
+		for p := i; p < j; p++ {
+			merged := false
+			for q := runStart; q < m; q++ {
+				if b.keys[q] == b.keys[p] && b.vals[q] == b.vals[p] {
+					b.diffs[q] += b.diffs[p]
+					merged = true
+					break
+				}
+			}
+			if !merged {
+				b.hks[m] = b.hks[p]
+				b.keys[m] = b.keys[p]
+				b.vals[m] = b.vals[p]
+				b.hvs[m] = b.hvs[p]
+				b.times[m] = b.times[p]
+				b.diffs[m] = b.diffs[p]
+				m++
+			}
+		}
+		// Drop zeroed entries of the run, keeping b[:m] dense.
+		w := runStart
+		for q := runStart; q < m; q++ {
+			if b.diffs[q] != 0 {
+				b.hks[w] = b.hks[q]
+				b.keys[w] = b.keys[q]
+				b.vals[w] = b.vals[q]
+				b.hvs[w] = b.hvs[q]
+				b.times[w] = b.times[q]
+				b.diffs[w] = b.diffs[q]
+				w++
+			}
+		}
+		m = w
+		i = j
+	}
+	if m == 0 {
+		return nil
+	}
+	b.hks = b.hks[:m]
+	b.keys = b.keys[:m]
+	b.vals = b.vals[:m]
+	b.hvs = b.hvs[:m]
+	b.times = b.times[:m]
+	b.diffs = b.diffs[:m]
+	return b
+}
+
+// mergeBatches k-way merges sorted batches into one, clamping times below
+// outer (when clamp is set) and consolidating equal tuples — the lazy
+// compaction step: diffs that cancel once their times are clamped to the
+// frontier disappear here, at merge time, instead of eagerly per update.
+// Inputs are never mutated (they may be shared with snapshots); a batch
+// that needs clamping is rebuilt first, since clamping reorders tuples.
+// Returns nil when everything cancels.
+func mergeBatches[K comparable, V comparable](kseed, vseed maphash.Seed, in []*Batch[K, V], outer uint32, clamp bool) *Batch[K, V] {
+	srcs := make([]*Batch[K, V], 0, len(in))
+	total := 0
+	for _, b := range in {
+		if b == nil || b.Len() == 0 {
+			continue
+		}
+		if clamp && b.needsClamp(outer) {
+			// Rebuild through the staging path: clamp, re-sort, consolidate.
+			ts := make([]tuple[K, V], b.Len())
+			for i := range b.keys {
+				ts[i] = tuple[K, V]{b.keys[i], b.vals[i], b.times[i], b.diffs[i]}
+			}
+			b = buildBatch(kseed, vseed, ts, outer, true)
+			if b == nil {
+				continue
+			}
+		}
+		srcs = append(srcs, b)
+		total += b.Len()
+	}
+	if len(srcs) == 0 {
+		return nil
+	}
+	if len(srcs) == 1 {
+		return srcs[0]
+	}
+	out := &Batch[K, V]{
+		hks:   make([]uint64, 0, total),
+		keys:  make([]K, 0, total),
+		vals:  make([]V, 0, total),
+		hvs:   make([]uint64, 0, total),
+		times: make([]timestamp.Time, 0, total),
+		diffs: make([]int64, 0, total),
+	}
+	cur := make([]int, len(srcs)) // per-source cursor
+	for {
+		// Pick the source with the smallest (hk, time, hv) head. The source
+		// count is O(log n) thanks to the geometric batch invariant, so a
+		// linear min scan beats heap bookkeeping.
+		best := -1
+		for s, b := range srcs {
+			i := cur[s]
+			if i >= b.Len() {
+				continue
+			}
+			if best < 0 || lexLess(b.hks[i], b.times[i], b.hvs[i], srcs[best].hks[cur[best]], srcs[best].times[cur[best]], srcs[best].hvs[cur[best]]) {
+				best = s
+			}
+		}
+		if best < 0 {
+			break
+		}
+		b, i := srcs[best], cur[best]
+		cur[best]++
+		out.hks = append(out.hks, b.hks[i])
+		out.keys = append(out.keys, b.keys[i])
+		out.vals = append(out.vals, b.vals[i])
+		out.hvs = append(out.hvs, b.hvs[i])
+		out.times = append(out.times, b.times[i])
+		out.diffs = append(out.diffs, b.diffs[i])
+	}
+	return consolidateSorted(out)
+}
+
+// Trace is an arranged multiset history: per-key (value, time, diff)
+// tuples held as a stack of immutable sorted batches plus a bounded
+// mutable stage of recent appends. A trace belongs to one worker; Append,
+// Key, Advance, Reset and Snapshot must not race with each other.
+type Trace[K comparable, V comparable] struct {
+	kseed, vseed maphash.Seed
+	batches      []*Batch[K, V] // oldest first; geometric sizes
+	stage        []tuple[K, V]  // recent appends, at most stageThreshold
+	frontier     uint32         // 1 + the outer coordinate merges clamp to; 0 = none
+}
+
+// NewTrace creates an empty trace.
+func NewTrace[K comparable, V comparable]() *Trace[K, V] {
+	return &Trace[K, V]{kseed: maphash.MakeSeed(), vseed: maphash.MakeSeed()}
+}
+
+// Append records one update. When the stage fills, it is sealed into an
+// immutable batch and the batch stack re-established geometrically (each
+// batch at least twice the combined size of everything newer), which keeps
+// the stack logarithmic and amortizes merge work.
+func (tr *Trace[K, V]) Append(k K, v V, t timestamp.Time, d int64) {
+	if d == 0 {
+		return
+	}
+	tr.stage = append(tr.stage, tuple[K, V]{k, v, t, d})
+	if len(tr.stage) >= stageThreshold {
+		tr.seal()
+	}
+}
+
+// Advance moves the compaction frontier: times with Outer < outer clamp to
+// outer. The first call per frontier move compacts the trace to canonical
+// form — stage sealed, all batches k-way merged, clamped, consolidated —
+// so the tuple count a subsequent Key visit reports depends only on the
+// accumulated multiset, not on seal/merge history. That layout-independence
+// is what keeps the engine's work counters deterministic across execution
+// plans (a local run and a sharded run of the same views must report
+// identical work). Repeat calls at the same frontier are O(1).
+func (tr *Trace[K, V]) Advance(outer uint32) {
+	if outer+1 <= tr.frontier {
+		return
+	}
+	tr.frontier = outer + 1
+	tr.compact()
+}
+
+// compact folds the stage and every batch into one canonical batch at the
+// current frontier. Amortized like the old per-key clamp-on-touch traces:
+// once per frontier move, proportional to live trace size.
+func (tr *Trace[K, V]) compact() {
+	outer, clamp := tr.clampOuter()
+	if len(tr.stage) > 0 {
+		b := buildBatch(tr.kseed, tr.vseed, tr.stage, outer, clamp)
+		tr.stage = tr.stage[:0]
+		if b != nil {
+			tr.batches = append(tr.batches, b)
+		}
+	}
+	if len(tr.batches) == 0 || (len(tr.batches) == 1 && !(clamp && tr.batches[0].needsClamp(outer))) {
+		return
+	}
+	merged := mergeBatches(tr.kseed, tr.vseed, tr.batches, outer, clamp)
+	nb := make([]*Batch[K, V], 0, 1)
+	if merged != nil {
+		nb = append(nb, merged)
+	}
+	tr.batches = nb
+}
+
+// seal flushes the stage into a batch and restores the geometric invariant.
+func (tr *Trace[K, V]) seal() {
+	outer, clamp := tr.clampOuter()
+	b := buildBatch(tr.kseed, tr.vseed, tr.stage, outer, clamp)
+	tr.stage = tr.stage[:0]
+	if b != nil {
+		tr.batches = append(tr.batches, b)
+	}
+	// Merge the maximal tail run violating the geometric invariant in one
+	// k-way pass.
+	for len(tr.batches) >= 2 {
+		n := len(tr.batches)
+		total := tr.batches[n-1].Len()
+		j := n - 1
+		for j > 0 && tr.batches[j-1].Len() < 2*total {
+			total += tr.batches[j-1].Len()
+			j--
+		}
+		if j == n-1 {
+			return
+		}
+		merged := mergeBatches(tr.kseed, tr.vseed, tr.batches[j:], outer, clamp)
+		// Rebuild the stack in a fresh slice: truncating and re-appending in
+		// place would scribble over a backing array a Snapshot may share.
+		nb := make([]*Batch[K, V], 0, j+1)
+		nb = append(nb, tr.batches[:j]...)
+		if merged != nil {
+			nb = append(nb, merged)
+		}
+		tr.batches = nb
+	}
+}
+
+func (tr *Trace[K, V]) clampOuter() (uint32, bool) {
+	if tr.frontier == 0 {
+		return 0, false
+	}
+	return tr.frontier - 1, true
+}
+
+// Key visits every (value, time, diff) tuple recorded for k — batch entries
+// through binary search, stage entries by linear scan — and returns the
+// number of tuples visited. Batch times may already be clamped to the
+// compaction frontier; stage times are raw. Both are equivalent to callers,
+// which only Join or Leq-filter against times at or above the frontier.
+func (tr *Trace[K, V]) Key(k K, yield func(v V, t timestamp.Time, d int64)) int {
+	n := 0
+	hk := maphash.Comparable(tr.kseed, k)
+	for _, b := range tr.batches {
+		lo, hi := b.keyRun(hk)
+		for i := lo; i < hi; i++ {
+			if b.keys[i] == k {
+				yield(b.vals[i], b.times[i], b.diffs[i])
+				n++
+			}
+		}
+	}
+	for _, e := range tr.stage {
+		if e.k == k {
+			yield(e.v, e.t, e.d)
+			n++
+		}
+	}
+	return n
+}
+
+// Len returns the total number of tuples held (after any consolidation).
+func (tr *Trace[K, V]) Len() int {
+	n := len(tr.stage)
+	for _, b := range tr.batches {
+		n += b.Len()
+	}
+	return n
+}
+
+// Reset drops all state by releasing the batch stack by reference — O(1)
+// in accumulated history, the whole point of batching: no map walk, no
+// per-key work, the old batches go to the GC as a handful of slice
+// headers. The stage (bounded by stageThreshold) is truncated in place.
+func (tr *Trace[K, V]) Reset() {
+	tr.batches = nil
+	tr.stage = tr.stage[:0]
+	tr.frontier = 0
+}
+
+// Snapshot returns an independent copy-on-write view of the trace: the
+// immutable batches are shared by reference (O(1) regardless of history
+// size) and only the bounded stage is copied. Appends, merges, and resets
+// on either trace never disturb the other — sealing builds new batches
+// rather than mutating shared ones.
+func (tr *Trace[K, V]) Snapshot() *Trace[K, V] {
+	cp := &Trace[K, V]{
+		kseed:    tr.kseed,
+		vseed:    tr.vseed,
+		batches:  tr.batches[:len(tr.batches):len(tr.batches)],
+		stage:    append([]tuple[K, V](nil), tr.stage...),
+		frontier: tr.frontier,
+	}
+	return cp
+}
+
+// Batches returns the current batch count (diagnostics and tests).
+func (tr *Trace[K, V]) Batches() int { return len(tr.batches) }

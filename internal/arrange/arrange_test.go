@@ -1,0 +1,301 @@
+package arrange
+
+import (
+	"math/rand"
+	"testing"
+
+	"graphsurge/internal/timestamp"
+)
+
+type acc struct {
+	v int
+	t timestamp.Time
+}
+
+// accumulate collects a trace's consolidated content for one key.
+func accumulate(tr *Trace[int, int], k int) map[acc]int64 {
+	out := make(map[acc]int64)
+	tr.Key(k, func(v int, t timestamp.Time, d int64) {
+		e := acc{v, t}
+		out[e] += d
+		if out[e] == 0 {
+			delete(out, e)
+		}
+	})
+	return out
+}
+
+func TestTraceAppendAndKey(t *testing.T) {
+	tr := NewTrace[int, int]()
+	t0 := timestamp.Time{Outer: 0, Inner: 0}
+	t1 := timestamp.Time{Outer: 0, Inner: 1}
+	tr.Append(1, 10, t0, 1)
+	tr.Append(1, 10, t1, 2)
+	tr.Append(2, 20, t0, 1)
+	got := accumulate(tr, 1)
+	want := map[acc]int64{{10, t0}: 1, {10, t1}: 2}
+	if len(got) != len(want) {
+		t.Fatalf("key 1: got %v want %v", got, want)
+	}
+	for e, d := range want {
+		if got[e] != d {
+			t.Fatalf("key 1 entry %v: got %d want %d", e, got[e], d)
+		}
+	}
+	if n := tr.Key(3, func(int, timestamp.Time, int64) {}); n != 0 {
+		t.Fatalf("absent key visited %d entries", n)
+	}
+}
+
+// TestSealConsolidates checks that equal (key, value, time) tuples merge
+// and cancelling diffs vanish when the stage seals into a batch.
+func TestSealConsolidates(t *testing.T) {
+	tr := NewTrace[int, int]()
+	t0 := timestamp.Time{}
+	for i := 0; i < stageThreshold/2; i++ {
+		tr.Append(7, 70, t0, 1)
+		tr.Append(7, 70, t0, -1)
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("cancelling diffs survived seal: Len=%d", tr.Len())
+	}
+	if tr.Batches() != 0 {
+		t.Fatalf("empty batch kept on stack: %d", tr.Batches())
+	}
+}
+
+// TestGeometricMerge checks the batch stack stays logarithmic in tuples.
+func TestGeometricMerge(t *testing.T) {
+	tr := NewTrace[int, int]()
+	n := stageThreshold * 40
+	for i := 0; i < n; i++ {
+		tr.Append(i, i, timestamp.Time{Outer: uint32(i % 5)}, 1)
+	}
+	if tr.Len() != n-len(tr.stage)+len(tr.stage) || tr.Len() != n {
+		t.Fatalf("lost tuples: Len=%d want %d", tr.Len(), n)
+	}
+	if tr.Batches() > 8 {
+		t.Fatalf("batch stack not geometric: %d batches for %d tuples", tr.Batches(), n)
+	}
+}
+
+// TestClampOnMerge checks lazy compaction: after Advance(outer), merged
+// batches clamp historical times to outer and consolidate what cancels.
+func TestClampOnMerge(t *testing.T) {
+	tr := NewTrace[int, int]()
+	early := timestamp.Time{Outer: 0}
+	late := timestamp.Time{Outer: 3}
+	// +1 at version 0 and -1 at version 3 for the same (key, value): after
+	// clamping both to outer=3 they cancel.
+	tr.Append(1, 10, early, 1)
+	tr.Append(1, 10, late, -1)
+	tr.Advance(3)
+	// Force sealing and merging by filling the stage repeatedly.
+	for i := 0; i < stageThreshold*4; i++ {
+		tr.Append(100+i, i, late, 1)
+	}
+	got := accumulate(tr, 1)
+	if len(got) != 0 {
+		t.Fatalf("clamped diffs did not cancel on merge: %v", got)
+	}
+	// Everything surviving must sit at Outer >= 3.
+	for _, b := range tr.batches {
+		for _, ts := range b.times {
+			if ts.Outer < 3 {
+				t.Fatalf("batch kept unclamped time %v", ts)
+			}
+		}
+	}
+}
+
+// TestMergeEquivalence drives a trace with random appends, advances, and
+// seals, checking the consolidated per-key content always matches a plain
+// map oracle.
+func TestMergeEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		tr := NewTrace[int, int]()
+		oracle := make(map[int]map[acc]int64)
+		frontier := uint32(0)
+		clampOracle := func(outer uint32) {
+			for _, m := range oracle {
+				nm := make(map[acc]int64, len(m))
+				for e, d := range m {
+					if e.t.Outer < outer {
+						e.t.Outer = outer
+					}
+					nm[e] += d
+				}
+				for e, d := range nm {
+					if d == 0 {
+						delete(nm, e)
+					} else {
+						nm[e] = d
+					}
+				}
+				// Copy back without replacing the outer map binding.
+				for e := range m {
+					delete(m, e)
+				}
+				for e, d := range nm {
+					m[e] = d
+				}
+			}
+		}
+		for step := 0; step < 3000; step++ {
+			k := r.Intn(20)
+			v := r.Intn(5)
+			ts := timestamp.Time{Outer: frontier + uint32(r.Intn(3)), Inner: uint32(r.Intn(4))}
+			d := int64(r.Intn(5) - 2)
+			tr.Append(k, v, ts, d)
+			if d != 0 {
+				m := oracle[k]
+				if m == nil {
+					m = make(map[acc]int64)
+					oracle[k] = m
+				}
+				e := acc{v, ts}
+				m[e] += d
+				if m[e] == 0 {
+					delete(m, e)
+				}
+			}
+			if step%500 == 499 {
+				frontier += uint32(r.Intn(2))
+				tr.Advance(frontier)
+			}
+		}
+		// A trailing advance plus enough appends to force a full merge.
+		clampOracle(frontier)
+		for k := 0; k < 20; k++ {
+			got := accumulate(tr, k)
+			// The trace may hold times clamped or unclamped depending on
+			// merge timing, so compare after clamping both sides.
+			cg := make(map[acc]int64)
+			for e, d := range got {
+				if e.t.Outer < frontier {
+					e.t.Outer = frontier
+				}
+				cg[e] += d
+			}
+			for e, d := range cg {
+				if d == 0 {
+					delete(cg, e)
+				}
+			}
+			want := oracle[k]
+			if len(cg) != len(want) {
+				t.Fatalf("trial %d key %d: got %v want %v", trial, k, cg, want)
+			}
+			for e, d := range want {
+				if cg[e] != d {
+					t.Fatalf("trial %d key %d entry %v: got %d want %d", trial, k, e, cg[e], d)
+				}
+			}
+		}
+	}
+}
+
+// TestSnapshotIsolation checks copy-on-write sharing: appends, seals, and
+// resets on the original never disturb a snapshot, and vice versa.
+func TestSnapshotIsolation(t *testing.T) {
+	tr := NewTrace[int, int]()
+	t0 := timestamp.Time{}
+	// Enough history for several sealed batches plus a partial stage.
+	n := stageThreshold*3 + 17
+	for i := 0; i < n; i++ {
+		tr.Append(i%50, i, t0, 1)
+	}
+	snap := tr.Snapshot()
+	if snap.Len() != tr.Len() {
+		t.Fatalf("snapshot Len=%d want %d", snap.Len(), tr.Len())
+	}
+	before := make(map[int]map[acc]int64)
+	for k := 0; k < 50; k++ {
+		before[k] = accumulate(snap, k)
+	}
+	// Mutate the original heavily: appends that force merges, then a reset.
+	for i := 0; i < stageThreshold*8; i++ {
+		tr.Append(i%50, 1000+i, t0, 1)
+	}
+	tr.Advance(5)
+	for i := 0; i < stageThreshold*2; i++ {
+		tr.Append(i%50, 2000+i, t0, 1)
+	}
+	tr.Reset()
+	for k := 0; k < 50; k++ {
+		after := accumulate(snap, k)
+		if len(after) != len(before[k]) {
+			t.Fatalf("snapshot key %d changed under original mutation: %d vs %d entries", k, len(after), len(before[k]))
+		}
+		for e, d := range before[k] {
+			if after[e] != d {
+				t.Fatalf("snapshot key %d entry %v changed: %d vs %d", k, e, after[e], d)
+			}
+		}
+	}
+	// And the snapshot can diverge without touching the (reset) original.
+	for i := 0; i < stageThreshold*2; i++ {
+		snap.Append(i%50, 3000+i, t0, 1)
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("original trace grew from snapshot appends: Len=%d", tr.Len())
+	}
+}
+
+func TestResetDropsByReference(t *testing.T) {
+	tr := NewTrace[int, int]()
+	for i := 0; i < stageThreshold*4; i++ {
+		tr.Append(i, i, timestamp.Time{}, 1)
+	}
+	if tr.Batches() == 0 {
+		t.Fatal("expected sealed batches before reset")
+	}
+	tr.Reset()
+	if tr.Len() != 0 || tr.Batches() != 0 {
+		t.Fatalf("reset left state: Len=%d Batches=%d", tr.Len(), tr.Batches())
+	}
+	// Usable after reset.
+	tr.Append(1, 1, timestamp.Time{}, 1)
+	if tr.Len() != 1 {
+		t.Fatalf("append after reset: Len=%d", tr.Len())
+	}
+}
+
+func TestQueueOrderAndTake(t *testing.T) {
+	var q Queue[string]
+	ta := timestamp.Time{Outer: 1, Inner: 0}
+	tb := timestamp.Time{Outer: 0, Inner: 2}
+	tc := timestamp.Time{Outer: 0, Inner: 1}
+	q.Push("a", ta, 1)
+	q.Push("b", tb, 2)
+	q.Push("c", tc, 3)
+	q.Push("b2", tb, -1)
+	if q.Len() != 4 {
+		t.Fatalf("Len=%d want 4", q.Len())
+	}
+	if m, ok := q.Min(); !ok || m != tc {
+		t.Fatalf("Min=%v,%v want %v", m, ok, tc)
+	}
+	if !q.Has(tb) || q.Has(timestamp.Time{Outer: 9}) {
+		t.Fatal("Has wrong")
+	}
+	recs, diffs := q.Take(tb)
+	if len(recs) != 2 || recs[0] != "b" || recs[1] != "b2" || diffs[0] != 2 || diffs[1] != -1 {
+		t.Fatalf("Take(tb) = %v %v", recs, diffs)
+	}
+	if q.Has(tb) {
+		t.Fatal("bucket survived Take")
+	}
+	if m, _ := q.Min(); m != tc {
+		t.Fatalf("Min after take = %v", m)
+	}
+	q.Push("zero", ta, 0)
+	if q.Len() != 2 {
+		t.Fatalf("zero diff buffered: Len=%d", q.Len())
+	}
+	q.Reset()
+	if _, ok := q.Min(); ok || q.Len() != 0 {
+		t.Fatal("reset left buckets")
+	}
+}

@@ -1,0 +1,99 @@
+package arrange
+
+import (
+	"sort"
+
+	"graphsurge/internal/timestamp"
+)
+
+// Queue is a columnar time-bucketed delta buffer: per distinct timestamp,
+// parallel record and diff columns. Buckets are kept sorted by lexicographic
+// time, so the minimum pending time is O(1) instead of a map scan, and the
+// whole queue resets by releasing the column slices by reference.
+//
+// A Queue is not self-synchronizing; callers shard one queue per worker and
+// guard cross-worker pushes with their own lock (see dataflow's pendings).
+type Queue[R any] struct {
+	times []timestamp.Time // ascending lex order
+	recs  [][]R
+	diffs [][]int64
+}
+
+// bucket returns the index of t's bucket and whether it exists; when it
+// does not, the index is the sorted insertion point.
+func (q *Queue[R]) bucket(t timestamp.Time) (int, bool) {
+	i := sort.Search(len(q.times), func(i int) bool { return !q.times[i].LexLess(t) })
+	return i, i < len(q.times) && q.times[i] == t
+}
+
+// Push appends one (record, diff) to t's bucket, creating it in time order
+// if absent. Zero diffs are dropped.
+func (q *Queue[R]) Push(r R, t timestamp.Time, d int64) {
+	if d == 0 {
+		return
+	}
+	i, ok := q.bucket(t)
+	if !ok {
+		q.times = append(q.times, timestamp.Time{})
+		copy(q.times[i+1:], q.times[i:])
+		q.times[i] = t
+		q.recs = append(q.recs, nil)
+		copy(q.recs[i+1:], q.recs[i:])
+		q.recs[i] = nil
+		q.diffs = append(q.diffs, nil)
+		copy(q.diffs[i+1:], q.diffs[i:])
+		q.diffs[i] = nil
+	}
+	q.recs[i] = append(q.recs[i], r)
+	q.diffs[i] = append(q.diffs[i], d)
+}
+
+// Take removes and returns t's record and diff columns (nil when absent).
+func (q *Queue[R]) Take(t timestamp.Time) ([]R, []int64) {
+	i, ok := q.bucket(t)
+	if !ok {
+		return nil, nil
+	}
+	recs, diffs := q.recs[i], q.diffs[i]
+	last := len(q.times) - 1
+	copy(q.times[i:], q.times[i+1:])
+	q.times = q.times[:last]
+	copy(q.recs[i:], q.recs[i+1:])
+	q.recs[last] = nil // release the shifted-out column reference
+	q.recs = q.recs[:last]
+	copy(q.diffs[i:], q.diffs[i+1:])
+	q.diffs[last] = nil
+	q.diffs = q.diffs[:last]
+	return recs, diffs
+}
+
+// Has reports whether any delta is buffered at exactly t.
+func (q *Queue[R]) Has(t timestamp.Time) bool {
+	_, ok := q.bucket(t)
+	return ok
+}
+
+// Min returns the lexicographically smallest buffered time.
+func (q *Queue[R]) Min() (timestamp.Time, bool) {
+	if len(q.times) == 0 {
+		return timestamp.Time{}, false
+	}
+	return q.times[0], true
+}
+
+// Len returns the total number of buffered deltas.
+func (q *Queue[R]) Len() int {
+	n := 0
+	for _, rs := range q.recs {
+		n += len(rs)
+	}
+	return n
+}
+
+// Reset drops all buckets by releasing the columns by reference — O(1) in
+// buffered history, with the old columns left to the GC.
+func (q *Queue[R]) Reset() {
+	q.times = nil
+	q.recs = nil
+	q.diffs = nil
+}

@@ -200,6 +200,10 @@ func (w *workerConn) runSegment(ctx context.Context, spec *core.SegmentSpec) (*c
 	if err := callClient(ctx, client, w.addr, ServiceName+".RunSegment", args, &reply, w.jobTimeout); err != nil {
 		return nil, client, err
 	}
+	// Stamp what actually crossed the network: the encoded spec size, under
+	// the columnar edge codec. The worker can't know it (it sees the payload
+	// after transport), so the coordinator records it on the way back.
+	reply.Outcome.Segment.WireBytes = len(payload)
 	return &reply.Outcome, client, nil
 }
 
@@ -216,6 +220,10 @@ type RunStats struct {
 	Requeued int
 	// Dead lists workers declared dead during the run.
 	Dead []string
+	// WireBytes totals the encoded shard payload bytes shipped to workers
+	// (re-queued shards count their original shipment; local shards ship
+	// nothing).
+	WireBytes int
 }
 
 // Coordinator shards collection runs across registered workers. It owns a
@@ -376,7 +384,7 @@ func (c *Coordinator) WriteStats(w io.Writer) {
 		fmt.Fprintf(w, "cluster worker %s: capacity=%d %s, %d shards\n",
 			wi.Addr, wi.Capacity, state, cs.Remote[wi.Addr])
 	}
-	fmt.Fprintf(w, "cluster: %d shards local, %d re-queued\n", cs.Local, cs.Requeued)
+	fmt.Fprintf(w, "cluster: %d shards local, %d re-queued, %d bytes shipped\n", cs.Local, cs.Requeued, cs.WireBytes)
 }
 
 // Close disconnects every worker. Worker processes are unaffected — they
@@ -632,7 +640,10 @@ func (c *Coordinator) RunCollection(ctx context.Context, col *view.Collection, c
 					requeue(sp)
 					continue
 				}
-				record(out, func() { stats.Remote[s.w.addr]++ })
+				record(out, func() {
+					stats.Remote[s.w.addr]++
+					stats.WireBytes += out.Segment.WireBytes
+				})
 			}
 		}(s)
 	}

@@ -1,7 +1,7 @@
 // Package cluster shards a view-collection run across processes: a
 // Coordinator splits a static plan into self-contained segment shards
-// (internal/core's SegmentSpec — seed and difference sets as materialized
-// triples, so workers hold no graph or view state), assigns them to
+// (internal/core's SegmentSpec — seed and difference sets as columnar
+// graph.EdgeBatch payloads, so workers hold no graph or view state), assigns them to
 // registered workers with the cost-model scheduler's multi-bin LPT, ships
 // them over net/rpc, and merges the returned outcomes in collection order
 // exactly as the local executor does. Workers are thin: a worker process
@@ -27,7 +27,12 @@ import (
 // ProtocolVersion guards coordinator/worker compatibility: the Hello
 // handshake rejects a peer speaking a different version, so a stale worker
 // binary fails loudly at registration instead of corrupting a run.
-const ProtocolVersion = 1
+//
+// Version 2 switched segment edge payloads from per-record gob triples to
+// the columnar graph.EdgeBatch binary codec (delta-encoded source column,
+// fixed-width destinations, constant-weight shortcut); a v1 peer cannot
+// decode those specs, so the bump is mandatory.
+const ProtocolVersion = 2
 
 // ServiceName is the rpc service name workers register under.
 const ServiceName = "Graphsurge"

@@ -24,11 +24,11 @@ func sampleSpec() core.SegmentSpec {
 		Modes:      []splitting.Mode{splitting.ModeScratch, splitting.ModeDiff},
 		ViewSizes:  []int{3, 4},
 		DiffSizes:  []int{3, 1},
-		Seed:       []graph.Triple{{Src: 0, Dst: 1, W: 1}, {Src: 1, Dst: 2, W: 5}, {Src: 2, Dst: 0, W: 2}},
-		Adds:       [][]graph.Triple{{{Src: 0, Dst: 2, W: 7}}},
-		// Gob canonicalizes empty slices to nil, so an empty difference set
-		// round-trips as nil — equivalent to the executor, which only ranges.
-		Dels: [][]graph.Triple{nil},
+		Seed:       graph.NewEdgeBatch([]graph.Triple{{Src: 0, Dst: 1, W: 1}, {Src: 1, Dst: 2, W: 5}, {Src: 2, Dst: 0, W: 2}}),
+		Adds:       []*graph.EdgeBatch{graph.NewEdgeBatch([]graph.Triple{{Src: 0, Dst: 2, W: 7}})},
+		// An empty difference set is an empty batch, never a nil element (gob
+		// cannot encode nil pointers inside slices).
+		Dels: []*graph.EdgeBatch{graph.NewEdgeBatch(nil)},
 	}
 }
 

@@ -6,7 +6,6 @@ import (
 	"time"
 
 	"graphsurge/internal/analytics"
-	"graphsurge/internal/graph"
 	"graphsurge/internal/schedule"
 	"graphsurge/internal/splitting"
 	"graphsurge/internal/view"
@@ -133,6 +132,10 @@ type SegmentStats struct {
 	Setup       time.Duration `json:"setup"`
 	Drain       time.Duration `json:"drain"`
 	Speculative bool          `json:"speculative,omitempty"`
+	// WireBytes is the encoded size of the shard's SegmentSpec payload when
+	// the segment was dispatched to a cluster worker — what actually crossed
+	// the network under the columnar codec. Zero for in-process segments.
+	WireBytes int `json:"wireBytes,omitempty"`
 }
 
 // Len returns the number of views the segment executed.
@@ -316,13 +319,7 @@ func runCollection(ctx context.Context, col *view.Collection, comp analytics.Com
 		stats:     make([]ViewStats, k),
 		estimator: est,
 		progress:  opts.OnSegment,
-		triples: func(idxs []uint32) []graph.Triple {
-			out := make([]graph.Triple, len(idxs))
-			for i, idx := range idxs {
-				out[i] = g.Triple(int(idx), wc)
-			}
-			return out
-		},
+		cols:      edgeBatcher(g, wc),
 	}
 	pool := newRunPool(shared, opts.Parallelism)
 	scan := newSeedScan(stream, g.NumEdges(), cr.sizes)
@@ -341,7 +338,7 @@ func runCollection(ctx context.Context, col *view.Collection, comp analytics.Com
 			}
 			order = schedule.LPTOrder(est.PlanCosts(plan, cr.sizes, diffs))
 		}
-		err = cr.runStatic(ctx, plan, newSeedCache(scan, plan), pool, order)
+		err = cr.runStatic(ctx, plan, newSeedCache(scan, plan, cr.cols), pool, order)
 	}
 	if err != nil {
 		return nil, err
@@ -392,10 +389,6 @@ func RunView(ctx context.Context, fv *view.Filtered, comp analytics.Computation,
 	if err != nil {
 		return nil, 0, err
 	}
-	ts := make([]graph.Triple, len(fv.Edges))
-	for i, idx := range fv.Edges {
-		ts[i] = fv.Base.Triple(int(idx), wc)
-	}
-	dur := runner.Step(ts, nil)
+	dur := runner.StepBatch(edgeBatcher(fv.Base, wc)(fv.Edges), nil)
 	return runner.Results(), dur, nil
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"time"
 
+	"graphsurge/internal/graph"
 	"graphsurge/internal/splitting"
 	"graphsurge/internal/view"
 )
@@ -81,12 +82,14 @@ func (ss *seedScan) at(t int) []uint32 {
 	return full
 }
 
-// seedEntry is a seed built ahead of its segment's dispatch: the edge list
-// plus the scan time spent building it, which is folded into that segment's
-// setup cost when it is finally dispatched — the same attribution the
-// in-order path gives a seed built at acquisition time.
+// seedEntry is a seed built ahead of its segment's dispatch: the columnar
+// edge batch plus the scan time spent building it, which is folded into that
+// segment's setup cost when it is finally dispatched — the same attribution
+// the in-order path gives a seed built at acquisition time. Retaining the
+// batch (not an index list) means the segment that eventually takes it steps
+// the very same columns, shared by reference.
 type seedEntry struct {
-	seed  []uint32
+	seed  *graph.EdgeBatch
 	build time.Duration
 }
 
@@ -106,24 +109,27 @@ type seedCache struct {
 	scan   *seedScan
 	starts []int // ascending starts of segments not yet built
 	built  map[int]seedEntry
+	// mat materializes an edge-index list into the columnar batch the
+	// segment will step (the run's edgeBatcher).
+	mat func(idxs []uint32) *graph.EdgeBatch
 }
 
 // newSeedCache wraps a scan with the plan's segment starts. An empty plan
 // (adaptive mode, where segment starts are discovered online and arrive in
 // ascending order) leaves the cache a pass-through.
-func newSeedCache(ss *seedScan, plan splitting.Plan) *seedCache {
-	sc := &seedCache{scan: ss, built: make(map[int]seedEntry)}
+func newSeedCache(ss *seedScan, plan splitting.Plan, mat func(idxs []uint32) *graph.EdgeBatch) *seedCache {
+	sc := &seedCache{scan: ss, built: make(map[int]seedEntry), mat: mat}
 	for _, seg := range plan.Segments {
 		sc.starts = append(sc.starts, seg.Start)
 	}
 	return sc
 }
 
-// take returns the seed of the segment starting at view t plus the scan time
-// spent building it. The membership fold stays untimed (advance), matching
-// the sequential executor, which updated membership per view outside the
-// split timer and timed only the final scan.
-func (sc *seedCache) take(t int) ([]uint32, time.Duration) {
+// take returns the seed batch of the segment starting at view t plus the
+// time spent building it (the scan and the columnar materialization; the
+// membership fold stays untimed in advance, matching the sequential
+// executor, which updated membership per view outside the split timer).
+func (sc *seedCache) take(t int) (*graph.EdgeBatch, time.Duration) {
 	if e, ok := sc.built[t]; ok {
 		delete(sc.built, t)
 		return e.seed, e.build
@@ -133,14 +139,14 @@ func (sc *seedCache) take(t int) ([]uint32, time.Duration) {
 		sc.starts = sc.starts[1:]
 		sc.scan.advance(s)
 		start := time.Now()
-		sc.built[s] = seedEntry{seed: sc.scan.at(s), build: time.Since(start)}
+		sc.built[s] = seedEntry{seed: sc.mat(sc.scan.at(s)), build: time.Since(start)}
 	}
 	if len(sc.starts) > 0 && sc.starts[0] == t {
 		sc.starts = sc.starts[1:]
 	}
 	sc.scan.advance(t)
 	start := time.Now()
-	seed := sc.scan.at(t)
+	seed := sc.mat(sc.scan.at(t))
 	return seed, time.Since(start)
 }
 

@@ -13,6 +13,7 @@ import (
 
 	"graphsurge/internal/analytics"
 	"graphsurge/internal/datagen"
+	"graphsurge/internal/graph"
 	"graphsurge/internal/schedule"
 	"graphsurge/internal/view"
 )
@@ -56,16 +57,22 @@ func TestSeedCacheOutOfOrderDispatch(t *testing.T) {
 		ss.advance(tt)
 		return ss.at(tt)
 	}
-	sc := newSeedCache(newSeedScan(stream, 8, stream.ViewSizes()), staticPlan(Scratch, 4))
+	// Indexes double as sources, so the batch columns mirror the index list.
+	mat := func(idxs []uint32) *graph.EdgeBatch {
+		return graph.MakeEdgeBatch(len(idxs), func(i int) graph.Triple {
+			return graph.Triple{Src: uint64(idxs[i])}
+		})
+	}
+	sc := newSeedCache(newSeedScan(stream, 8, stream.ViewSizes()), staticPlan(Scratch, 4), mat)
 	for _, tt := range []int{3, 1, 0, 2} { // LPT-style permutation
 		got, _ := sc.take(tt)
 		want := inOrder(tt)
-		if len(got) != len(want) {
-			t.Fatalf("seed %d: %v, want %v", tt, got, want)
+		if got.Len() != len(want) {
+			t.Fatalf("seed %d: %v, want %v", tt, got.Srcs, want)
 		}
 		for i := range want {
-			if got[i] != want[i] {
-				t.Fatalf("seed %d: %v, want %v", tt, got, want)
+			if got.Srcs[i] != uint64(want[i]) {
+				t.Fatalf("seed %d: %v, want %v", tt, got.Srcs, want)
 			}
 		}
 	}

@@ -23,10 +23,13 @@ import (
 
 // SegmentSpec is one self-contained shard of a collection run: everything a
 // process needs to execute the half-open view range [Start, End) of a
-// collection and report a mergeable outcome. Edge data travels as
-// materialized (src, dst, weight) triples — the weight column is resolved by
-// the sharding side — so the spec is independent of any store state on the
-// executing side. All fields are flat, exported, gob-encodable wire types.
+// collection and report a mergeable outcome. Edge data travels as columnar
+// graph.EdgeBatch values — the weight column is resolved by the sharding
+// side — so the spec is independent of any store state on the executing
+// side. All fields are flat, exported, gob-encodable wire types; the edge
+// batches ride inside the gob envelope as their own versioned binary codec
+// (gob invokes EdgeBatch's BinaryMarshaler), so segment payloads ship
+// delta-compressed columns instead of per-record gob triples.
 type SegmentSpec struct {
 	// Comp identifies the computation; the executing side resolves it back
 	// into a built-in (closures cannot cross a process boundary).
@@ -46,12 +49,14 @@ type SegmentSpec struct {
 	Modes     []splitting.Mode
 	ViewSizes []int
 	DiffSizes []int
-	// Seed is the full edge list of view Start — the from-scratch load that
-	// opens the segment.
-	Seed []graph.Triple
-	// Adds and Dels are the difference sets of the successor views
+	// Seed is the full edge batch of view Start — the from-scratch load that
+	// opens the segment. A nil batch is an empty view.
+	Seed *graph.EdgeBatch
+	// Adds and Dels are the difference batches of the successor views
 	// Start+1..End-1, indexed relative to Start+1 (length End-Start-1).
-	Adds, Dels [][]graph.Triple
+	// Elements must be non-nil (gob cannot encode nil slice elements);
+	// empty difference sets are empty batches.
+	Adds, Dels []*graph.EdgeBatch
 }
 
 // Validate checks the spec's internal consistency — range sanity and
@@ -155,13 +160,13 @@ func execSegmentSpec(ctx context.Context, r analytics.Runner, setup time.Duratio
 			// Split: setup and step are one measured duration, as the
 			// sequential executor timed splits.
 			start := time.Now()
-			r.Step(spec.Seed, nil)
+			r.StepBatch(spec.Seed, nil)
 			dur = setup + time.Since(start)
 		case i == 0:
 			// The collection's opening view: only the step is timed.
-			dur = r.Step(spec.Seed, nil)
+			dur = r.StepBatch(spec.Seed, nil)
 		default:
-			dur = r.Step(spec.Adds[i-1], spec.Dels[i-1])
+			dur = r.StepBatch(spec.Adds[i-1], spec.Dels[i-1])
 		}
 		v, _ := r.Version()
 		out.Stats[i] = ViewStats{
@@ -202,13 +207,7 @@ func ForEachSegmentSpec(col *view.Collection, comp analytics.Spec, opts RunOptio
 	if err != nil {
 		return err
 	}
-	triples := func(idxs []uint32) []graph.Triple {
-		out := make([]graph.Triple, len(idxs))
-		for i, idx := range idxs {
-			out[i] = g.Triple(int(idx), wc)
-		}
-		return out
-	}
+	cols := edgeBatcher(g, wc)
 	stream := col.Stream
 	sizes := stream.ViewSizes()
 	scan := newSeedScan(stream, g.NumEdges(), sizes)
@@ -226,15 +225,15 @@ func ForEachSegmentSpec(col *view.Collection, comp analytics.Spec, opts RunOptio
 			DiffSizes:  make([]int, n),
 		}
 		scan.advance(seg.Start)
-		spec.Seed = triples(scan.at(seg.Start))
+		spec.Seed = cols(scan.at(seg.Start))
 		for t := seg.Start; t < seg.End; t++ {
 			spec.Names[t-seg.Start] = stream.Names[t]
 			spec.Modes[t-seg.Start] = plan.Modes[t]
 			spec.ViewSizes[t-seg.Start] = sizes[t]
 			spec.DiffSizes[t-seg.Start] = stream.DiffSize(t)
 			if t > seg.Start {
-				spec.Adds = append(spec.Adds, triples(stream.Adds[t]))
-				spec.Dels = append(spec.Dels, triples(stream.Dels[t]))
+				spec.Adds = append(spec.Adds, cols(stream.Adds[t]))
+				spec.Dels = append(spec.Dels, cols(stream.Dels[t]))
 			}
 		}
 		if err := fn(i, spec); err != nil {

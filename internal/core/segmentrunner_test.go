@@ -112,8 +112,8 @@ func TestSegmentSpecValidate(t *testing.T) {
 			Modes:     make([]splitting.Mode, 2),
 			ViewSizes: []int{1, 2},
 			DiffSizes: []int{1, 1},
-			Adds:      make([][]graph.Triple, 1),
-			Dels:      make([][]graph.Triple, 1),
+			Adds:      make([]*graph.EdgeBatch, 1),
+			Dels:      make([]*graph.EdgeBatch, 1),
 		}
 	}
 	if err := good().Validate(); err != nil {

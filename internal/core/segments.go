@@ -76,12 +76,14 @@ func (rp *runPool) TryAcquire() (analytics.Runner, time.Duration, bool) {
 }
 
 // viewJob is one view handed to a segment executor: the view's index, its
-// mode label for stats, and — on a segment's first view only — the full edge
-// list seeding the segment's fresh dataflow.
+// mode label for stats, and — on a segment's first view only — the columnar
+// edge batch seeding the segment's fresh dataflow. The batch is built once
+// (by the seed cache or the speculative path) and handed to whichever
+// segment steps it; the job shares it by reference, never copies it.
 type viewJob struct {
 	t    int
 	mode splitting.Mode
-	seed []uint32 // non-nil exactly on the segment's first view
+	seed *graph.EdgeBatch // non-nil exactly on the segment's first view
 }
 
 // collectionRun is the shared context of one RunCollection call: read-only
@@ -94,10 +96,12 @@ type viewJob struct {
 // recycled (and reset) after their segment, so the run result must not read
 // them lazily.
 type collectionRun struct {
-	stream  *view.DiffStream
-	sizes   []int
-	triples func(idxs []uint32) []graph.Triple
-	stats   []ViewStats
+	stream *view.DiffStream
+	sizes  []int
+	// cols is the run's single edge-index → columnar-batch conversion point
+	// (see edgeBatcher).
+	cols  func(idxs []uint32) *graph.EdgeBatch
+	stats []ViewStats
 
 	accMu      sync.Mutex
 	work       []int64 // per-worker counters summed over segment replicas
@@ -148,17 +152,18 @@ func (cr *collectionRun) runJob(s *segmentExec, j viewJob) {
 	var dur time.Duration
 	switch {
 	case j.seed != nil && j.t > 0:
-		// Split: the triple materialization and the step are timed together
-		// with the setup cost, as the sequential executor measured splits.
+		// Split: the step is timed together with the setup cost (which
+		// already includes building the seed batch), as the sequential
+		// executor measured splits.
 		start := time.Now()
-		s.r.Step(cr.triples(j.seed), nil)
+		s.r.StepBatch(j.seed, nil)
 		dur = s.setup + time.Since(start)
 		s.setup = 0
 	case j.seed != nil:
 		// The collection's opening view: only the step itself is timed.
-		dur = s.r.Step(cr.triples(j.seed), nil)
+		dur = s.r.StepBatch(j.seed, nil)
 	default:
-		dur = s.r.Step(cr.triples(cr.stream.Adds[j.t]), cr.triples(cr.stream.Dels[j.t]))
+		dur = s.r.StepBatch(cr.cols(cr.stream.Adds[j.t]), cr.cols(cr.stream.Dels[j.t]))
 	}
 	v, _ := s.r.Version()
 	cr.stats[j.t] = ViewStats{
@@ -250,11 +255,11 @@ func (cr *collectionRun) segmentStats() []SegmentStats {
 	return cr.segStats
 }
 
-// acquireSegment takes a replica from the pool and builds the seed for a
-// segment opening at view t, folding the seed build time into the setup
+// acquireSegment takes a replica from the pool and builds the seed batch for
+// a segment opening at view t, folding the seed build time into the setup
 // cost the seed view will report (the cache attributes a seed built ahead
 // of dispatch to the segment that uses it).
-func acquireSegment(ctx context.Context, pool *runPool, seeds *seedCache, t int) (*segmentExec, []uint32, error) {
+func acquireSegment(ctx context.Context, pool *runPool, seeds *seedCache, t int) (*segmentExec, *graph.EdgeBatch, error) {
 	r, setup, err := pool.Acquire(ctx)
 	if err != nil {
 		return nil, nil, err
@@ -291,7 +296,7 @@ func (cr *collectionRun) runStatic(ctx context.Context, plan splitting.Plan, see
 			return err
 		}
 		wg.Add(1)
-		go func(seg splitting.Segment, s *segmentExec, seed []uint32) {
+		go func(seg splitting.Segment, s *segmentExec, seed *graph.EdgeBatch) {
 			defer wg.Done()
 			defer pool.Release(s.r)
 			cr.runJob(s, viewJob{t: seg.Start, mode: plan.Modes[seg.Start], seed: seed})
@@ -347,12 +352,12 @@ func (cr *collectionRun) speculate(opt *splitting.Optimizer, mu *sync.Mutex, poo
 		jobStart := time.Now()
 		fork.advance(p)
 		scanStart := time.Now()
-		seed := fork.at(p)
+		seed := cr.cols(fork.at(p))
 		setup += time.Since(scanStart)
-		// Mirror runJob's split timing: replica setup, seed scan, triple
-		// materialization and the step are one measured duration.
+		// Mirror runJob's split timing: replica setup, seed scan, batch
+		// build and the step are one measured duration.
 		stepStart := time.Now()
-		r.Step(cr.triples(seed), nil)
+		r.StepBatch(seed, nil)
 		dur := setup + time.Since(stepStart)
 		v, _ := r.Version()
 		sp.st = ViewStats{
@@ -394,7 +399,7 @@ func (cr *collectionRun) runAdaptive(ctx context.Context, opts RunOptions, pool 
 	k := cr.stream.NumViews()
 	opt := &splitting.Optimizer{BatchSize: opts.BatchSize}
 	planner := splitting.NewPlanner(opt)
-	seeds := newSeedCache(scan, splitting.Plan{})
+	seeds := newSeedCache(scan, splitting.Plan{}, cr.cols)
 
 	// One mutex serializes planner decisions against observations arriving
 	// from segment goroutines; the optimizer is not safe for concurrent use.
@@ -485,7 +490,7 @@ func (cr *collectionRun) runAdaptive(ctx context.Context, opts RunOptions, pool 
 		mu.Lock()
 		mode, split := planner.Extend(cr.sizes[t], cr.stream.DiffSize(t))
 		mu.Unlock()
-		var seed []uint32
+		var seed *graph.EdgeBatch
 		committed := false
 		if split {
 			if cur != nil {

@@ -1,6 +1,7 @@
 package dataflow
 
 import (
+	"graphsurge/internal/arrange"
 	"graphsurge/internal/timestamp"
 )
 
@@ -9,23 +10,14 @@ import (
 // side, emitting at Join(a, b) with multiplied diffs; each (δA, δB) pair is
 // counted exactly once because whichever delta is processed later does the
 // pairing against the stored history of the other side.
-// trace is one key's history on one side of a join.
-type trace[V comparable] struct {
-	list []vtd[V]
-	adv  uint32 // 1 + the outer coordinate last advanced to
-}
-
-// advance lazily compacts the trace to the compaction frontier.
-func (tr *trace[V]) advance(outer uint32) {
-	if tr.adv >= outer+1 {
-		return
-	}
-	tr.adv = outer + 1
-	if l, changed := advanceVTD(tr.list, outer); changed {
-		tr.list = l
-	}
-}
-
+//
+// Each side's history is an arrangement (internal/arrange): sorted columnar
+// batches plus a bounded stage, per worker. Lookups binary-search the
+// batches; compaction happens lazily when batches merge, clamping times
+// below the scope's frontier exactly as the old per-key traces did — batch
+// entries may therefore be clamped while stage entries are raw, which is
+// indistinguishable to the join since it only Joins against times at or
+// above the frontier.
 type joinNode[K comparable, A comparable, B comparable, O comparable] struct {
 	s   *Scope
 	out *Collection[O]
@@ -34,8 +26,8 @@ type joinNode[K comparable, A comparable, B comparable, O comparable] struct {
 	pl *pendings[KV[K, A]]
 	pr *pendings[KV[K, B]]
 
-	left  []map[K]*trace[A] // per-worker traces
-	right []map[K]*trace[B]
+	left  []*arrange.Trace[K, A] // per-worker arrangements
+	right []*arrange.Trace[K, B]
 }
 
 // JoinMap joins two keyed streams, emitting f(k, a, b) for every matching
@@ -51,12 +43,12 @@ func JoinMap[K comparable, A comparable, B comparable, O comparable](
 		f:     f,
 		pl:    newPendings[KV[K, A]](s.workers),
 		pr:    newPendings[KV[K, B]](s.workers),
-		left:  make([]map[K]*trace[A], s.workers),
-		right: make([]map[K]*trace[B], s.workers),
+		left:  make([]*arrange.Trace[K, A], s.workers),
+		right: make([]*arrange.Trace[K, B], s.workers),
 	}
 	for w := 0; w < s.workers; w++ {
-		n.left[w] = make(map[K]*trace[A])
-		n.right[w] = make(map[K]*trace[B])
+		n.left[w] = arrange.NewTrace[K, A]()
+		n.right[w] = arrange.NewTrace[K, B]()
 	}
 	l.subscribe(keyedSubscriber(s, n.pl))
 	r.subscribe(keyedSubscriber(s, n.pr))
@@ -87,71 +79,49 @@ func (n *joinNode[K, A, B, O]) run(w int, t timestamp.Time) {
 		return
 	}
 	left, right := n.left[w], n.right[w]
-	outer, compacting := n.s.compactionOuter()
-	getL := func(k K) *trace[A] {
-		tr := left[k]
-		if tr == nil {
-			tr = &trace[A]{}
-			left[k] = tr
-		}
-		if compacting {
-			tr.advance(outer)
-		}
-		return tr
-	}
-	getR := func(k K) *trace[B] {
-		tr := right[k]
-		if tr == nil {
-			tr = &trace[B]{}
-			right[k] = tr
-		}
-		if compacting {
-			tr.advance(outer)
-		}
-		return tr
+	if outer, compacting := n.s.compactionOuter(); compacting {
+		left.Advance(outer)
+		right.Advance(outer)
 	}
 	var ob []Delta[O]
 	pairs := 0
 	// New left deltas pair against the stored right history (which does not
 	// yet include this round's right batch).
 	for _, d := range lb {
-		k := d.Rec.K
-		for _, e := range getR(k).list {
-			ob = append(ob, Delta[O]{n.f(k, d.Rec.V, e.v), t.Join(e.t), d.D * e.d})
-			pairs++
-		}
+		k, dd := d.Rec.K, d.D
+		av := d.Rec.V
+		pairs += right.Key(k, func(v B, et timestamp.Time, ed int64) {
+			ob = append(ob, Delta[O]{n.f(k, av, v), t.Join(et), dd * ed})
+		})
 	}
 	for _, d := range lb {
-		k := d.Rec.K
-		tr := getL(k)
-		tr.list = append(tr.list, vtd[A]{d.Rec.V, t, d.D})
+		left.Append(d.Rec.K, d.Rec.V, t, d.D)
 	}
 	// New right deltas pair against the full left history, including this
 	// round's left batch, so each (δL, δR) pair is counted exactly once.
 	for _, d := range rb {
-		k := d.Rec.K
-		for _, e := range getL(k).list {
-			ob = append(ob, Delta[O]{n.f(k, e.v, d.Rec.V), t.Join(e.t), e.d * d.D})
-			pairs++
-		}
+		k, dd := d.Rec.K, d.D
+		bv := d.Rec.V
+		pairs += left.Key(k, func(v A, et timestamp.Time, ed int64) {
+			ob = append(ob, Delta[O]{n.f(k, v, bv), t.Join(et), ed * dd})
+		})
 	}
 	for _, d := range rb {
-		k := d.Rec.K
-		tr := getR(k)
-		tr.list = append(tr.list, vtd[B]{d.Rec.V, t, d.D})
+		right.Append(d.Rec.K, d.Rec.V, t, d.D)
 	}
 	n.s.addWork(w, len(lb)+len(rb)+pairs)
 	n.out.emit(w, Consolidate(ob))
 }
 
-// reset drops both sides' traces by swapping in fresh per-worker maps —
-// O(1) per worker regardless of accumulated trace size.
+// reset drops both sides' arrangements by releasing their batch stacks by
+// reference — O(1) per worker regardless of accumulated trace size, without
+// even the map re-allocation the old per-key traces paid.
 func (n *joinNode[K, A, B, O]) reset() {
 	n.pl.reset()
 	n.pr.reset()
 	for w := range n.left {
-		n.left[w] = make(map[K]*trace[A])
-		n.right[w] = make(map[K]*trace[B])
+		n.left[w].Reset()
+		n.right[w].Reset()
 	}
 }
 

@@ -3,41 +3,37 @@ package dataflow
 import (
 	"sync"
 
+	"graphsurge/internal/arrange"
 	"graphsurge/internal/timestamp"
 )
 
 // pendings buffers undelivered deltas for one operator input, sharded per
 // worker and grouped by timestamp. Producers on any worker may push into any
 // shard (guarded by a per-shard mutex); only the owning worker drains it.
+// Each shard is a columnar arrange.Queue: buckets keep their records and
+// diffs as parallel columns sorted by time, so min is O(1) instead of a map
+// scan and reset releases the columns by reference.
 type pendings[R comparable] struct {
 	mu []sync.Mutex
-	q  []map[timestamp.Time][]Delta[R]
+	q  []arrange.Queue[R]
 }
 
 func newPendings[R comparable](workers int) *pendings[R] {
-	p := &pendings[R]{
+	return &pendings[R]{
 		mu: make([]sync.Mutex, workers),
-		q:  make([]map[timestamp.Time][]Delta[R], workers),
+		q:  make([]arrange.Queue[R], workers),
 	}
-	for w := range p.q {
-		p.q[w] = make(map[timestamp.Time][]Delta[R])
-	}
-	return p
 }
 
 // push appends a batch to worker w's shard, grouping by each delta's time.
-// Zero diffs are dropped.
+// Zero diffs are dropped (inside Queue.Push).
 func (p *pendings[R]) push(w int, batch []Delta[R]) {
 	if len(batch) == 0 {
 		return
 	}
 	p.mu[w].Lock()
-	q := p.q[w]
 	for _, d := range batch {
-		if d.D == 0 {
-			continue
-		}
-		q[d.T] = append(q[d.T], d)
+		p.q[w].Push(d.Rec, d.T, d.D)
 	}
 	p.mu[w].Unlock()
 }
@@ -45,27 +41,32 @@ func (p *pendings[R]) push(w int, batch []Delta[R]) {
 // take removes and returns the consolidated batch at time t on worker w.
 func (p *pendings[R]) take(w int, t timestamp.Time) []Delta[R] {
 	p.mu[w].Lock()
-	b := p.q[w][t]
-	delete(p.q[w], t)
+	recs, diffs := p.q[w].Take(t)
 	p.mu[w].Unlock()
+	if len(recs) == 0 {
+		return nil
+	}
+	b := make([]Delta[R], len(recs))
+	for i, r := range recs {
+		b[i] = Delta[R]{r, t, diffs[i]}
+	}
 	return Consolidate(b)
 }
 
 func (p *pendings[R]) has(w int, t timestamp.Time) bool {
 	p.mu[w].Lock()
-	_, ok := p.q[w][t]
+	ok := p.q[w].Has(t)
 	p.mu[w].Unlock()
 	return ok
 }
 
-// reset drops all buffered deltas on every shard. Shards are replaced with
-// fresh empty maps rather than cleared in place: clear() walks every bucket
-// a map ever grew, so on a shard that once held a large view it costs more
-// than the graph construction a reset is meant to avoid.
+// reset drops all buffered deltas on every shard by releasing the queue
+// columns by reference — O(1) per shard regardless of how much a shard ever
+// buffered, with the old columns left to the GC.
 func (p *pendings[R]) reset() {
 	for w := range p.q {
 		p.mu[w].Lock()
-		p.q[w] = make(map[timestamp.Time][]Delta[R])
+		p.q[w].Reset()
 		p.mu[w].Unlock()
 	}
 }
@@ -73,13 +74,7 @@ func (p *pendings[R]) reset() {
 // min returns the lexicographically smallest pending time on worker w.
 func (p *pendings[R]) min(w int) (timestamp.Time, bool) {
 	p.mu[w].Lock()
-	defer p.mu[w].Unlock()
-	var best timestamp.Time
-	found := false
-	for t := range p.q[w] {
-		if !found || t.LexLess(best) {
-			best, found = t, true
-		}
-	}
-	return best, found
+	t, ok := p.q[w].Min()
+	p.mu[w].Unlock()
+	return t, ok
 }

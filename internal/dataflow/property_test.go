@@ -1,10 +1,12 @@
 package dataflow
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 	"testing/quick"
 
+	"graphsurge/internal/arrange"
 	"graphsurge/internal/timestamp"
 )
 
@@ -368,6 +370,148 @@ func TestIterateNZero(t *testing.T) {
 	s.Drain()
 	if got := c.At(0); got[7] != 1 {
 		t.Fatalf("got %v", got)
+	}
+}
+
+// traceOracle is the pre-arrangement trace representation: per-key slices of
+// (value, time, diff) entries, clamped eagerly by advanceVTD. It defines the
+// semantics the columnar arrange.Trace must reproduce.
+type traceOracle map[int][]vtd[int]
+
+func (o traceOracle) clone() traceOracle {
+	cp := make(traceOracle, len(o))
+	for k, list := range o {
+		cp[k] = append([]vtd[int](nil), list...)
+	}
+	return cp
+}
+
+// accumulated returns key k's multiset as a (value, time)->diff map with
+// times clamped to outer — the view an operator sees when joining against
+// times at or beyond the frontier. Zero-sum entries are dropped.
+func (o traceOracle) accumulated(k int, outer uint32) map[vtdKey[int]]Diff {
+	acc := map[vtdKey[int]]Diff{}
+	for _, e := range o[k] {
+		ts := e.t
+		if ts.Outer < outer {
+			ts.Outer = outer
+		}
+		acc[vtdKey[int]{e.v, ts}] += e.d
+	}
+	for kk, d := range acc {
+		if d == 0 {
+			delete(acc, kk)
+		}
+	}
+	return acc
+}
+
+const oracleKeySpace = 6 // keys used by the arranged-trace property test
+
+// compareArranged checks that tr holds exactly the oracle's multisets, key by
+// key, after clamping both sides to outer. Also cross-checks Trace.Len
+// against the tuples Key actually yields.
+func compareArranged(tr *arrange.Trace[int, int], o traceOracle, outer uint32) error {
+	visited := 0
+	for k := 0; k < oracleKeySpace; k++ {
+		got := map[vtdKey[int]]Diff{}
+		visited += tr.Key(k, func(v int, ts timestamp.Time, d int64) {
+			if ts.Outer < outer {
+				ts.Outer = outer
+			}
+			got[vtdKey[int]{v, ts}] += d
+		})
+		for kk, d := range got {
+			if d == 0 {
+				delete(got, kk)
+			}
+		}
+		want := o.accumulated(k, outer)
+		if len(got) != len(want) {
+			return fmt.Errorf("key %d: %d distinct (value, time) entries, want %d", k, len(got), len(want))
+		}
+		for kk, d := range want {
+			if got[kk] != d {
+				return fmt.Errorf("key %d, value %d at %v: diff %d, want %d", k, kk.v, kk.t, got[kk], d)
+			}
+		}
+	}
+	if visited != tr.Len() {
+		return fmt.Errorf("Key visited %d tuples total, Len reports %d", visited, tr.Len())
+	}
+	return nil
+}
+
+// TestArrangedTraceMatchesMapTrace drives an arrange.Trace and the legacy
+// map-of-vtd trace representation through identical random streams of
+// appends, frontier advances, snapshots, and resets, asserting the
+// accumulated per-key multisets stay identical throughout. The vtd machinery
+// (consolidateVTD/advanceVTD) is the oracle: it is the representation the
+// engine used before arrangements, so agreement here is the refactor's
+// equivalence proof. Snapshots are checked at the end, after the original
+// trace has kept sealing and merging, pinning the copy-on-write isolation.
+func TestArrangedTraceMatchesMapTrace(t *testing.T) {
+	type snapshot struct {
+		tr     *arrange.Trace[int, int]
+		oracle traceOracle
+		outer  uint32
+		step   int
+	}
+	run := func(seed int64) error {
+		r := rand.New(rand.NewSource(seed))
+		tr := arrange.NewTrace[int, int]()
+		oracle := traceOracle{}
+		outer := uint32(0)
+		var snaps []snapshot
+		steps := 600 + r.Intn(500) // enough appends to force seals and merges
+		for i := 0; i < steps; i++ {
+			switch op := r.Intn(100); {
+			case op < 84: // append, occasionally with a zero diff (must be a no-op)
+				k, v := r.Intn(oracleKeySpace), r.Intn(5)
+				ts := timestamp.Time{Outer: outer + uint32(r.Intn(3)), Inner: uint32(r.Intn(3))}
+				d := int64(r.Intn(5) - 2)
+				tr.Append(k, v, ts, d)
+				if d != 0 {
+					oracle[k] = append(oracle[k], vtd[int]{v, ts, d})
+				}
+			case op < 92: // advance the compaction frontier on both sides
+				outer += uint32(r.Intn(2) + 1)
+				tr.Advance(outer)
+				for k, list := range oracle {
+					list, _ = advanceVTD(list, outer)
+					if len(list) == 0 {
+						delete(oracle, k)
+					} else {
+						oracle[k] = list
+					}
+				}
+			case op < 97: // snapshot now, verify after the original moves on
+				snaps = append(snaps, snapshot{tr.Snapshot(), oracle.clone(), outer, i})
+			default: // reset drops all state
+				tr.Reset()
+				oracle = traceOracle{}
+				outer = 0
+			}
+			if i%53 == 0 {
+				if err := compareArranged(tr, oracle, outer); err != nil {
+					return fmt.Errorf("step %d: %w", i, err)
+				}
+			}
+		}
+		if err := compareArranged(tr, oracle, outer); err != nil {
+			return fmt.Errorf("final: %w", err)
+		}
+		for _, s := range snaps {
+			if err := compareArranged(s.tr, s.oracle, s.outer); err != nil {
+				return fmt.Errorf("snapshot taken at step %d: %w", s.step, err)
+			}
+		}
+		return nil
+	}
+	for seed := int64(0); seed < 25; seed++ {
+		if err := run(seed); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
 	}
 }
 

@@ -3,21 +3,21 @@ package dataflow
 import (
 	"cmp"
 
+	"graphsurge/internal/arrange"
 	"graphsurge/internal/timestamp"
 )
 
-// keyState is the per-key trace of a reduce: input history, output history,
-// and the set of distinct times at which the key has been (or is scheduled to
-// be) evaluated.
-type keyState[V comparable, O comparable] struct {
-	ins   []vtd[V]
-	outs  []vtd[O]
+// keyTimes is the per-key scheduling metadata of a reduce: the set of
+// distinct times at which the key has been (or is scheduled to be)
+// evaluated. The bulky input/output histories live in the shard's columnar
+// arrangements; only this small set stays per-key.
+type keyTimes struct {
 	times []timestamp.Time
-	adv   uint32 // 1 + the outer coordinate the trace was last advanced to
+	adv   uint32 // 1 + the outer coordinate the set was last advanced to
 }
 
-func (ks *keyState[V, O]) hasTime(t timestamp.Time) bool {
-	for _, s := range ks.times {
+func (kt *keyTimes) hasTime(t timestamp.Time) bool {
+	for _, s := range kt.times {
 		if s == t {
 			return true
 		}
@@ -25,37 +25,48 @@ func (ks *keyState[V, O]) hasTime(t timestamp.Time) bool {
 	return false
 }
 
-// advance lazily compacts the key's history to the scope's frontier. Must
-// not run while the key has scheduled re-evaluations (its times would
+// advance clamps known times below the frontier and deduplicates. Must not
+// run while the key has scheduled re-evaluations (a clamped time would
 // diverge from the dirty map), which cannot happen here: the frontier only
-// moves between versions, when the scope is quiescent.
-func (ks *keyState[V, O]) advance(outer uint32) {
-	if ks.adv >= outer+1 {
+// moves between versions, when the scope is quiescent, and every scheduled
+// time has Outer at or above the version being drained.
+func (kt *keyTimes) advance(outer uint32) {
+	if kt.adv >= outer+1 {
 		return
 	}
-	ks.adv = outer + 1
-	ins, c1 := advanceVTD(ks.ins, outer)
-	outs, c2 := advanceVTD(ks.outs, outer)
-	if !c1 && !c2 {
+	kt.adv = outer + 1
+	clamped := false
+	for i := range kt.times {
+		if kt.times[i].Outer < outer {
+			kt.times[i].Outer = outer
+			clamped = true
+		}
+	}
+	if !clamped {
 		return
 	}
-	ks.ins, ks.outs = ins, outs
-	seen := make(map[timestamp.Time]struct{}, len(ks.times))
-	ks.times = ks.times[:0]
-	for _, e := range ks.ins {
-		seen[e.t] = struct{}{}
+	out := kt.times[:0]
+	n := 0
+next:
+	for _, t := range kt.times[0:] {
+		for i := 0; i < n; i++ {
+			if out[i] == t {
+				continue next
+			}
+		}
+		out = out[:n+1]
+		out[n] = t
+		n++
 	}
-	for _, e := range ks.outs {
-		seen[e.t] = struct{}{}
-	}
-	for t := range seen {
-		ks.times = append(ks.times, t)
-	}
+	kt.times = out[:n]
 }
 
-// reduceShard is one worker's share of a reduce's state.
+// reduceShard is one worker's share of a reduce's state: columnar input and
+// output arrangements plus the per-key time sets and the dirty schedule.
 type reduceShard[K comparable, V comparable, O comparable] struct {
-	keys  map[K]*keyState[V, O]
+	ins   *arrange.Trace[K, V]
+	outs  *arrange.Trace[K, O]
+	keys  map[K]*keyTimes
 	dirty map[timestamp.Time]map[K]struct{}
 }
 
@@ -95,7 +106,9 @@ func Reduce[K comparable, V comparable, O comparable](
 	}
 	for w := 0; w < s.workers; w++ {
 		n.st[w] = &reduceShard[K, V, O]{
-			keys:  make(map[K]*keyState[V, O]),
+			ins:   arrange.NewTrace[K, V](),
+			outs:  arrange.NewTrace[K, O](),
+			keys:  make(map[K]*keyTimes),
 			dirty: make(map[timestamp.Time]map[K]struct{}),
 		}
 	}
@@ -214,41 +227,46 @@ func (n *reduceNode[K, V, O]) run(w int, t timestamp.Time) {
 	work := len(batch)
 
 	outer, compacting := n.s.compactionOuter()
+	if compacting && len(batch) > 0 {
+		// O(1): the arrangements clamp lazily, when their batches merge.
+		sh.ins.Advance(outer)
+		sh.outs.Advance(outer)
+	}
 
 	// Ingest new input deltas and schedule the join closure of t with each
 	// touched key's known times.
 	for _, d := range batch {
 		k := d.Rec.K
-		ks := sh.keys[k]
-		if ks == nil {
-			ks = &keyState[V, O]{}
-			sh.keys[k] = ks
+		kt := sh.keys[k]
+		if kt == nil {
+			kt = &keyTimes{}
+			sh.keys[k] = kt
 		}
 		if compacting {
-			ks.advance(outer)
+			kt.advance(outer)
 		}
-		ks.ins = append(ks.ins, vtd[V]{d.Rec.V, t, d.D})
-		if ks.hasTime(t) {
+		sh.ins.Append(k, d.Rec.V, t, d.D)
+		if kt.hasTime(t) {
 			// Time already known; it is either this run (scheduled below) or
 			// already scheduled.
 			sh.mark(t, k)
 			continue
 		}
-		// Compute the closure of {t} ∪ ks.times under Join.
+		// Compute the closure of {t} ∪ kt.times under Join.
 		frontier := []timestamp.Time{t}
 		for len(frontier) > 0 {
 			nt := frontier[len(frontier)-1]
 			frontier = frontier[:len(frontier)-1]
-			if ks.hasTime(nt) {
+			if kt.hasTime(nt) {
 				continue
 			}
-			for _, s := range ks.times {
+			for _, s := range kt.times {
 				j := nt.Join(s)
-				if j != nt && j != s && !ks.hasTime(j) {
+				if j != nt && j != s && !kt.hasTime(j) {
 					frontier = append(frontier, j)
 				}
 			}
-			ks.times = append(ks.times, nt)
+			kt.times = append(kt.times, nt)
 			sh.mark(nt, k)
 		}
 	}
@@ -263,27 +281,42 @@ func (n *reduceNode[K, V, O]) run(w int, t timestamp.Time) {
 	var vals []VD[V]
 	var delta []VD[O]
 	for k := range dk {
-		ks := sh.keys[k]
-		// Accumulate input at t. Small traces merge by linear scan; large
-		// ones (hub vertices) through a map.
+		// Accumulate input at t from the arrangement. Small histories merge
+		// by linear scan; large ones (hub vertices) spill to a map.
 		vals = vals[:0]
-		if len(ks.ins) <= 32 {
-			for _, e := range ks.ins {
-				if !e.t.Leq(t) {
-					continue
-				}
-				found := false
-				for i := range vals {
-					if vals[i].V == e.v {
-						vals[i].D += e.d
-						found = true
-						break
-					}
-				}
-				if !found {
-					vals = append(vals, VD[V]{e.v, e.d})
+		var spill map[V]Diff
+		work += sh.ins.Key(k, func(v V, et timestamp.Time, ed int64) {
+			if !et.Leq(t) {
+				return
+			}
+			if spill != nil {
+				spill[v] += ed
+				return
+			}
+			for i := range vals {
+				if vals[i].V == v {
+					vals[i].D += ed
+					return
 				}
 			}
+			if len(vals) >= 32 {
+				spill = make(map[V]Diff, 2*len(vals))
+				for _, vd := range vals {
+					spill[vd.V] += vd.D
+				}
+				spill[v] += ed
+				return
+			}
+			vals = append(vals, VD[V]{v, ed})
+		})
+		if spill != nil {
+			vals = vals[:0]
+			for v, d := range spill {
+				if d != 0 {
+					vals = append(vals, VD[V]{v, d})
+				}
+			}
+		} else {
 			m := 0
 			for _, vd := range vals {
 				if vd.D != 0 {
@@ -292,18 +325,6 @@ func (n *reduceNode[K, V, O]) run(w int, t timestamp.Time) {
 				}
 			}
 			vals = vals[:m]
-		} else {
-			accIn := make(map[V]Diff, len(ks.ins))
-			for _, e := range ks.ins {
-				if e.t.Leq(t) {
-					accIn[e.v] += e.d
-				}
-			}
-			for v, d := range accIn {
-				if d != 0 {
-					vals = append(vals, VD[V]{v, d})
-				}
-			}
 		}
 		// Desired output minus accumulated emitted output; output sets are
 		// tiny (usually one record), so a linear merge suffices.
@@ -313,18 +334,17 @@ func (n *reduceNode[K, V, O]) run(w int, t timestamp.Time) {
 				mergeVD(&delta, o, 1)
 			}
 		}
-		for _, e := range ks.outs {
-			if e.t.Leq(t) {
-				mergeVD(&delta, e.v, -e.d)
+		sh.outs.Key(k, func(v O, et timestamp.Time, ed int64) {
+			if et.Leq(t) {
+				mergeVD(&delta, v, -ed)
 			}
-		}
+		})
 		for _, od := range delta {
 			if od.D != 0 {
-				ks.outs = append(ks.outs, vtd[O]{od.V, t, od.D})
+				sh.outs.Append(k, od.V, t, od.D)
 				ob = append(ob, Delta[KV[K, O]]{KV[K, O]{k, od.V}, t, od.D})
 			}
 		}
-		work += len(ks.ins)
 	}
 	n.s.addWork(w, work)
 	n.out.emit(w, ob)
@@ -350,14 +370,16 @@ func (sh *reduceShard[K, V, O]) mark(t timestamp.Time, k K) {
 	m[k] = struct{}{}
 }
 
-// reset drops every shard's key traces and dirty sets by swapping in fresh
-// maps — O(1) per shard regardless of how much state the previous run
-// accumulated (clearing in place would walk every bucket), with the old
-// state left to the GC.
+// reset drops every shard's arrangements by releasing their batch stacks by
+// reference, and swaps the small scheduling maps for fresh ones — O(1) per
+// shard regardless of how much state the previous run accumulated, with the
+// old state left to the GC.
 func (n *reduceNode[K, V, O]) reset() {
 	n.p.reset()
 	for _, sh := range n.st {
-		sh.keys = make(map[K]*keyState[V, O])
+		sh.ins.Reset()
+		sh.outs.Reset()
+		sh.keys = make(map[K]*keyTimes)
 		sh.dirty = make(map[timestamp.Time]map[K]struct{})
 	}
 }

@@ -1,0 +1,161 @@
+package graph
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+func sortedTriples(ts []Triple) []Triple {
+	out := append([]Triple(nil), ts...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Src != out[j].Src {
+			return out[i].Src < out[j].Src
+		}
+		if out[i].Dst != out[j].Dst {
+			return out[i].Dst < out[j].Dst
+		}
+		return out[i].W < out[j].W
+	})
+	return out
+}
+
+func TestEdgeBatchSortsAndMaterializes(t *testing.T) {
+	ts := []Triple{{5, 1, 2}, {1, 9, 1}, {5, 1, 1}, {1, 2, 3}, {5, 0, 7}}
+	b := NewEdgeBatch(ts)
+	if b.Len() != len(ts) {
+		t.Fatalf("Len = %d, want %d", b.Len(), len(ts))
+	}
+	if got, want := b.Triples(), sortedTriples(ts); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Triples = %v, want %v", got, want)
+	}
+	var nilB *EdgeBatch
+	if nilB.Len() != 0 || len(nilB.Triples()) != 0 {
+		t.Fatal("nil batch must behave as empty")
+	}
+}
+
+func TestEdgeBatchRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(200)
+		ts := make([]Triple, n)
+		constW := trial%2 == 0
+		for i := range ts {
+			ts[i] = Triple{Src: uint64(rng.Intn(50)), Dst: uint64(rng.Intn(50))}
+			if constW {
+				ts[i].W = 1
+			} else {
+				ts[i].W = rng.Int63n(9) - 4
+			}
+		}
+		b := NewEdgeBatch(ts)
+		data, err := b.MarshalBinary()
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		var got EdgeBatch
+		if err := got.UnmarshalBinary(data); err != nil {
+			t.Fatalf("unmarshal: %v", err)
+		}
+		if !reflect.DeepEqual(got.Triples(), b.Triples()) {
+			t.Fatalf("trial %d: round trip mismatch", trial)
+		}
+	}
+}
+
+func TestEdgeBatchConstantWeightIsCompact(t *testing.T) {
+	n := 1000
+	ts := make([]Triple, n)
+	for i := range ts {
+		ts[i] = Triple{Src: uint64(i / 4), Dst: uint64(i % 251), W: 1}
+	}
+	unit, err := NewEdgeBatch(ts).MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ts {
+		ts[i].W = int64(i)
+	}
+	full, err := NewEdgeBatch(ts).MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(unit) >= len(full)-7*n {
+		t.Fatalf("constant-weight encoding not compact: unit %d bytes, full %d bytes", len(unit), len(full))
+	}
+}
+
+func TestEdgeBatchDecodeRejectsCorruption(t *testing.T) {
+	b := NewEdgeBatch([]Triple{{1, 2, 3}, {4, 5, 6}, {4, 7, 1}})
+	data, err := b.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var e EdgeBatch
+	if err := e.UnmarshalBinary(nil); !errors.Is(err, ErrEdgeCodec) {
+		t.Fatalf("empty payload: err = %v, want ErrEdgeCodec", err)
+	}
+
+	bad := append([]byte(nil), data...)
+	bad[0] = EdgeBatchCodecVersion + 1
+	if err := e.UnmarshalBinary(bad); !errors.Is(err, ErrEdgeCodec) {
+		t.Fatalf("version mismatch: err = %v, want ErrEdgeCodec", err)
+	}
+
+	// Every proper prefix must fail rather than decode garbage.
+	for cut := 1; cut < len(data); cut++ {
+		if err := e.UnmarshalBinary(data[:cut]); !errors.Is(err, ErrEdgeCodec) {
+			t.Fatalf("truncation at %d: err = %v, want ErrEdgeCodec", cut, err)
+		}
+	}
+
+	// A huge claimed count must be rejected before allocation.
+	huge := []byte{EdgeBatchCodecVersion, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f}
+	if err := e.UnmarshalBinary(huge); !errors.Is(err, ErrEdgeCodec) {
+		t.Fatalf("huge count: err = %v, want ErrEdgeCodec", err)
+	}
+}
+
+// TestEdgeBatchSmallerThanGobTriples pins the codec's reason to exist: the
+// columnar encoding must be measurably smaller than gob's per-record
+// encoding of the same triples — the wire format the cluster used before.
+// Delta-varint sources plus the constant-weight shortcut more than pay for
+// the fixed-width destination column at every graph scale (measured 16-26%
+// smaller); the assertion demands at least 5% so codec tweaks cannot quietly
+// regress below gob.
+func TestEdgeBatchSmallerThanGobTriples(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		nodes uint64
+		n     int
+	}{
+		{"small-ids", 2_000, 1_500},  // the cluster benchmark's shard shape
+		{"mid-ids", 100_000, 5_000},  // gob varints grow, deltas stay short
+		{"huge-ids", 1 << 32, 5_000}, // fixed64 dsts vs 5-byte gob varints
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			r := rand.New(rand.NewSource(1))
+			ts := make([]Triple, tc.n)
+			for i := range ts {
+				ts[i] = Triple{Src: r.Uint64() % tc.nodes, Dst: r.Uint64() % tc.nodes, W: 1}
+			}
+			enc, err := NewEdgeBatch(ts).MarshalBinary()
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := gob.NewEncoder(&buf).Encode(ts); err != nil {
+				t.Fatal(err)
+			}
+			if len(enc)*100 > buf.Len()*95 {
+				t.Fatalf("columnar %d bytes vs gob %d bytes: less than 5%% smaller", len(enc), buf.Len())
+			}
+		})
+	}
+}

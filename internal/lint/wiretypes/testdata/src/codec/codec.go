@@ -1,0 +1,59 @@
+// Fixture for the wiretypes analyzer's binary-codec drift checks: types
+// implementing MarshalBinary are codec roots even without a wire call in
+// this package.
+package codec
+
+// GoodBatch's codec references every exported column in both directions —
+// the negative case, no diagnostics.
+type GoodBatch struct {
+	Srcs []uint64
+	Dsts []uint64
+}
+
+func (b *GoodBatch) MarshalBinary() ([]byte, error) {
+	out := make([]byte, 0, len(b.Srcs)+len(b.Dsts))
+	for range b.Srcs {
+		out = append(out, 1)
+	}
+	for range b.Dsts {
+		out = append(out, 2)
+	}
+	return out, nil
+}
+
+func (b *GoodBatch) UnmarshalBinary(data []byte) error {
+	b.Srcs = nil
+	b.Dsts = nil
+	return nil
+}
+
+// DriftBatch grew a Ws column its codec never learned about.
+type DriftBatch struct {
+	Srcs []uint64
+	Ws   []int64
+}
+
+func (b *DriftBatch) MarshalBinary() ([]byte, error) { // want `wire codec DriftBatch\.MarshalBinary does not reference exported field Ws`
+	return []byte{byte(len(b.Srcs))}, nil
+}
+
+func (b *DriftBatch) UnmarshalBinary(data []byte) error { // want `wire codec DriftBatch\.UnmarshalBinary does not reference exported field Ws`
+	b.Srcs = nil
+	return nil
+}
+
+// HalfCodec encodes itself but cannot be decoded: gob accepts the encode
+// and the receiving side fails at runtime.
+type HalfCodec struct { // want `wire type HalfCodec implements MarshalBinary without UnmarshalBinary`
+	N int
+}
+
+func (h HalfCodec) MarshalBinary() ([]byte, error) { return []byte{byte(h.N)}, nil }
+
+// unexportedOnly has no exported columns; nothing to drift.
+type unexportedOnly struct {
+	n int
+}
+
+func (u *unexportedOnly) MarshalBinary() ([]byte, error)    { return []byte{byte(u.n)}, nil }
+func (u *unexportedOnly) UnmarshalBinary(data []byte) error { u.n = int(data[0]); return nil }

@@ -19,8 +19,19 @@
 //     error — and a struct with only unexported fields fails encoding).
 //
 // Types implementing gob.GobEncoder or encoding.BinaryMarshaler (e.g.
-// time.Time) encode themselves and end the walk. Suppress with
-// //lint:ignore wiretypes <reason>.
+// time.Time) encode themselves and end the walk — but a hand-rolled binary
+// codec is itself a wire format, so such types get their own checks. Every
+// type declared in the analyzed package that implements MarshalBinary is a
+// binary-codec root (graph.EdgeBatch is the archetype: gob invokes its codec
+// for every segment payload):
+//
+//   - it must also implement UnmarshalBinary, or gob encodes with the codec
+//     and fails to decode on the receiving side;
+//   - both method bodies must reference every exported field of the struct —
+//     a field added to the struct but not to the codec is column/field
+//     drift: the encoder silently drops it on the wire.
+//
+// Suppress with //lint:ignore wiretypes <reason>.
 package wiretypes
 
 import (
@@ -41,9 +52,10 @@ var Analyzer = &analysis.Analyzer{
 
 func run(pass *analysis.Pass) (interface{}, error) {
 	c := &checker{
-		pass:       pass,
-		seen:       map[types.Type]bool{},
-		registered: registeredGobTypes(pass),
+		pass:         pass,
+		seen:         map[types.Type]bool{},
+		registered:   registeredGobTypes(pass),
+		codecChecked: map[*types.Named]bool{},
 	}
 	importsRPC := false
 	for _, imp := range pass.Pkg.Imports() {
@@ -59,12 +71,15 @@ func run(pass *analysis.Pass) (interface{}, error) {
 		ast.Inspect(file, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.TypeSpec:
-				if importsRPC && (strings.HasSuffix(n.Name.Name, "Args") || strings.HasSuffix(n.Name.Name, "Reply")) {
-					if obj, ok := pass.TypesInfo.Defs[n.Name]; ok && obj != nil {
+				if obj, ok := pass.TypesInfo.Defs[n.Name]; ok && obj != nil {
+					if importsRPC && (strings.HasSuffix(n.Name.Name, "Args") || strings.HasSuffix(n.Name.Name, "Reply")) {
 						if _, isStruct := obj.Type().Underlying().(*types.Struct); isStruct {
 							c.checkRoot(obj.Type(), n.Pos())
 						}
 					}
+					// Every locally declared binary-marshaling type is a
+					// codec root, whether or not a wire call names it here.
+					c.checkBinaryCodec(obj.Type(), n.Pos())
 				}
 			case *ast.CallExpr:
 				if t, pos, ok := wireCallRoot(pass.TypesInfo, n); ok {
@@ -142,9 +157,10 @@ func registeredGobTypes(pass *analysis.Pass) []types.Type {
 }
 
 type checker struct {
-	pass       *analysis.Pass
-	seen       map[types.Type]bool
-	registered []types.Type
+	pass         *analysis.Pass
+	seen         map[types.Type]bool
+	registered   []types.Type
+	codecChecked map[*types.Named]bool
 }
 
 // checkRoot walks the field graph reachable from a wire root type.
@@ -160,6 +176,7 @@ func (c *checker) walk(t types.Type, path string, pos token.Pos) {
 	}
 	c.seen[t] = true
 	if selfEncoding(t) {
+		c.checkBinaryCodec(t, pos)
 		return
 	}
 	switch u := t.Underlying().(type) {
@@ -202,6 +219,7 @@ func (c *checker) walk(t types.Type, path string, pos token.Pos) {
 func (c *checker) checkField(t types.Type, path string, pos token.Pos) {
 	ft := deref(t)
 	if selfEncoding(ft) {
+		c.checkBinaryCodec(ft, pos)
 		return
 	}
 	switch u := ft.Underlying().(type) {
@@ -225,6 +243,95 @@ func (c *checker) checkInterface(iface *types.Interface, path string, pos token.
 		}
 	}
 	c.pass.Reportf(pos, "wire type %s: interface field %s has no gob.Register of an implementing concrete type in this package — gob will reject it at runtime", typeRoot(path), path)
+}
+
+// checkBinaryCodec checks a hand-rolled binary codec: a type implementing
+// MarshalBinary must implement UnmarshalBinary too, and — when its methods
+// are declared in the analyzed package — both bodies must reference every
+// exported field, or the codec has drifted from the struct's columns.
+func (c *checker) checkBinaryCodec(t types.Type, pos token.Pos) {
+	named, ok := deref(t).(*types.Named)
+	if !ok || c.codecChecked[named] {
+		return
+	}
+	c.codecChecked[named] = true
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok || hasMethod(named, "GobEncode") || !hasMethod(named, "MarshalBinary") {
+		return
+	}
+	if !hasUnmarshal(named) {
+		p := pos
+		if named.Obj().Pkg() == c.pass.Pkg {
+			p = named.Obj().Pos()
+		}
+		c.pass.Reportf(p, "wire type %s implements MarshalBinary without UnmarshalBinary — gob encodes it with the codec but cannot decode it on the receiving side", typeName(named))
+	}
+	if named.Obj().Pkg() != c.pass.Pkg {
+		return // method bodies not in this package; drift is checked where they live
+	}
+	var fields []string
+	for i := 0; i < st.NumFields(); i++ {
+		if f := st.Field(i); f.Exported() {
+			fields = append(fields, f.Name())
+		}
+	}
+	if len(fields) == 0 {
+		return
+	}
+	for _, m := range []string{"MarshalBinary", "UnmarshalBinary"} {
+		decl := c.methodDecl(named, m)
+		if decl == nil || decl.Body == nil {
+			continue
+		}
+		used := map[string]bool{}
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			if sel, ok := n.(*ast.SelectorExpr); ok {
+				used[sel.Sel.Name] = true
+			}
+			return true
+		})
+		for _, f := range fields {
+			if !used[f] {
+				c.pass.Reportf(decl.Pos(), "wire codec %s.%s does not reference exported field %s — the hand-rolled encoding has drifted from the struct's columns", typeName(named), m, f)
+			}
+		}
+	}
+}
+
+// methodDecl finds the FuncDecl in the analyzed package declaring method
+// name on named (any receiver form).
+func (c *checker) methodDecl(named *types.Named, name string) *ast.FuncDecl {
+	for _, file := range c.pass.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Name.Name != name {
+				continue
+			}
+			obj, ok := c.pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok || obj == nil {
+				continue
+			}
+			recv := obj.Type().(*types.Signature).Recv()
+			if recv == nil {
+				continue
+			}
+			if rn, ok := deref(recv.Type()).(*types.Named); ok && rn.Obj() == named.Obj() {
+				return fd
+			}
+		}
+	}
+	return nil
+}
+
+// hasUnmarshal reports an UnmarshalBinary([]byte) error method.
+func hasUnmarshal(t types.Type) bool {
+	obj, _, _ := types.LookupFieldOrMethod(types.NewPointer(t), true, nil, "UnmarshalBinary")
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	sig := fn.Type().(*types.Signature)
+	return sig.Params().Len() == 1 && sig.Results().Len() == 1
 }
 
 // selfEncoding reports whether the type encodes itself via gob.GobEncoder
