@@ -26,18 +26,22 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 
 	"graphsurge/internal/analytics"
 	"graphsurge/internal/cluster"
 	"graphsurge/internal/core"
+	"graphsurge/internal/datagen"
 	"graphsurge/internal/schedule"
 	"graphsurge/internal/server"
 	"graphsurge/internal/view"
@@ -56,6 +60,10 @@ func main() {
 		err = cmdQuery(os.Args[2:])
 	case "run":
 		err = cmdRun(os.Args[2:])
+	case "mutate":
+		err = cmdMutate(os.Args[2:])
+	case "gen":
+		err = cmdGen(os.Args[2:])
 	case "worker":
 		err = cmdWorker(os.Args[2:])
 	case "serve":
@@ -76,8 +84,11 @@ func usage() {
   graphsurge query -data DIR [-ordering optimize] 'GVDL statements...'
   graphsurge run   -data DIR (-collection NAME | -view NAME) -algorithm ALG [-gvdl STMTS]
                    [-mode diff|scratch|adaptive] [-workers N] [-parallel N] [-weight PROP]
-                   [-schedule fifo|lpt] [-speculate] [-source ID] [-ordering optimize]
+                   [-schedule fifo|lpt] [-speculate] [-incremental] [-source ID] [-ordering optimize]
                    [-cluster HOST:PORT,...]
+  graphsurge mutate -data DIR -graph NAME -json FILE
+  graphsurge gen    -out DIR [-nodes N] [-edges M] [-days D] [-seed S]
+                    [-split-day K] [-name NAME]
   graphsurge worker -listen ADDR [-workers N] [-parallel N]
   graphsurge serve  -listen ADDR [-data DIR] [-workers N] [-parallel N]
                     [-ordering optimize] [-cluster HOST:PORT,...]
@@ -104,9 +115,20 @@ always execute locally. Start workers with "graphsurge worker -listen
 :PORT"; workers hold no data (shards carry their own edges), -workers sets
 each replica's dataflow parallelism and -parallel how many shards the
 worker runs concurrently.
+mutate applies one transactional edge insert/delete batch (a JSON
+MutateRequest; "-" reads stdin) to a base graph and incrementally maintains
+every materialized view, collection and aggregate view over it. The GVDL
+form ("apply insert 2->0 [p = v] delete 0->1 to G") does the same through
+query. run -incremental re-runs a computation on a warm incremental
+replica: the first run absorbs the whole collection, later runs execute
+only the mutation deltas applied since (the summary line says
+"incremental").
+gen writes a datagen.Temporal graph as CSV plus a JSONL stream of mutation
+envelopes (one per day from -split-day on), the replay input for dynamic
+workloads: load the CSVs, then POST each line to serve /v1/do.
 serve exposes the same operations over HTTP: POST /v1/do accepts a JSON
 request ({"statements":...}, {"run":...}, {"runView":...}, {"load":...},
-{"poolStats":{}}); run responses stream as NDJSON — segment events as they
+{"mutate":...}, {"poolStats":{}}); run responses stream as NDJSON — segment events as they
 finish, then the summary and one result record per vertex. Disconnecting
 mid-run cancels it (segment dispatch stops, replicas return to their
 pools), locally and with -cluster. Interrupting a run (Ctrl-C) cancels the
@@ -222,6 +244,133 @@ func algorithm(name string, source uint64) (analytics.Computation, error) {
 	return analytics.Spec{Algorithm: name, Source: source}.Resolve()
 }
 
+// cmdMutate applies one transactional mutation batch from a JSON file (or
+// stdin with "-") through the same typed MutateRequest the HTTP server
+// accepts. The batch commits in the graph store's journal and every
+// materialized artifact over the graph is incrementally maintained before
+// the summary line prints.
+func cmdMutate(args []string) error {
+	fs := flag.NewFlagSet("mutate", flag.ExitOnError)
+	data := fs.String("data", "graphsurge-data", "data directory")
+	graphName := fs.String("graph", "", "base graph to mutate (overrides the request's graph field)")
+	jsonPath := fs.String("json", "", `MutateRequest JSON file ("-" reads stdin)`)
+	fs.Parse(args)
+	if *jsonPath == "" {
+		return fmt.Errorf("mutate: -json is required")
+	}
+	var r io.Reader = os.Stdin
+	if *jsonPath != "-" {
+		f, err := os.Open(*jsonPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	var req core.MutateRequest
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return fmt.Errorf("mutate: decoding request: %w", err)
+	}
+	if *graphName != "" {
+		req.Graph = *graphName
+	}
+	e, err := core.NewEngine(core.Options{DataDir: *data})
+	if err != nil {
+		return err
+	}
+	resp, err := e.NewSession().Do(context.Background(), &req)
+	if err != nil {
+		return err
+	}
+	core.WriteMutation(os.Stdout, resp.(*core.MutationApplied))
+	return nil
+}
+
+// cmdGen writes a datagen.Temporal graph as replayable dynamic-workload
+// inputs: a node CSV (dense numeric IDs in order, so internal IDs equal the
+// file's), an edge CSV holding the days before -split-day, and a JSONL file
+// with one {"mutate": ...} request envelope per remaining day — the inserts
+// for that day as one transactional batch. The files drive the mutation
+// replay smoke: load the CSVs, then POST each JSONL line to serve /v1/do.
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	out := fs.String("out", "", "output directory")
+	nodes := fs.Int("nodes", 200, "nodes")
+	edges := fs.Int("edges", 2000, "edges")
+	days := fs.Int("days", 10, "timestamp range (edge ts is 0..days-1)")
+	seed := fs.Int64("seed", 1, "generator seed")
+	splitDay := fs.Int("split-day", 0, "first day emitted as mutations (0 = last quarter of the range)")
+	name := fs.String("name", "temporal", "graph name in the mutation envelopes")
+	fs.Parse(args)
+	if *out == "" {
+		return fmt.Errorf("gen: -out is required")
+	}
+	if *splitDay <= 0 {
+		*splitDay = *days - *days/4
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return err
+	}
+	g := datagen.Temporal(datagen.TemporalConfig{Nodes: *nodes, Edges: *edges, Days: *days, Seed: *seed})
+	tsCol, _ := g.EdgeProps.ColumnIndex("ts")
+	durCol, _ := g.EdgeProps.ColumnIndex("duration")
+	ts := g.EdgeProps.Cols[tsCol].Ints
+	dur := g.EdgeProps.Cols[durCol].Ints
+
+	var nodesCSV strings.Builder
+	nodesCSV.WriteString("id\n")
+	for n := 0; n < g.NumNodes; n++ {
+		fmt.Fprintf(&nodesCSV, "%d\n", n)
+	}
+	if err := os.WriteFile(filepath.Join(*out, "nodes.csv"), []byte(nodesCSV.String()), 0o644); err != nil {
+		return err
+	}
+
+	var edgesCSV strings.Builder
+	edgesCSV.WriteString("src,dst,ts:int,duration:int\n")
+	base := 0
+	byDay := make(map[int64][]core.EdgeChange)
+	for i := range g.Srcs {
+		if int(ts[i]) < *splitDay {
+			fmt.Fprintf(&edgesCSV, "%d,%d,%d,%d\n", g.Srcs[i], g.Dsts[i], ts[i], dur[i])
+			base++
+			continue
+		}
+		byDay[ts[i]] = append(byDay[ts[i]], core.EdgeChange{
+			Src: g.Srcs[i], Dst: g.Dsts[i],
+			Props: map[string]any{"ts": ts[i], "duration": dur[i]},
+		})
+	}
+	if err := os.WriteFile(filepath.Join(*out, "edges.csv"), []byte(edgesCSV.String()), 0o644); err != nil {
+		return err
+	}
+
+	var jsonl strings.Builder
+	batches := 0
+	for day := int64(*splitDay); day < int64(*days); day++ {
+		ins := byDay[day]
+		if len(ins) == 0 {
+			continue
+		}
+		env := map[string]any{"mutate": &core.MutateRequest{Graph: *name, Inserts: ins}}
+		line, err := json.Marshal(env)
+		if err != nil {
+			return err
+		}
+		jsonl.Write(line)
+		jsonl.WriteByte('\n')
+		batches++
+	}
+	if err := os.WriteFile(filepath.Join(*out, "mutations.jsonl"), []byte(jsonl.String()), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("gen %s: %d nodes, %d base edges (days 0..%d), %d mutation batches (days %d..%d)\n",
+		*name, g.NumNodes, base, *splitDay-1, batches, *splitDay, *days-1)
+	return nil
+}
+
 // cmdWorker runs a cluster worker: a thin RPC server around an engine whose
 // warm runner pools are shared across shard jobs. Workers hold no graph or
 // view data — every shard ships its own edges — so -data is optional and
@@ -310,6 +459,7 @@ func cmdRun(args []string) error {
 	parallel := fs.Int("parallel", 0, "independent collection segments executed concurrently (0 = engine default)")
 	schedName := fs.String("schedule", "fifo", "static-plan segment dispatch order: fifo | lpt")
 	speculate := fs.Bool("speculate", false, "adaptive mode: seed the predicted next split point's segment on an idle replica")
+	incremental := fs.Bool("incremental", false, "run on the warm incremental replica (first run absorbs the collection; later runs execute only pending mutation deltas)")
 	clusterAddrs := fs.String("cluster", "", "comma-separated worker addresses to shard a static-plan run across")
 	weight := fs.String("weight", "", "integer edge property used as weight")
 	source := fs.Uint64("source", 0, "source vertex for bfs/sssp")
@@ -372,6 +522,7 @@ func cmdRun(args []string) error {
 			WeightProp:  *weight,
 			Schedule:    policy,
 			Speculate:   *speculate,
+			Incremental: *incremental,
 		},
 	}
 	var coord *cluster.Coordinator

@@ -98,6 +98,9 @@ func Evaluate(g *graph.Graph, stmt *gvdl.CreateAggView, workers int) (*View, err
 	nIn.SendAt(0, nUps)
 	var eUps []dataflow.Update[edgeRec]
 	for i := 0; i < g.NumEdges(); i++ {
+		if !g.EdgeAlive(i) {
+			continue
+		}
 		gs, gd := groups[g.Srcs[i]], groups[g.Dsts[i]]
 		if gs >= 0 && gd >= 0 {
 			eUps = append(eUps, dataflow.Update[edgeRec]{Rec: edgeRec{Src: uint64(gs), Dst: uint64(gd), Edge: uint64(i)}, D: 1})

@@ -66,17 +66,29 @@ type Engine struct {
 	views       map[string]*view.Filtered
 	collections map[string]*view.Collection
 	aggViews    map[string]*aggregate.View
+	// aggStmts retains each aggregate view's defining statement so the view
+	// can be re-evaluated when its base graph mutates (aggregate views are
+	// memory-only; the statement is their only recoverable definition).
+	aggStmts map[string]*gvdl.CreateAggView
 
 	poolMu sync.Mutex
 	pools  map[poolKey]*poolEntry
 
-	// runMu guards the active-run count and the closing flag; runDone is
-	// signalled as active reaches zero so Close can wait for in-flight runs
-	// instead of racing their pool map accesses and replica releases.
-	runMu   sync.Mutex
-	runDone *sync.Cond
-	active  int
-	closing bool
+	// incMu guards the incremental replica map (incremental.go); per-state
+	// locks serialize runs over one replica.
+	incMu     sync.Mutex
+	incStates map[incKey]*incState
+
+	// runMu guards the active-run count, the closing flag and the mutating
+	// flag; runDone is signalled as active reaches zero and as a mutation
+	// finishes, so Close can wait for in-flight work instead of racing pool
+	// map accesses and replica releases, and so runs and mutations mutually
+	// exclude (a mutation edits views and difference streams in place).
+	runMu    sync.Mutex
+	runDone  *sync.Cond
+	active   int
+	closing  bool
+	mutating bool
 }
 
 // poolEntry is one warm-pool map slot: the pool, its scheduling estimator,
@@ -173,18 +185,28 @@ func NewEngine(opts Options) (*Engine, error) {
 		views:       make(map[string]*view.Filtered),
 		collections: make(map[string]*view.Collection),
 		aggViews:    make(map[string]*aggregate.View),
+		aggStmts:    make(map[string]*gvdl.CreateAggView),
 		pools:       make(map[poolKey]*poolEntry),
+		incStates:   make(map[incKey]*incState),
 	}
 	e.runDone = sync.NewCond(&e.runMu)
 	return e, nil
 }
 
-// beginRun admits one run (RunOn, RunSegment) against the engine's pools,
-// refusing with ErrClosing while Close is draining. Every successful
+// beginRun admits one run (RunOn, RunSegment, a materializing statement)
+// against the engine's pools and catalogs, refusing with ErrClosing while
+// Close is draining and waiting while a mutation holds the barrier (the
+// mutation edits views and streams the run would read). Every successful
 // beginRun is paired with an endRun.
 func (e *Engine) beginRun() error {
 	e.runMu.Lock()
 	defer e.runMu.Unlock()
+	for e.mutating {
+		if e.closing {
+			return ErrClosing
+		}
+		e.runDone.Wait()
+	}
 	if e.closing {
 		return ErrClosing
 	}
@@ -291,7 +313,7 @@ func (e *Engine) EvictPools(computation string) {
 func (e *Engine) Close() error {
 	e.runMu.Lock()
 	e.closing = true
-	for e.active > 0 {
+	for e.active > 0 || e.mutating {
 		e.runDone.Wait()
 	}
 	e.poolMu.Lock()
@@ -300,6 +322,11 @@ func (e *Engine) Close() error {
 		delete(e.pools, key)
 	}
 	e.poolMu.Unlock()
+	e.incMu.Lock()
+	for key := range e.incStates {
+		delete(e.incStates, key)
+	}
+	e.incMu.Unlock()
 	e.closing = false
 	e.runMu.Unlock()
 	return nil
@@ -387,6 +414,7 @@ func (e *Engine) AddCollection(col *view.Collection) error {
 	e.mu.Lock()
 	e.collections[col.Name] = col
 	e.mu.Unlock()
+	e.dropIncStates(col.Name)
 	return nil
 }
 
@@ -563,6 +591,16 @@ func (e *Engine) ExecuteContext(ctx context.Context, src string) ([]gvdl.Result,
 }
 
 func (e *Engine) executeStmt(stmt gvdl.Statement) (gvdl.Result, error) {
+	if s, ok := stmt.(*gvdl.ApplyMutation); ok {
+		// Mutations take the mutation barrier themselves; every other
+		// statement is admitted as a run below, so materializations never
+		// read graph columns mid-append.
+		return e.applyStmt(s)
+	}
+	if err := e.beginRun(); err != nil {
+		return nil, err
+	}
+	defer e.endRun()
 	switch s := stmt.(type) {
 	case *gvdl.CreateView:
 		g, fv, err := e.resolveTarget(s.On)
@@ -574,9 +612,12 @@ func (e *Engine) executeStmt(stmt gvdl.Statement) (gvdl.Result, error) {
 			return nil, fmt.Errorf("view %s: %w", s.Name, err)
 		}
 		pred = restrictPredicate(pred, fv, g.NumEdges())
-		mv := &view.Filtered{Name: s.Name, Base: g}
+		mv := &view.Filtered{Name: s.Name, Base: g, PredSrc: s.Where.String(), Version: g.Version}
+		if fv != nil {
+			mv.On = s.On
+		}
 		for i := 0; i < g.NumEdges(); i++ {
-			if pred(i) {
+			if g.EdgeAlive(i) && pred(i) {
 				mv.Edges = append(mv.Edges, uint32(i))
 			}
 		}
@@ -611,9 +652,20 @@ func (e *Engine) executeStmt(stmt gvdl.Statement) (gvdl.Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		srcs := make([]string, len(s.Views))
+		for i, v := range s.Views {
+			srcs[i] = v.Pred.String()
+		}
+		col.PredSrcs = srcs
+		if fv != nil {
+			col.On = s.On
+		}
 		e.mu.Lock()
 		e.collections[s.Name] = col
 		e.mu.Unlock()
+		// A re-created collection invalidates any incremental replica state
+		// accumulated under its name.
+		e.dropIncStates(s.Name)
 		if e.opts.DataDir != "" {
 			if err := view.SaveCollection(e.opts.DataDir, col); err != nil {
 				return nil, err
@@ -640,6 +692,7 @@ func (e *Engine) executeStmt(stmt gvdl.Statement) (gvdl.Result, error) {
 		}
 		e.mu.Lock()
 		e.aggViews[s.Name] = av
+		e.aggStmts[s.Name] = s
 		e.mu.Unlock()
 		return gvdl.AggViewCreated{
 			Name:       s.Name,

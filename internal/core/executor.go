@@ -75,6 +75,15 @@ type RunOptions struct {
 	// WeightProp names the integer edge property used as edge weight; empty
 	// means unit weights.
 	WeightProp string `json:"weightProp,omitempty"`
+	// Incremental runs on the engine's warm incremental replica for
+	// (collection, computation, workers, weightProp) instead of draining the
+	// difference stream: the first run on a key absorbs the whole stream
+	// (RunResult.Incremental false), later runs feed only the mutation
+	// deltas queued since (RunResult.Incremental true, delta-sized work
+	// counters). Only Engine runs support it; Mode, Parallelism, Schedule
+	// and Speculate are ignored — an incremental run is a single replica
+	// stepping diffs.
+	Incremental bool `json:"incremental,omitempty"`
 	// BatchSize overrides the adaptive optimizer's ℓ (default 10).
 	BatchSize int `json:"batchSize,omitempty"`
 	// Schedule selects the dispatch order of a static plan's segments (see
@@ -162,6 +171,11 @@ type RunResult struct {
 	// RunOptions.Speculate was set on an adaptive run with Parallelism > 1.
 	SpecHits   int `json:"specHits,omitempty"`
 	SpecMisses int `json:"specMisses,omitempty"`
+	// Incremental reports that this run executed only the mutation deltas
+	// pending on a warm incremental replica (RunOptions.Incremental on a
+	// previously built key); the work counters and stats are delta-sized. A
+	// cold incremental run — the replica build — reports false.
+	Incremental bool `json:"incremental,omitempty"`
 
 	final   map[analytics.VertexValue]int64
 	work    []int64
@@ -233,6 +247,12 @@ func (e *Engine) RunOn(ctx context.Context, col *view.Collection, comp analytics
 		opts.Parallelism = e.opts.Parallelism
 	}
 	normalizeRunOptions(&opts)
+	if opts.Incremental {
+		// Incremental runs keep private warm replicas (incremental.go) —
+		// never pool slots, whose in-place reset would discard exactly the
+		// accumulated state an incremental run exists to reuse.
+		return e.runIncremental(ctx, col, comp, opts)
+	}
 	pool, est := e.runnerPool(comp, opts.Workers, opts.Parallelism)
 	if opts.Estimator == nil {
 		opts.Estimator = est

@@ -1,0 +1,278 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"graphsurge/internal/analytics"
+	"graphsurge/internal/graph"
+	"graphsurge/internal/splitting"
+	"graphsurge/internal/view"
+)
+
+// Incremental re-runs (the dynamic-graph half of the run path): instead of
+// draining a collection's difference stream from version zero, an
+// incremental run keeps a private warm replica per (collection,
+// computation, workers, weight) whose dataflow has already absorbed the
+// stream, and feeds each mutation's final-view membership delta — queued by
+// Engine.ApplyMutation as views are maintained — as one new outer version.
+// The replica's differential state makes the step's cost proportional to
+// the delta, not the graph: RunResult.Incremental reports true and the work
+// counters cover only the delta steps.
+//
+// Incremental replicas are deliberately not pool slots: a pooled replica is
+// reset between runs, while an incremental replica's accumulated state is
+// the whole point. They live in their own LRU-bounded map and die with
+// Close.
+
+// incKey identifies one incremental replica: collection name, computation
+// identity (bfs(source=1) and bfs(source=2) never share state), worker
+// count, and the weight property the batches were resolved with.
+type incKey struct {
+	collection string
+	ident      string
+	workers    int
+	weight     string
+}
+
+// incDelta is one queued mutation delta: the final ordered view's
+// membership change as columnar batches, stamped with the graph version the
+// collection reached when it was maintained.
+type incDelta struct {
+	version    uint64
+	adds, dels *graph.EdgeBatch
+}
+
+// incState is one incremental replica. mu serializes runs over the same
+// state; the engine's run/mutation barrier already excludes delta queueing
+// from runs, so pending is only ever appended while no run holds mu.
+type incState struct {
+	mu      sync.Mutex
+	col     *view.Collection // identity guard: same name ≠ same collection
+	runner  analytics.Runner
+	version uint64 // graph version the replica reflects
+	next    uint32 // next outer dataflow version to feed
+	pending []incDelta
+	lastUse time.Time
+}
+
+// maxIncStates bounds the incremental replica map the way maxEnginePools
+// bounds the warm pools: at the cap the least-recently-run replica is
+// dropped (a later incremental run on its key simply rebuilds cold).
+const maxIncStates = 64
+
+// incStateFor returns the incremental replica state for the run's key,
+// creating it (or replacing one that tracked a different collection object
+// of the same name) as needed.
+func (e *Engine) incStateFor(col *view.Collection, comp analytics.Computation, opts RunOptions) *incState {
+	key := incKey{collection: col.Name, ident: compIdentity(comp), workers: opts.Workers, weight: opts.WeightProp}
+	e.incMu.Lock()
+	defer e.incMu.Unlock()
+	st := e.incStates[key]
+	if st != nil && st.col != col {
+		st = nil
+	}
+	if st == nil {
+		if len(e.incStates) >= maxIncStates {
+			var victim incKey
+			var oldest time.Time
+			first := true
+			for k, old := range e.incStates {
+				if first || old.lastUse.Before(oldest) {
+					victim, oldest, first = k, old.lastUse, false
+				}
+			}
+			delete(e.incStates, victim)
+		}
+		st = &incState{col: col}
+		e.incStates[key] = st
+	}
+	st.lastUse = time.Now()
+	return st
+}
+
+// queueIncDelta appends one maintained collection's final-view delta to
+// every incremental replica tracking it. Called from runMaintenance under
+// the mutation barrier, so no run holds a state's mutex concurrently; the
+// lock is still taken for the race detector's benefit.
+func (e *Engine) queueIncDelta(c *view.Collection, d view.ViewDelta, version uint64) {
+	e.incMu.Lock()
+	defer e.incMu.Unlock()
+	for key, st := range e.incStates {
+		if key.collection != c.Name || st.col != c {
+			continue
+		}
+		wc, err := c.Graph.WeightColumn(key.weight)
+		if err != nil {
+			// The mutation cannot have removed a column; defensive only.
+			continue
+		}
+		cols := edgeBatcher(c.Graph, wc)
+		st.mu.Lock()
+		// An empty delta still queues: the version chain must stay
+		// contiguous for the warm-path staleness check.
+		st.pending = append(st.pending, incDelta{version: version, adds: cols(d.Adds), dels: cols(d.Dels)})
+		st.mu.Unlock()
+	}
+}
+
+// dropIncStates discards every incremental replica for a collection name —
+// re-creating a collection invalidates accumulated differential state.
+func (e *Engine) dropIncStates(collection string) {
+	e.incMu.Lock()
+	defer e.incMu.Unlock()
+	for key := range e.incStates {
+		if key.collection == collection {
+			delete(e.incStates, key)
+		}
+	}
+}
+
+// runIncremental executes an Incremental run (RunOptions.Incremental). The
+// first run on a key is cold: it steps the whole stream, view by view, on a
+// fresh private replica (Incremental reports false — full work was done).
+// Later runs are warm: they feed only the pending mutation deltas, and the
+// result's stats and work counters are delta-sized. A warm replica whose
+// pending chain does not reach the collection's current version (the state
+// predates a maintenance pass that could not see it) rebuilds cold rather
+// than serving a stale answer.
+func (e *Engine) runIncremental(ctx context.Context, col *view.Collection, comp analytics.Computation, opts RunOptions) (*RunResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if !identifiableComp(comp) {
+		return nil, fmt.Errorf("core: incremental runs need an identifiable computation (no closures or interface fields); run non-incrementally instead")
+	}
+	if col.Stream == nil || col.Stream.NumViews() == 0 {
+		return nil, fmt.Errorf("core: collection %q has no views to run incrementally", col.Name)
+	}
+	st := e.incStateFor(col, comp, opts)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+
+	warm := st.runner != nil
+	if warm {
+		expected := st.version
+		for _, d := range st.pending {
+			expected = d.version
+		}
+		if expected != col.Version {
+			warm = false
+		}
+	}
+	if !warm {
+		return e.incColdRun(ctx, st, col, comp, opts)
+	}
+	return e.incWarmRun(ctx, st, col, comp, opts)
+}
+
+// incColdRun builds the replica: a fresh runner absorbs the entire
+// difference stream in order, leaving its differential state at the
+// collection's current version.
+func (e *Engine) incColdRun(ctx context.Context, st *incState, col *view.Collection, comp analytics.Computation, opts RunOptions) (*RunResult, error) {
+	st.runner, st.pending = nil, nil
+	wc, err := col.Graph.WeightColumn(opts.WeightProp)
+	if err != nil {
+		return nil, err
+	}
+	runner, err := analytics.NewRunner(comp, opts.Workers)
+	if err != nil {
+		return nil, err
+	}
+	cols := edgeBatcher(col.Graph, wc)
+	stream := col.Stream
+	k := stream.NumViews()
+	sizes := stream.ViewSizes()
+	stats := make([]ViewStats, k)
+	wallStart := time.Now()
+	for t := 0; t < k; t++ {
+		if err := ctx.Err(); err != nil {
+			// The replica is part-built; leave st empty so the next run
+			// rebuilds from the start.
+			return nil, err
+		}
+		dur := runner.StepBatch(cols(stream.Adds[t]), cols(stream.Dels[t]))
+		stats[t] = ViewStats{
+			Index:       t,
+			Name:        stream.Names[t],
+			Mode:        splitting.ModeDiff,
+			Duration:    dur,
+			ViewSize:    sizes[t],
+			DiffSize:    stream.DiffSize(t),
+			OutputDiffs: runner.OutputDiffs(uint32(t)),
+		}
+		runner.DropOutputsBefore(uint32(t))
+	}
+	st.runner = runner
+	st.version = col.Version
+	st.next = uint32(k)
+	return incResult(col, comp, stats, wallStart, runner, runner.WorkCounts(), false), nil
+}
+
+// incWarmRun feeds the pending mutation deltas into the warm replica, one
+// outer version each. Fed deltas are consumed as they go, so a canceled run
+// resumes cleanly with the remainder.
+func (e *Engine) incWarmRun(ctx context.Context, st *incState, col *view.Collection, comp analytics.Computation, opts RunOptions) (*RunResult, error) {
+	runner := st.runner
+	preWork := append([]int64(nil), runner.WorkCounts()...)
+	finalSize := col.Stream.ViewSizes()[col.Stream.NumViews()-1]
+	var stats []ViewStats
+	wallStart := time.Now()
+	for len(st.pending) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		d := st.pending[0]
+		dur := runner.StepBatch(d.adds, d.dels)
+		v := st.next
+		stats = append(stats, ViewStats{
+			Index:       int(v),
+			Name:        fmt.Sprintf("Δv%d", d.version),
+			Mode:        splitting.ModeDiff,
+			Duration:    dur,
+			ViewSize:    finalSize,
+			DiffSize:    d.adds.Len() + d.dels.Len(),
+			OutputDiffs: runner.OutputDiffs(v),
+		})
+		runner.DropOutputsBefore(v)
+		st.next++
+		st.version = d.version
+		st.pending = st.pending[1:]
+	}
+	work := runner.WorkCounts()
+	delta := make([]int64, len(work))
+	for i := range work {
+		delta[i] = work[i]
+		if i < len(preWork) {
+			delta[i] -= preWork[i]
+		}
+	}
+	return incResult(col, comp, stats, wallStart, runner, delta, true), nil
+}
+
+// incResult assembles the RunResult shared by the cold and warm paths. The
+// final results map is copied out of the runner — the replica outlives the
+// run, so the result must not alias its internal state.
+func incResult(col *view.Collection, comp analytics.Computation, stats []ViewStats, wallStart time.Time, runner analytics.Runner, work []int64, incremental bool) *RunResult {
+	final := make(map[analytics.VertexValue]int64)
+	for k, v := range runner.Results() {
+		final[k] = v
+	}
+	res := &RunResult{
+		Computation: comp.Name(),
+		Collection:  col.Name,
+		Mode:        DiffOnly,
+		Stats:       stats,
+		Wall:        time.Since(wallStart),
+		Incremental: incremental,
+		final:       final,
+		work:        append([]int64(nil), work...),
+		iterCap:     runner.IterCapHit(),
+	}
+	for _, st := range stats {
+		res.Total += st.Duration
+	}
+	return res
+}

@@ -18,8 +18,12 @@ import (
 // per-segment and per-view lines, segments interleaved at the view that
 // opens them, exactly as `graphsurge run` prints them.
 func WriteRunSummary(w io.Writer, res *RunResult) {
+	mode := res.Mode.String()
+	if res.Incremental {
+		mode += ", incremental"
+	}
 	fmt.Fprintf(w, "%s on %s (%s): %v total, %v wall, %d splits\n",
-		res.Computation, res.Collection, res.Mode, res.Total.Round(1000), res.Wall.Round(1000), res.Splits)
+		res.Computation, res.Collection, mode, res.Total.Round(1000), res.Wall.Round(1000), res.Splits)
 	segAt := make(map[int]SegmentStats, len(res.Segments))
 	for _, seg := range res.Segments {
 		segAt[seg.Start] = seg
@@ -50,6 +54,14 @@ func WritePoolStats(w io.Writer, stats []PoolStat) {
 		fmt.Fprintf(w, "pool %s/w=%d: capacity=%d live=%d idle=%d built=%d reused=%d dropped=%d\n",
 			ps.Computation, ps.Workers, ps.Capacity, ps.Live, ps.Idle, ps.Built, ps.Reused, ps.Dropped)
 	}
+}
+
+// WriteMutation renders an applied mutation batch's one-line summary — the
+// same line the GVDL apply statement's typed result prints, so the two
+// mutation front-ends (typed request, statement) read identically.
+func WriteMutation(w io.Writer, res *MutationApplied) {
+	fmt.Fprintf(w, "graph %s: +%d/-%d edges, %d views maintained, now at version %d\n",
+		res.Graph, res.Inserted, res.Deleted, res.Maintained, res.Version)
 }
 
 // WriteViewRun renders a single-view run's header line.

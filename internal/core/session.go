@@ -22,8 +22,8 @@ import (
 
 // Request is a typed operation a Session can perform. The concrete types —
 // StatementsRequest, LoadGraphRequest, RunRequest, RunViewRequest,
-// PoolStatsRequest — are plain structs with JSON names, so the same values
-// travel over HTTP unchanged.
+// MutateRequest, PoolStatsRequest — are plain structs with JSON names, so
+// the same values travel over HTTP unchanged.
 type Request interface{ isRequest() }
 
 // Response is the typed outcome of a Request. Each Request documents its
@@ -122,6 +122,41 @@ type ViewRunResult struct {
 
 func (*ViewRunResult) isResponse() {}
 
+// EdgeChange is one edge in a mutation request: endpoints are the graph's
+// internal dense node IDs; Props carries a value for every edge property on
+// inserts (decoded JSON values — numbers for integer properties must be
+// integral) and is ignored on deletes.
+type EdgeChange struct {
+	Src   uint64         `json:"src"`
+	Dst   uint64         `json:"dst"`
+	Props map[string]any `json:"props,omitempty"`
+}
+
+// MutateRequest applies one transactional mutation batch to a base graph:
+// the inserts and deletes commit together, and every materialized view,
+// collection and aggregate view over the graph is incrementally maintained
+// before the response returns. Response: *MutationApplied.
+type MutateRequest struct {
+	Graph   string       `json:"graph"`
+	Inserts []EdgeChange `json:"inserts,omitempty"`
+	Deletes []EdgeChange `json:"deletes,omitempty"`
+}
+
+func (*MutateRequest) isRequest() {}
+
+// MutationApplied reports a committed mutation batch: the graph's new
+// monotonic version and how many edges and maintained artifacts the batch
+// touched.
+type MutationApplied struct {
+	Graph      string `json:"graph"`
+	Version    uint64 `json:"version"`
+	Inserted   int    `json:"inserted"`
+	Deleted    int    `json:"deleted"`
+	Maintained int    `json:"maintained"`
+}
+
+func (*MutationApplied) isResponse() {}
+
 // PoolStatsRequest reads the engine's warm runner pool statistics.
 // Response: *PoolStatsResponse.
 type PoolStatsRequest struct{}
@@ -184,7 +219,10 @@ func (s *Session) Do(ctx context.Context, req Request) (Response, error) {
 			return nil, err
 		}
 		runner := r.Runner
-		if runner == nil {
+		if runner == nil || r.Options.Incremental {
+			// Incremental runs always execute on the session's engine: the
+			// warm replica state lives there, and a cluster runner has no
+			// equivalent.
 			runner = s.eng
 		}
 		res, err := runner.RunOn(ctx, col, comp, r.Options)
@@ -215,6 +253,13 @@ func (s *Session) Do(ctx context.Context, req Request) (Response, error) {
 			Duration:    dur,
 			Results:     results,
 		}, nil
+
+	case *MutateRequest:
+		res, err := s.eng.Mutate(r)
+		if err != nil {
+			return nil, err
+		}
+		return res, nil
 
 	case *PoolStatsRequest:
 		return &PoolStatsResponse{Pools: s.eng.PoolStats()}, nil

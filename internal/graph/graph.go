@@ -125,6 +125,7 @@ func (c *Column) Len() int {
 type PropTable struct {
 	Names []string
 	Cols  []Column
+	//lint:ignore wiretypes index is a derived lookup cache rebuilt on demand by ColumnIndex; gob dropping it is intended
 	index map[string]int
 }
 
@@ -183,6 +184,12 @@ type Triple struct {
 
 // Graph is a directed property graph. Node IDs are dense internal IDs
 // 0..NumNodes-1; edges are parallel arrays indexed by edge position.
+//
+// Graphs are mutable through ApplyMutation only: inserted edges append to
+// the parallel arrays (edge indices grow monotonically) and deleted edges
+// are tombstoned in place via DeadWords rather than compacted, so existing
+// edge indices — the currency of views, EBM columns and difference streams —
+// stay stable across mutations.
 type Graph struct {
 	Name     string
 	NumNodes int
@@ -192,10 +199,46 @@ type Graph struct {
 	Srcs      []uint64
 	Dsts      []uint64
 	EdgeProps *PropTable // rows are edge indices
+
+	// Version counts applied mutation batches, monotonically; 0 is the graph
+	// as loaded or generated. Materialized artifacts record the version they
+	// reflect, making staleness detectable.
+	Version uint64
+	// DeadWords is the tombstone bitmap over edge indices (bit set = edge
+	// deleted). Nil or short bitmaps read as all-alive, so graphs persisted
+	// before mutations existed load unchanged.
+	DeadWords []uint64
+	// NumDead is the number of tombstoned edges (popcount of DeadWords).
+	NumDead int
 }
 
-// NumEdges returns the number of edges.
+// NumEdges returns the number of edge rows, including tombstoned ones —
+// the valid edge-index range. Use LiveEdges for the live count.
 func (g *Graph) NumEdges() int { return len(g.Srcs) }
+
+// LiveEdges returns the number of non-tombstoned edges.
+func (g *Graph) LiveEdges() int { return len(g.Srcs) - g.NumDead }
+
+// EdgeAlive reports whether edge i is live (not tombstoned). Indices beyond
+// the bitmap are alive — the bitmap only grows when deletions happen.
+func (g *Graph) EdgeAlive(i int) bool {
+	w := i >> 6
+	if w >= len(g.DeadWords) {
+		return true
+	}
+	return g.DeadWords[w]&(1<<(uint(i)&63)) == 0
+}
+
+// markDead tombstones edge i, growing the bitmap to cover it. The caller
+// guarantees i is currently alive.
+func (g *Graph) markDead(i int) {
+	w := i >> 6
+	for w >= len(g.DeadWords) {
+		g.DeadWords = append(g.DeadWords, 0)
+	}
+	g.DeadWords[w] |= 1 << (uint(i) & 63)
+	g.NumDead++
+}
 
 // Triple projects edge i using the given weight column (-1 for unit
 // weights). The weight column must be an integer column.

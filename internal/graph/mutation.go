@@ -1,0 +1,229 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrMutation marks a mutation batch the graph refused: unknown properties,
+// endpoints outside the node range, delete pairs matching no live edge, or
+// a schema mismatch. Nothing is changed when it is returned.
+var ErrMutation = errors.New("graph: invalid mutation")
+
+// EdgeInsert describes one edge to insert, with a value for every edge
+// property column of the target graph.
+type EdgeInsert struct {
+	Src, Dst uint64
+	Props    map[string]Value
+}
+
+// EdgePair names an edge to delete by its endpoints. Every live edge with
+// these endpoints is tombstoned (parallel edges delete together).
+type EdgePair struct {
+	Src, Dst uint64
+}
+
+// MutationBatch is one transactional set of edge insertions and deletions,
+// the unit of graph change: it applies entirely or not at all, and each
+// applied batch bumps the graph version by exactly one. The columns reuse
+// EdgeBatch — inserts ride as a sorted columnar batch with parallel
+// property columns, deletes as a sorted endpoint batch — so the batch
+// travels the wire (HTTP envelope, persistence journal) in the same
+// codec-friendly shape the cluster layer already ships.
+//
+// Ins.Ws and Dels.Ws are sort/wire payload only and carry zeros; runs
+// derive weights from the property columns, never from a batch.
+type MutationBatch struct {
+	Ins      *EdgeBatch
+	InsProps []Column // parallel to the graph's edge property columns, rows parallel to Ins
+	Dels     *EdgeBatch
+}
+
+// NewMutationBatch validates inserts and deletes against the graph's edge
+// schema and builds the columnar batch. Each insert must supply exactly the
+// graph's edge properties (no extras, no omissions); endpoints must be in
+// node range. Delete pairs are validated against live edges at apply time,
+// not here, so a batch can be built before the graph reaches the state it
+// mutates.
+func NewMutationBatch(g *Graph, ins []EdgeInsert, dels []EdgePair) (*MutationBatch, error) {
+	if len(ins) == 0 && len(dels) == 0 {
+		return nil, fmt.Errorf("%w: empty batch", ErrMutation)
+	}
+	var defs []PropDef
+	if g.EdgeProps != nil {
+		for i, n := range g.EdgeProps.Names {
+			defs = append(defs, PropDef{Name: n, Type: g.EdgeProps.Cols[i].Type})
+		}
+	}
+	mb := &MutationBatch{}
+	if len(ins) > 0 {
+		// Sort insert rows by (Src, Dst) ourselves: MakeEdgeBatch's internal
+		// sort would desynchronize the parallel property rows.
+		perm := make([]int, len(ins))
+		for i := range perm {
+			perm[i] = i
+		}
+		for i := 1; i < len(perm); i++ {
+			for j := i; j > 0; j-- {
+				a, b := ins[perm[j-1]], ins[perm[j]]
+				if a.Src < b.Src || (a.Src == b.Src && a.Dst <= b.Dst) {
+					break
+				}
+				perm[j-1], perm[j] = perm[j], perm[j-1]
+			}
+		}
+		eb := &EdgeBatch{
+			Srcs: make([]uint64, len(ins)),
+			Dsts: make([]uint64, len(ins)),
+			Ws:   make([]int64, len(ins)),
+		}
+		props := make([]Column, len(defs))
+		for ci, d := range defs {
+			props[ci] = Column{Type: d.Type}
+		}
+		for row, pi := range perm {
+			e := ins[pi]
+			if e.Src >= uint64(g.NumNodes) || e.Dst >= uint64(g.NumNodes) {
+				return nil, fmt.Errorf("%w: insert %d->%d out of node range %d", ErrMutation, e.Src, e.Dst, g.NumNodes)
+			}
+			eb.Srcs[row], eb.Dsts[row] = e.Src, e.Dst
+			if len(e.Props) != len(defs) {
+				return nil, fmt.Errorf("%w: insert %d->%d has %d properties, graph %s has %d",
+					ErrMutation, e.Src, e.Dst, len(e.Props), g.Name, len(defs))
+			}
+			for ci, d := range defs {
+				v, ok := e.Props[d.Name]
+				if !ok {
+					return nil, fmt.Errorf("%w: insert %d->%d missing edge property %q", ErrMutation, e.Src, e.Dst, d.Name)
+				}
+				if err := props[ci].Append(v); err != nil {
+					return nil, fmt.Errorf("%w: insert %d->%d property %q: %v", ErrMutation, e.Src, e.Dst, d.Name, err)
+				}
+			}
+		}
+		mb.Ins = eb
+		mb.InsProps = props
+	}
+	if len(dels) > 0 {
+		mb.Dels = MakeEdgeBatch(len(dels), func(i int) Triple {
+			return Triple{Src: dels[i].Src, Dst: dels[i].Dst}
+		})
+	}
+	return mb, nil
+}
+
+// Applied reports the effect of one committed mutation batch in edge-index
+// terms, the currency downstream maintenance works in.
+type Applied struct {
+	Version   uint64   // graph version after the batch
+	PrevEdges int      // edge rows before the batch; inserts occupy [PrevEdges, PrevEdges+Inserted)
+	Inserted  int      // rows appended
+	Deleted   []uint32 // tombstoned edge indices, ascending
+}
+
+// mutationPlan is a validated, side-effect-free application plan: commit is
+// infallible, so callers can interleave a fallible persistence step between
+// planning and committing and still be transactional.
+type mutationPlan struct {
+	mb   *MutationBatch
+	dels []uint32
+}
+
+// plan validates the batch against the graph without changing anything.
+func (mb *MutationBatch) plan(g *Graph) (*mutationPlan, error) {
+	nIns := mb.Ins.Len()
+	if nIns == 0 && mb.Dels.Len() == 0 {
+		return nil, fmt.Errorf("%w: empty batch", ErrMutation)
+	}
+	nCols := 0
+	if g.EdgeProps != nil {
+		nCols = len(g.EdgeProps.Cols)
+	}
+	if nIns > 0 {
+		if len(mb.InsProps) != nCols {
+			return nil, fmt.Errorf("%w: batch has %d property columns, graph %s has %d",
+				ErrMutation, len(mb.InsProps), g.Name, nCols)
+		}
+		for ci := range mb.InsProps {
+			if mb.InsProps[ci].Type != g.EdgeProps.Cols[ci].Type {
+				return nil, fmt.Errorf("%w: property column %q is %v, graph %s has %v",
+					ErrMutation, g.EdgeProps.Names[ci], mb.InsProps[ci].Type, g.Name, g.EdgeProps.Cols[ci].Type)
+			}
+			if mb.InsProps[ci].Len() != nIns {
+				return nil, fmt.Errorf("%w: property column %q has %d rows for %d inserts",
+					ErrMutation, g.EdgeProps.Names[ci], mb.InsProps[ci].Len(), nIns)
+			}
+		}
+		for i := 0; i < nIns; i++ {
+			if mb.Ins.Srcs[i] >= uint64(g.NumNodes) || mb.Ins.Dsts[i] >= uint64(g.NumNodes) {
+				return nil, fmt.Errorf("%w: insert %d->%d out of node range %d",
+					ErrMutation, mb.Ins.Srcs[i], mb.Ins.Dsts[i], g.NumNodes)
+			}
+		}
+	} else if len(mb.InsProps) != 0 {
+		return nil, fmt.Errorf("%w: property columns without inserts", ErrMutation)
+	}
+	p := &mutationPlan{mb: mb}
+	if nDel := mb.Dels.Len(); nDel > 0 {
+		want := make(map[[2]uint64]bool, nDel)
+		for i := 0; i < nDel; i++ {
+			want[[2]uint64{mb.Dels.Srcs[i], mb.Dels.Dsts[i]}] = false
+		}
+		for i := 0; i < g.NumEdges(); i++ {
+			if !g.EdgeAlive(i) {
+				continue
+			}
+			key := [2]uint64{g.Srcs[i], g.Dsts[i]}
+			if _, ok := want[key]; ok {
+				want[key] = true
+				p.dels = append(p.dels, uint32(i))
+			}
+		}
+		for key, matched := range want {
+			if !matched {
+				return nil, fmt.Errorf("%w: delete %d->%d matches no live edge in graph %s",
+					ErrMutation, key[0], key[1], g.Name)
+			}
+		}
+	}
+	return p, nil
+}
+
+// commit applies the plan to the graph. It cannot fail: all validation
+// happened in plan, and the steps below only append and set bits.
+func (p *mutationPlan) commit(g *Graph) Applied {
+	a := Applied{PrevEdges: g.NumEdges(), Inserted: p.mb.Ins.Len(), Deleted: p.dels}
+	for _, i := range p.dels {
+		g.markDead(int(i))
+	}
+	if n := p.mb.Ins.Len(); n > 0 {
+		g.Srcs = append(g.Srcs, p.mb.Ins.Srcs...)
+		g.Dsts = append(g.Dsts, p.mb.Ins.Dsts...)
+		for ci := range p.mb.InsProps {
+			dst := &g.EdgeProps.Cols[ci]
+			src := &p.mb.InsProps[ci]
+			switch dst.Type {
+			case TypeInt:
+				dst.Ints = append(dst.Ints, src.Ints...)
+			case TypeString:
+				dst.Strs = append(dst.Strs, src.Strs...)
+			default:
+				dst.Bools = append(dst.Bools, src.Bools...)
+			}
+		}
+	}
+	g.Version++
+	a.Version = g.Version
+	return a
+}
+
+// ApplyMutation validates and applies a batch to an in-memory graph,
+// bumping its version. Store.ApplyMutation adds journal persistence on top;
+// use that for named, persisted graphs.
+func (g *Graph) ApplyMutation(mb *MutationBatch) (Applied, error) {
+	p, err := mb.plan(g)
+	if err != nil {
+		return Applied{}, err
+	}
+	return p.commit(g), nil
+}

@@ -1,0 +1,246 @@
+package graph
+
+import (
+	"errors"
+	"os"
+	"testing"
+)
+
+// insertFor builds an EdgeInsert matching the Fig. 1 graph's edge schema
+// (duration:int, year:int).
+func insertFor(src, dst uint64, duration, year int64) EdgeInsert {
+	return EdgeInsert{Src: src, Dst: dst, Props: map[string]Value{
+		"duration": IntValue(duration),
+		"year":     IntValue(year),
+	}}
+}
+
+func TestApplyMutationInsertDelete(t *testing.T) {
+	g := loadFig1(t)
+	prevEdges := g.NumEdges()
+	mb, err := NewMutationBatch(g,
+		[]EdgeInsert{insertFor(2, 0, 5, 2020), insertFor(0, 4, 9, 2021)},
+		[]EdgePair{{Src: 0, Dst: 1}}, // Fig.1 edge 1->2 is internal 0->1
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := g.ApplyMutation(mb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Version != 1 || g.Version != 1 {
+		t.Fatalf("version = %d/%d, want 1", a.Version, g.Version)
+	}
+	if a.PrevEdges != prevEdges || a.Inserted != 2 {
+		t.Fatalf("applied = %+v", a)
+	}
+	if len(a.Deleted) != 1 {
+		t.Fatalf("deleted = %v", a.Deleted)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != prevEdges+2 || g.LiveEdges() != prevEdges+1 {
+		t.Fatalf("edges = %d live %d", g.NumEdges(), g.LiveEdges())
+	}
+	if g.EdgeAlive(int(a.Deleted[0])) {
+		t.Fatal("deleted edge still alive")
+	}
+	// Tombstoned rows keep their data so index-based consumers still project.
+	if tr := g.Triple(int(a.Deleted[0]), -1); tr.Src != 0 || tr.Dst != 1 {
+		t.Fatalf("tombstoned triple = %+v", tr)
+	}
+	// Inserted rows land appended, sorted by (Src, Dst), with property rows.
+	wc, err := g.WeightColumn("duration")
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := g.Triple(prevEdges, wc)
+	second := g.Triple(prevEdges+1, wc)
+	if first.Src != 0 || first.Dst != 4 || first.W != 9 {
+		t.Fatalf("first inserted = %+v", first)
+	}
+	if second.Src != 2 || second.Dst != 0 || second.W != 5 {
+		t.Fatalf("second inserted = %+v", second)
+	}
+}
+
+func TestApplyMutationRejectsBadBatches(t *testing.T) {
+	g := loadFig1(t)
+	cases := []struct {
+		name string
+		ins  []EdgeInsert
+		dels []EdgePair
+	}{
+		{"empty", nil, nil},
+		{"endpoint out of range", []EdgeInsert{insertFor(0, 99, 1, 2020)}, nil},
+		{"missing property", []EdgeInsert{{Src: 0, Dst: 1, Props: map[string]Value{"duration": IntValue(1)}}}, nil},
+		{"unknown property", []EdgeInsert{{Src: 0, Dst: 1, Props: map[string]Value{"duration": IntValue(1), "nope": IntValue(2)}}}, nil},
+		{"wrong property type", []EdgeInsert{{Src: 0, Dst: 1, Props: map[string]Value{"duration": StringValue("x"), "year": IntValue(1)}}}, nil},
+		{"delete matches nothing", nil, []EdgePair{{Src: 7, Dst: 0}}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			mb, err := NewMutationBatch(g, c.ins, c.dels)
+			if err == nil {
+				_, err = g.ApplyMutation(mb)
+			}
+			if !errors.Is(err, ErrMutation) {
+				t.Fatalf("err = %v, want ErrMutation", err)
+			}
+			if g.Version != 0 {
+				t.Fatal("rejected batch bumped the version")
+			}
+		})
+	}
+}
+
+func TestApplyMutationDeletesParallelEdges(t *testing.T) {
+	g := &Graph{Name: "p", NumNodes: 2, Srcs: []uint64{0, 0, 1}, Dsts: []uint64{1, 1, 0}}
+	mb, err := NewMutationBatch(g, nil, []EdgePair{{Src: 0, Dst: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := g.ApplyMutation(mb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Deleted) != 2 || g.LiveEdges() != 1 {
+		t.Fatalf("deleted %v, live %d", a.Deleted, g.LiveEdges())
+	}
+	// A second delete of the same pair finds no live edge left.
+	if _, err := g.ApplyMutation(mb); !errors.Is(err, ErrMutation) {
+		t.Fatalf("re-delete err = %v", err)
+	}
+}
+
+// TestStoreJournalReplay pins the restart contract: a store re-opened over
+// the same directory replays journaled mutations and serves the exact
+// post-mutation graph — same version, same edge indices, same tombstones.
+func TestStoreJournalReplay(t *testing.T) {
+	dir := t.TempDir()
+	st, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Add(loadFig1(t)); err != nil {
+		t.Fatal(err)
+	}
+	g, _ := st.Graph("Calls")
+	mb1, err := NewMutationBatch(g, []EdgeInsert{insertFor(2, 0, 5, 2020)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.ApplyMutation("Calls", mb1); err != nil {
+		t.Fatal(err)
+	}
+	mb2, err := NewMutationBatch(g, nil, []EdgePair{{Src: 0, Dst: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := st.ApplyMutation("Calls", mb2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := st2.Graph("Calls")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.Version != 2 || g2.NumEdges() != g.NumEdges() || g2.LiveEdges() != g.LiveEdges() {
+		t.Fatalf("replayed version %d edges %d live %d, want %d/%d/%d",
+			g2.Version, g2.NumEdges(), g2.LiveEdges(), g.Version, g.NumEdges(), g.LiveEdges())
+	}
+	for _, d := range a2.Deleted {
+		if g2.EdgeAlive(int(d)) {
+			t.Fatalf("edge %d alive after replay", d)
+		}
+	}
+
+	// Re-adding the graph snapshots fresh state and truncates the journal.
+	if err := st2.Add(g2); err != nil {
+		t.Fatal(err)
+	}
+	st3, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g3, err := st3.Graph("Calls")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g3.Version != 2 || g3.LiveEdges() != g2.LiveEdges() {
+		t.Fatalf("post-snapshot version %d live %d", g3.Version, g3.LiveEdges())
+	}
+}
+
+// TestStoreFailsClosedOnCorruption pins satellite behavior: a snapshot or
+// journal that fails integrity checks surfaces ErrCorruptGraph instead of
+// being masked as "no graph named".
+func TestStoreFailsClosedOnCorruption(t *testing.T) {
+	t.Run("corrupt snapshot", func(t *testing.T) {
+		dir := t.TempDir()
+		st, _ := NewStore(dir)
+		if err := st.Add(loadFig1(t)); err != nil {
+			t.Fatal(err)
+		}
+		p, _ := st.path("Calls")
+		if err := os.WriteFile(p, []byte("not a gob stream"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		st2, _ := NewStore(dir)
+		if _, err := st2.Graph("Calls"); !errors.Is(err, ErrCorruptGraph) {
+			t.Fatalf("err = %v, want ErrCorruptGraph", err)
+		}
+	})
+	t.Run("truncated journal", func(t *testing.T) {
+		dir := t.TempDir()
+		st, _ := NewStore(dir)
+		if err := st.Add(loadFig1(t)); err != nil {
+			t.Fatal(err)
+		}
+		g, _ := st.Graph("Calls")
+		mb, err := NewMutationBatch(g, []EdgeInsert{insertFor(2, 0, 5, 2020)}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := st.ApplyMutation("Calls", mb); err != nil {
+			t.Fatal(err)
+		}
+		jp, _ := st.journalPath("Calls")
+		data, err := os.ReadFile(jp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(jp, data[:len(data)-3], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		st2, _ := NewStore(dir)
+		if _, err := st2.Graph("Calls"); !errors.Is(err, ErrCorruptGraph) {
+			t.Fatalf("err = %v, want ErrCorruptGraph", err)
+		}
+	})
+	t.Run("missing stays not-found", func(t *testing.T) {
+		st, _ := NewStore(t.TempDir())
+		if _, err := st.Graph("ghost"); err == nil || errors.Is(err, ErrCorruptGraph) {
+			t.Fatalf("err = %v, want plain not-found", err)
+		}
+	})
+}
+
+func TestEdgeAliveDefaults(t *testing.T) {
+	g := &Graph{Name: "g", NumNodes: 2, Srcs: []uint64{0, 1}, Dsts: []uint64{1, 0}}
+	for i := 0; i < g.NumEdges(); i++ {
+		if !g.EdgeAlive(i) {
+			t.Fatalf("edge %d dead with nil bitmap", i)
+		}
+	}
+	if g.LiveEdges() != 2 {
+		t.Fatalf("LiveEdges = %d", g.LiveEdges())
+	}
+}

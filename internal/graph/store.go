@@ -1,7 +1,10 @@
 package graph
 
 import (
+	"bytes"
+	"encoding/binary"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -10,9 +13,22 @@ import (
 	"sync"
 )
 
+// ErrCorruptGraph marks a persisted graph that failed integrity checks on
+// load — a snapshot that does not pass Validate, or a mutation journal with
+// truncated or undecodable frames. The store fails closed: a corrupt graph
+// is never served into seed materialization.
+var ErrCorruptGraph = errors.New("graph: corrupt persisted graph")
+
 // Store is Graphsurge's Graph Store: a catalog of named base graphs with
 // optional binary persistence (the paper persists loaded edge streams in
 // files). A Store with an empty directory is memory-only.
+//
+// Mutations persist as a journal next to the snapshot: each applied
+// MutationBatch appends one length-prefixed gob frame to <name>.mutations.gob,
+// and load replays the journal over the snapshot, so restarts recover the
+// exact post-mutation graph (same version, same edge indices) without
+// rewriting the snapshot on every batch. Re-adding a graph writes a fresh
+// snapshot and truncates its journal.
 type Store struct {
 	mu     sync.RWMutex
 	dir    string
@@ -53,7 +69,11 @@ func (s *Store) Add(g *Graph) error {
 	return nil
 }
 
-// Graph looks a graph up by name, falling back to disk when persisted.
+// Graph looks a graph up by name, falling back to disk when persisted. A
+// missing graph (in memory and on disk) reports a not-found error; a graph
+// that exists on disk but fails to load or validate reports that failure —
+// wrapped in ErrCorruptGraph for integrity violations — instead of
+// masquerading as not-found.
 func (s *Store) Graph(name string) (*Graph, error) {
 	s.mu.RLock()
 	g, ok := s.graphs[name]
@@ -63,14 +83,50 @@ func (s *Store) Graph(name string) (*Graph, error) {
 	}
 	if s.dir != "" {
 		g, err := s.load(name)
-		if err == nil {
+		switch {
+		case err == nil:
 			s.mu.Lock()
-			s.graphs[name] = g
+			// A concurrent load may have won the race; keep the registered one
+			// so every caller shares a single *Graph.
+			if prev, ok := s.graphs[name]; ok {
+				g = prev
+			} else {
+				s.graphs[name] = g
+			}
 			s.mu.Unlock()
 			return g, nil
+		case !errors.Is(err, os.ErrNotExist):
+			return nil, err
 		}
 	}
 	return nil, fmt.Errorf("graph: no graph named %q", name)
+}
+
+// ApplyMutation validates a batch against a named graph, journals it, and
+// commits it in memory, returning the applied effect. The order is
+// plan → persist → commit: a batch that fails validation or journaling
+// changes nothing anywhere, and a journaled batch is always the one that
+// committed, so restart replay converges on the in-memory state.
+//
+// The store serializes mutations; concurrent readers of the *Graph are the
+// engine's concern (it quiesces runs around mutations).
+func (s *Store) ApplyMutation(name string, mb *MutationBatch) (Applied, error) {
+	g, err := s.Graph(name)
+	if err != nil {
+		return Applied{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, err := mb.plan(g)
+	if err != nil {
+		return Applied{}, err
+	}
+	if s.dir != "" {
+		if err := s.appendJournal(name, mb); err != nil {
+			return Applied{}, err
+		}
+	}
+	return p.commit(g), nil
 }
 
 // Names lists stored graph names in sorted order.
@@ -92,11 +148,16 @@ func (s *Store) Names() []string {
 // backslashes are rejected for portability (a literal filename character
 // on Unix becomes a separator on Windows). In-memory registration and
 // lookup are unaffected; only the disk fallback refuses such names.
-func (s *Store) path(name string) (string, error) {
+func (s *Store) path(name string) (string, error) { return s.pathFor(name, ".graph.gob") }
+
+// journalPath is the mutation journal location for a graph name.
+func (s *Store) journalPath(name string) (string, error) { return s.pathFor(name, ".mutations.gob") }
+
+func (s *Store) pathFor(name, suffix string) (string, error) {
 	if strings.Contains(name, `\`) {
 		return "", fmt.Errorf("graph: invalid name %q: contains a path separator", name)
 	}
-	p := filepath.Join(s.dir, name+".graph.gob")
+	p := filepath.Join(s.dir, name+suffix)
 	rel, err := filepath.Rel(s.dir, p)
 	if err != nil || rel == ".." || strings.HasPrefix(rel, ".."+string(filepath.Separator)) {
 		return "", fmt.Errorf("graph: invalid name %q: escapes the store directory", name)
@@ -117,9 +178,47 @@ func (s *Store) persist(g *Graph) error {
 	if err := gob.NewEncoder(f).Encode(g); err != nil {
 		return fmt.Errorf("graph: persisting %q: %w", g.Name, err)
 	}
+	// A fresh snapshot is a new journal epoch: drop any frames from the
+	// graph previously stored under this name.
+	jp, err := s.journalPath(g.Name)
+	if err != nil {
+		return err
+	}
+	if err := os.Remove(jp); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("graph: truncating journal for %q: %w", g.Name, err)
+	}
 	return nil
 }
 
+// appendJournal writes one mutation frame: uvarint payload length followed
+// by the gob-encoded batch. Length prefixes make truncation detectable on
+// replay instead of silently decoding garbage.
+func (s *Store) appendJournal(name string, mb *MutationBatch) error {
+	jp, err := s.journalPath(name)
+	if err != nil {
+		return err
+	}
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(mb); err != nil {
+		return fmt.Errorf("graph: journaling mutation for %q: %w", name, err)
+	}
+	frame := binary.AppendUvarint(nil, uint64(payload.Len()))
+	frame = append(frame, payload.Bytes()...)
+	f, err := os.OpenFile(jp, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(frame); err != nil {
+		f.Close()
+		return fmt.Errorf("graph: journaling mutation for %q: %w", name, err)
+	}
+	return f.Close()
+}
+
+// load reads a snapshot, replays its mutation journal, and validates the
+// result. Every integrity failure — undecodable snapshot, truncated or
+// invalid journal frame, a replayed graph that fails Validate — fails
+// closed with ErrCorruptGraph.
 func (s *Store) load(name string) (*Graph, error) {
 	path, err := s.path(name)
 	if err != nil {
@@ -132,7 +231,47 @@ func (s *Store) load(name string) (*Graph, error) {
 	defer f.Close()
 	var g Graph
 	if err := gob.NewDecoder(f).Decode(&g); err != nil {
-		return nil, fmt.Errorf("graph: loading %q: %w", name, err)
+		return nil, fmt.Errorf("%w: %q: %v", ErrCorruptGraph, name, err)
+	}
+	if err := s.replayJournal(name, &g); err != nil {
+		return nil, err
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %q: %v", ErrCorruptGraph, name, err)
 	}
 	return &g, nil
+}
+
+// replayJournal applies every journal frame to a freshly loaded snapshot.
+// A missing journal means no mutations since the snapshot.
+func (s *Store) replayJournal(name string, g *Graph) error {
+	jp, err := s.journalPath(name)
+	if err != nil {
+		return err
+	}
+	data, err := os.ReadFile(jp)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil
+		}
+		return err
+	}
+	frame := 0
+	for len(data) > 0 {
+		n, k := binary.Uvarint(data)
+		if k <= 0 || n > uint64(len(data)-k) {
+			return fmt.Errorf("%w: %q: truncated mutation journal at frame %d", ErrCorruptGraph, name, frame)
+		}
+		data = data[k:]
+		var mb MutationBatch
+		if err := gob.NewDecoder(bytes.NewReader(data[:n])).Decode(&mb); err != nil {
+			return fmt.Errorf("%w: %q: undecodable mutation journal frame %d: %v", ErrCorruptGraph, name, frame, err)
+		}
+		data = data[n:]
+		if _, err := g.ApplyMutation(&mb); err != nil {
+			return fmt.Errorf("%w: %q: replaying mutation journal frame %d: %v", ErrCorruptGraph, name, frame, err)
+		}
+		frame++
+	}
+	return nil
 }

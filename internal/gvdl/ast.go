@@ -57,6 +57,79 @@ func (s *CreateCollection) String() string {
 	return sb.String()
 }
 
+// PropLit is one property assignment in an edge literal.
+type PropLit struct {
+	Name string
+	Val  graph.Value
+}
+
+func (p PropLit) String() string {
+	if p.Val.Type == graph.TypeString {
+		return fmt.Sprintf("%s = '%s'", p.Name, p.Val.S)
+	}
+	return fmt.Sprintf("%s = %s", p.Name, p.Val)
+}
+
+// EdgeLit is one edge literal in an apply statement: internal node IDs
+// joined by '->', with property assignments for inserts.
+type EdgeLit struct {
+	Src, Dst uint64
+	Props    []PropLit
+}
+
+func (e EdgeLit) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d->%d", e.Src, e.Dst)
+	for i, p := range e.Props {
+		if i == 0 {
+			sb.WriteString(" [")
+		} else {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(p.String())
+	}
+	if len(e.Props) > 0 {
+		sb.WriteByte(']')
+	}
+	return sb.String()
+}
+
+// ApplyMutation mutates a base graph: insert edges (with a value for every
+// edge property) and/or delete edges by endpoints, as one transactional
+// batch. Node IDs are the graph's internal dense IDs.
+//
+//	apply insert 2->0 [duration = 5, year = 2020] delete 0->1 to Calls
+type ApplyMutation struct {
+	On      string
+	Inserts []EdgeLit
+	Deletes []EdgeLit // property lists unused
+}
+
+func (*ApplyMutation) stmt()            {}
+func (s *ApplyMutation) Target() string { return s.On }
+func (s *ApplyMutation) String() string {
+	var sb strings.Builder
+	sb.WriteString("apply")
+	for i, e := range s.Inserts {
+		if i == 0 {
+			sb.WriteString(" insert ")
+		} else {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(e.String())
+	}
+	for i, e := range s.Deletes {
+		if i == 0 {
+			sb.WriteString(" delete ")
+		} else {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(e.String())
+	}
+	fmt.Fprintf(&sb, " to %s", s.On)
+	return sb.String()
+}
+
 // AggFunc enumerates aggregate functions for aggregate views.
 type AggFunc uint8
 

@@ -125,6 +125,12 @@ func (l *lexer) lexOperator(start int) error {
 		two = l.src[l.pos : l.pos+2]
 	}
 	switch {
+	case two == "->":
+		// Edge literals in apply statements (2->7). No conflict with the
+		// other '-' forms: "--" is consumed as a comment by skipSpace and
+		// '-' before a digit lexes a negative integer before reaching here.
+		l.pos += 2
+		l.emit(token{kind: tokArrow, pos: start})
 	case two == "!=" || two == "<>":
 		l.pos += 2
 		l.emit(token{kind: tokNeq, pos: start})

@@ -18,8 +18,28 @@ func Parse(src string) (Statement, error) {
 	return stmts[0], nil
 }
 
+// ParsePredicate parses a standalone edge predicate expression — the
+// re-parseable form Expr.String() renders. The view layer persists
+// predicate sources and recompiles them through here when a mutated base
+// graph invalidates previously compiled closures.
+func ParsePredicate(src string) (Expr, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{src: src, toks: toks}
+	e, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind != tokEOF {
+		return nil, errAt(src, p.cur().pos, "unexpected %s after predicate", p.describe(p.cur()))
+	}
+	return e, nil
+}
+
 // ParseAll parses a sequence of GVDL statements. Statements need no
-// separator: each begins with "create".
+// separator: each begins with "create" or "apply".
 func ParseAll(src string) ([]Statement, error) {
 	toks, err := lex(src)
 	if err != nil {
@@ -99,9 +119,14 @@ func (p *parser) describe(t token) string {
 }
 
 func (p *parser) parseStatement() (Statement, error) {
-	if err := p.expectKw("create"); err != nil {
-		return nil, err
+	if p.isKw("apply") {
+		p.advance()
+		return p.parseApply()
 	}
+	if !p.isKw("create") {
+		return nil, errAt(p.src, p.cur().pos, "expected \"create\" or \"apply\", got %s", p.describe(p.cur()))
+	}
+	p.advance()
 	if err := p.expectKw("view"); err != nil {
 		return nil, err
 	}
@@ -179,6 +204,138 @@ func (p *parser) parseCollection() (Statement, error) {
 		return nil, errAt(p.src, p.cur().pos, "view collection needs at least one view")
 	}
 	return &CreateCollection{Name: name, On: on, Views: views}, nil
+}
+
+// parseApply parses the mutation statement ("apply" already consumed):
+//
+//	apply insert <edge> [<prop> = <lit>, ...], <edge> ...
+//	      delete <edge>, <edge> ...
+//	      to <graph>
+//
+// The insert and delete sections may appear in either order; at least one
+// edge is required overall.
+func (p *parser) parseApply() (Statement, error) {
+	s := &ApplyMutation{}
+	for {
+		switch {
+		case p.isKw("insert"):
+			p.advance()
+			for {
+				e, err := p.parseEdgeLit(true)
+				if err != nil {
+					return nil, err
+				}
+				s.Inserts = append(s.Inserts, e)
+				if p.cur().kind != tokComma {
+					break
+				}
+				p.advance()
+			}
+		case p.isKw("delete"):
+			p.advance()
+			for {
+				e, err := p.parseEdgeLit(false)
+				if err != nil {
+					return nil, err
+				}
+				s.Deletes = append(s.Deletes, e)
+				if p.cur().kind != tokComma {
+					break
+				}
+				p.advance()
+			}
+		case p.isKw("to"):
+			p.advance()
+			on, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			if len(s.Inserts)+len(s.Deletes) == 0 {
+				return nil, errAt(p.src, p.cur().pos, "apply needs at least one insert or delete")
+			}
+			s.On = on
+			return s, nil
+		default:
+			return nil, errAt(p.src, p.cur().pos, "expected \"insert\", \"delete\" or \"to\", got %s", p.describe(p.cur()))
+		}
+	}
+}
+
+// parseEdgeLit parses "src->dst", with an optional bracketed property list
+// when withProps is set.
+func (p *parser) parseEdgeLit(withProps bool) (EdgeLit, error) {
+	src, err := p.nodeID()
+	if err != nil {
+		return EdgeLit{}, err
+	}
+	if _, err := p.expect(tokArrow); err != nil {
+		return EdgeLit{}, err
+	}
+	dst, err := p.nodeID()
+	if err != nil {
+		return EdgeLit{}, err
+	}
+	e := EdgeLit{Src: src, Dst: dst}
+	if withProps && p.cur().kind == tokLBracket {
+		p.advance()
+		for {
+			name, err := p.ident()
+			if err != nil {
+				return EdgeLit{}, err
+			}
+			if _, err := p.expect(tokEq); err != nil {
+				return EdgeLit{}, err
+			}
+			val, err := p.literal()
+			if err != nil {
+				return EdgeLit{}, err
+			}
+			e.Props = append(e.Props, PropLit{Name: name, Val: val})
+			if p.cur().kind != tokComma {
+				break
+			}
+			p.advance()
+		}
+		if _, err := p.expect(tokRBracket); err != nil {
+			return EdgeLit{}, err
+		}
+	}
+	return e, nil
+}
+
+// nodeID parses a non-negative integer internal node ID.
+func (p *parser) nodeID() (uint64, error) {
+	t, err := p.expect(tokInt)
+	if err != nil {
+		return 0, err
+	}
+	if t.num < 0 {
+		return 0, errAt(p.src, t.pos, "node IDs cannot be negative, got %d", t.num)
+	}
+	return uint64(t.num), nil
+}
+
+// literal parses an int, string or boolean property value literal.
+func (p *parser) literal() (graph.Value, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokInt:
+		p.advance()
+		return graph.IntValue(t.num), nil
+	case tokString:
+		p.advance()
+		return graph.StringValue(t.text), nil
+	case tokIdent:
+		if strings.EqualFold(t.text, "true") {
+			p.advance()
+			return graph.BoolValue(true), nil
+		}
+		if strings.EqualFold(t.text, "false") {
+			p.advance()
+			return graph.BoolValue(false), nil
+		}
+	}
+	return graph.Value{}, errAt(p.src, t.pos, "expected a literal value, got %s", p.describe(t))
 }
 
 func (p *parser) parseAggView(name, on string) (Statement, error) {

@@ -50,6 +50,25 @@ func (r CollectionCreated) String() string {
 		r.Name, r.Views, r.Diffs, r.Elapsed)
 }
 
+// GraphMutated reports an applied mutation batch.
+type GraphMutated struct {
+	Graph    string `json:"graph"`
+	Version  uint64 `json:"version"`
+	Inserted int    `json:"inserted"`
+	Deleted  int    `json:"deleted"`
+	// Maintained counts the materialized views/collections/aggregate views
+	// that were incrementally patched for the batch.
+	Maintained int `json:"maintained"`
+}
+
+// Kind implements Result.
+func (GraphMutated) Kind() string { return "mutation" }
+
+func (r GraphMutated) String() string {
+	return fmt.Sprintf("graph %s: +%d/-%d edges, %d views maintained, now at version %d",
+		r.Graph, r.Inserted, r.Deleted, r.Maintained, r.Version)
+}
+
 // AggViewCreated reports a materialized aggregate view.
 type AggViewCreated struct {
 	Name       string `json:"name"`

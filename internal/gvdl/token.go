@@ -41,6 +41,7 @@ const (
 	tokLeq
 	tokGt
 	tokGeq
+	tokArrow // ->
 )
 
 func (k tokenKind) String() string {
@@ -81,6 +82,8 @@ func (k tokenKind) String() string {
 		return "'>'"
 	case tokGeq:
 		return "'>='"
+	case tokArrow:
+		return "'->'"
 	}
 	return fmt.Sprintf("token(%d)", uint8(k))
 }

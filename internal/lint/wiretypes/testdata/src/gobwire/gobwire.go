@@ -1,0 +1,63 @@
+// Fixture for the wiretypes analyzer's encoding/gob roots: the argument of
+// an Encoder.Encode / Decoder.Decode call is a wire root, unless its static
+// type is a bare empty interface (a forwarding boundary — its callers root
+// the walk instead).
+package gobwire
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+// Journal is a clean on-disk frame; encoding it provokes nothing.
+type Journal struct {
+	Frames [][]byte
+	Cursor int
+}
+
+// BadFrame rides a channel into a journal file.
+type BadFrame struct {
+	Payload []byte
+	Notify  chan struct{} // want `field BadFrame\.Notify has chan type`
+}
+
+// dropped reaches the wire through Decode's pointer argument.
+type dropped struct {
+	Payload []byte
+	seq     int // want `unexported field dropped\.seq is silently dropped`
+}
+
+func persist() {
+	var buf bytes.Buffer
+	var j Journal
+	_ = gob.NewEncoder(&buf).Encode(j)
+	var b BadFrame
+	_ = gob.NewEncoder(&buf).Encode(&b)
+	var d dropped
+	_ = gob.NewDecoder(&buf).Decode(&d)
+}
+
+// forward mirrors cluster.EncodeWire: the static argument type is a bare
+// empty interface, so this call roots nothing — persist-style callers of
+// forward carry the concrete types.
+func forward(v interface{}) error {
+	var buf bytes.Buffer
+	return gob.NewEncoder(&buf).Encode(v)
+}
+
+var _ = forward
+
+// fakeEncoder proves only encoding/gob's methods match: an Encode method
+// elsewhere does not make its argument a wire root.
+type fakeEncoder struct{}
+
+func (fakeEncoder) Encode(v interface{}) error { return nil }
+
+// notWire would diagnose its chan field if fake()'s call were a root.
+type notWire struct {
+	C chan int
+}
+
+func fake() {
+	_ = fakeEncoder{}.Encode(notWire{})
+}

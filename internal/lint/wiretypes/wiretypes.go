@@ -7,6 +7,11 @@
 //
 //   - the argument types of calls to the cluster package's EncodeWire and
 //     DecodeWire (the typed encode/decode boundary in cluster/wire.go);
+//   - the argument types of encoding/gob Encoder.Encode and Decoder.Decode
+//     calls (persistence files and journals are wire formats too), except
+//     arguments whose static type is a bare empty interface — the cluster
+//     wire boundary's own `v any` forwarding carries no type to root, so
+//     its callers are the roots instead;
 //   - every struct type declared in a net/rpc-importing package whose name
 //     ends in Args or Reply (the net/rpc argument/reply convention).
 //
@@ -84,6 +89,8 @@ func run(pass *analysis.Pass) (interface{}, error) {
 			case *ast.CallExpr:
 				if t, pos, ok := wireCallRoot(pass.TypesInfo, n); ok {
 					c.checkRoot(t, pos)
+				} else if t, pos, ok := gobCallRoot(pass.TypesInfo, n); ok {
+					c.checkRoot(t, pos)
 				}
 			}
 			return true
@@ -115,6 +122,38 @@ func wireCallRoot(info *types.Info, call *ast.CallExpr) (types.Type, token.Pos, 
 	}
 	tv, ok := info.Types[arg]
 	if !ok {
+		return nil, token.NoPos, false
+	}
+	return tv.Type, call.Pos(), true
+}
+
+// gobCallRoot extracts the payload type of a gob Encoder.Encode or
+// Decoder.Decode call. A call whose argument's static type is a bare empty
+// interface is not a root: it is a forwarding boundary like the cluster's
+// EncodeWire(v any), and the concrete types flow in at its call sites,
+// which root the walk themselves.
+func gobCallRoot(info *types.Info, call *ast.CallExpr) (types.Type, token.Pos, bool) {
+	obj := lintutil.Callee(info, call)
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "encoding/gob" {
+		return nil, token.NoPos, false
+	}
+	if fn.Name() != "Encode" && fn.Name() != "Decode" {
+		return nil, token.NoPos, false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || len(call.Args) != 1 {
+		return nil, token.NoPos, false
+	}
+	recv, ok := deref(sig.Recv().Type()).(*types.Named)
+	if !ok || (recv.Obj().Name() != "Encoder" && recv.Obj().Name() != "Decoder") {
+		return nil, token.NoPos, false
+	}
+	tv, ok := info.Types[call.Args[0]]
+	if !ok {
+		return nil, token.NoPos, false
+	}
+	if iface, ok := deref(tv.Type).Underlying().(*types.Interface); ok && iface.Empty() {
 		return nil, token.NoPos, false
 	}
 	return tv.Type, call.Pos(), true

@@ -8,5 +8,5 @@ import (
 )
 
 func TestWiretypes(t *testing.T) {
-	analysistest.Run(t, "testdata", wiretypes.Analyzer, "a", "b", "codec")
+	analysistest.Run(t, "testdata", wiretypes.Analyzer, "a", "b", "codec", "gobwire")
 }

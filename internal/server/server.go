@@ -68,6 +68,7 @@ type Envelope struct {
 	Load       *core.LoadGraphRequest  `json:"load,omitempty"`
 	Run        *core.RunRequest        `json:"run,omitempty"`
 	RunView    *core.RunViewRequest    `json:"runView,omitempty"`
+	Mutate     *core.MutateRequest     `json:"mutate,omitempty"`
 	PoolStats  *core.PoolStatsRequest  `json:"poolStats,omitempty"`
 }
 
@@ -84,6 +85,7 @@ func (e *Envelope) Request() (core.Request, error) {
 		{e.Load != nil, e.Load},
 		{e.Run != nil, e.Run},
 		{e.RunView != nil, e.RunView},
+		{e.Mutate != nil, e.Mutate},
 		{e.PoolStats != nil, e.PoolStats},
 	} {
 		if r.ok {
@@ -92,7 +94,7 @@ func (e *Envelope) Request() (core.Request, error) {
 		}
 	}
 	if n != 1 {
-		return nil, fmt.Errorf("server: request envelope must set exactly one of statements, load, run, runView, poolStats (got %d)", n)
+		return nil, fmt.Errorf("server: request envelope must set exactly one of statements, load, run, runView, mutate, poolStats (got %d)", n)
 	}
 	return req, nil
 }

@@ -23,6 +23,22 @@ func (b *Bitset) Set(i int) { b.words[i>>6] |= 1 << (uint(i) & 63) }
 // Get reports bit i.
 func (b *Bitset) Get(i int) bool { return b.words[i>>6]&(1<<(uint(i)&63)) != 0 }
 
+// Clear clears bit i.
+func (b *Bitset) Clear(i int) { b.words[i>>6] &^= 1 << (uint(i) & 63) }
+
+// Grow extends the bitset to n bits (no-op if already that long); new bits
+// are zero. Used when maintenance appends edges to a base graph.
+func (b *Bitset) Grow(n int) {
+	if n <= b.n {
+		return
+	}
+	words := (n + 63) / 64
+	for len(b.words) < words {
+		b.words = append(b.words, 0)
+	}
+	b.n = n
+}
+
 // Count returns the number of set bits.
 func (b *Bitset) Count() int {
 	c := 0

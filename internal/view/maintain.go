@@ -1,0 +1,201 @@
+// Incremental view maintenance: when a base graph absorbs a mutation
+// batch, every materialized view and collection re-evaluates its
+// predicates only over the touched edges — the tombstoned indices and the
+// appended index range — patching the EBM columns and editing the
+// difference stream in place instead of rematerializing (the dynamic-graph
+// follow-on to the paper; see DESIGN.md "Dynamic graphs").
+//
+// The edit discipline rests on two invariants of the mutation layer:
+// deleted edges keep their (stable) indices as tombstones, so their stream
+// entries can be located and removed by binary search; inserted edges take
+// indices strictly greater than every pre-existing one, so their entries
+// append to the tail of each sorted add/del set without merging.
+package view
+
+import (
+	"fmt"
+
+	"graphsurge/internal/graph"
+	"graphsurge/internal/gvdl"
+)
+
+// ViewDelta is one view's membership change under a mutation batch: the
+// base-graph edge indices that entered and left the view, ascending. The
+// delta for a collection's final ordered view is what the incremental run
+// path feeds into a warm replica as a new outer version.
+type ViewDelta struct {
+	Name string
+	Adds []uint32
+	Dels []uint32
+}
+
+// Empty reports a no-op delta.
+func (d ViewDelta) Empty() bool { return len(d.Adds) == 0 && len(d.Dels) == 0 }
+
+// MaintainFiltered patches a filtered view in place for one applied
+// mutation: deleted edges leave, inserted edges satisfying the (freshly
+// recompiled, parent-composed) predicate enter. Untouched edges keep their
+// membership — predicates depend only on edge properties, which are
+// immutable for existing rows.
+func MaintainFiltered(f *Filtered, pred gvdl.EdgePredicate, a graph.Applied) ViewDelta {
+	delta := ViewDelta{Name: f.Name}
+	var rem []uint32
+	for _, d := range a.Deleted {
+		if f.Contains(d) {
+			rem = append(rem, d)
+		}
+	}
+	if len(rem) > 0 {
+		f.Edges = removeSorted(f.Edges, rem)
+		delta.Dels = rem
+	}
+	for i := a.PrevEdges; i < a.PrevEdges+a.Inserted; i++ {
+		if pred(i) {
+			f.Edges = append(f.Edges, uint32(i))
+			delta.Adds = append(delta.Adds, uint32(i))
+		}
+	}
+	f.Version = a.Version
+	return delta
+}
+
+// MaintainCollection patches a materialized collection in place for one
+// applied mutation and returns each ordered view's membership delta.
+// preds holds one freshly recompiled predicate per EBM column (pre-order
+// view index), already composed with the parent view's patched membership
+// when the collection is declared over a view.
+//
+// Only touched edges are visited: a deleted edge's old row is read from
+// the EBM when it is in memory, or reconstructed by walking its
+// transitions in the difference stream when the collection was loaded from
+// disk (the EBM is not persisted); an inserted edge's new row is the
+// predicates evaluated at its index. The stream is then edited — stale
+// transition entries removed, new ones appended — and the EBM grown and
+// patched, leaving exactly the state a from-scratch rematerialization
+// would have produced.
+func MaintainCollection(c *Collection, preds []gvdl.EdgePredicate, a graph.Applied) ([]ViewDelta, error) {
+	if c.Stream == nil {
+		return nil, fmt.Errorf("view: collection %s has no difference stream", c.Name)
+	}
+	k := c.Stream.NumViews()
+	if len(preds) != k {
+		return nil, fmt.Errorf("view: collection %s has %d views, got %d predicates", c.Name, k, len(preds))
+	}
+	deltas := make([]ViewDelta, k)
+	for t := range deltas {
+		deltas[t].Name = c.Stream.Names[t]
+	}
+	remAdds := make([][]uint32, k)
+	remDels := make([][]uint32, k)
+
+	oldRow := make([]bool, k)
+	for _, e := range a.Deleted {
+		c.oldMembership(e, oldRow)
+		prev := false
+		for t, mem := range oldRow {
+			if mem && !prev {
+				remAdds[t] = append(remAdds[t], e)
+			} else if !mem && prev {
+				remDels[t] = append(remDels[t], e)
+			}
+			if mem {
+				deltas[t].Dels = append(deltas[t].Dels, e)
+			}
+			prev = mem
+		}
+	}
+	for t := range remAdds {
+		if len(remAdds[t]) > 0 {
+			c.Stream.Adds[t] = removeSorted(c.Stream.Adds[t], remAdds[t])
+		}
+		if len(remDels[t]) > 0 {
+			c.Stream.Dels[t] = removeSorted(c.Stream.Dels[t], remDels[t])
+		}
+	}
+
+	newN := a.PrevEdges + a.Inserted
+	if c.EBM != nil {
+		for _, col := range c.EBM.Cols {
+			col.Grow(newN)
+		}
+		c.EBM.NumEdges = newN
+		for _, e := range a.Deleted {
+			for _, ci := range c.Order {
+				c.EBM.Cols[ci].Clear(int(e))
+			}
+		}
+	}
+	for i := a.PrevEdges; i < newN; i++ {
+		prev := false
+		for t, ci := range c.Order {
+			mem := preds[ci](i)
+			if mem && !prev {
+				c.Stream.Adds[t] = append(c.Stream.Adds[t], uint32(i))
+			} else if !mem && prev {
+				c.Stream.Dels[t] = append(c.Stream.Dels[t], uint32(i))
+			}
+			if mem {
+				deltas[t].Adds = append(deltas[t].Adds, uint32(i))
+				if c.EBM != nil {
+					c.EBM.Cols[ci].Set(i)
+				}
+			}
+			prev = mem
+		}
+	}
+	c.Version = a.Version
+	return deltas, nil
+}
+
+// oldMembership fills row with edge e's pre-mutation membership per ordered
+// view position, reading the EBM when present and otherwise replaying the
+// edge's add/del transitions along the stream order.
+func (c *Collection) oldMembership(e uint32, row []bool) {
+	if c.EBM != nil {
+		for t, ci := range c.Order {
+			row[t] = c.EBM.Cols[ci].Get(int(e))
+		}
+		return
+	}
+	mem := false
+	for t := range row {
+		if containsSorted(c.Stream.Adds[t], e) {
+			mem = true
+		} else if containsSorted(c.Stream.Dels[t], e) {
+			mem = false
+		}
+		row[t] = mem
+	}
+}
+
+// containsSorted reports membership of v in an ascending slice.
+func containsSorted(s []uint32, v uint32) bool {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(s) && s[lo] == v
+}
+
+// removeSorted filters the ascending entries of rem out of the ascending
+// list, in place. Every rem entry is known present (callers only schedule
+// removals for transitions they observed).
+func removeSorted(list, rem []uint32) []uint32 {
+	out := list[:0]
+	j := 0
+	for _, v := range list {
+		for j < len(rem) && rem[j] < v {
+			j++
+		}
+		if j < len(rem) && rem[j] == v {
+			continue
+		}
+		out = append(out, v)
+	}
+	return out
+}

@@ -24,6 +24,13 @@ import (
 // not failure.
 var ErrInvalidName = errors.New("invalid name")
 
+// ErrStale marks a persisted view or collection whose recorded base-graph
+// version no longer matches the graph's: the graph mutated while this
+// artifact was not being maintained (for example, mutations applied through
+// a store the view layer never saw). Serving it would silently mix
+// versions, so loads fail closed; re-create the artifact to clear it.
+var ErrStale = errors.New("stale artifact")
+
 // validName rejects view/collection names that could escape the data
 // directory when joined into a path: empty names, the dot paths "." and
 // "..", and names containing either flavor of path separator (both are
@@ -37,11 +44,17 @@ func validName(name string) error {
 	return nil
 }
 
-// filteredGob is the on-disk form of a Filtered view.
+// filteredGob is the on-disk form of a Filtered view. PredSrc, On and
+// Version ride along for incremental maintenance; pre-mutation files decode
+// them to zero values (not maintainable, version 0), which still load
+// cleanly against a never-mutated base graph.
 type filteredGob struct {
-	Name  string
-	Base  string
-	Edges []uint32
+	Name    string
+	Base    string
+	Edges   []uint32
+	PredSrc string
+	On      string
+	Version uint64
 }
 
 // SaveFiltered persists a filtered view under dir.
@@ -60,7 +73,10 @@ func SaveFiltered(dir string, f *Filtered) error {
 		return err
 	}
 	defer file.Close()
-	return gob.NewEncoder(file).Encode(filteredGob{Name: f.Name, Base: f.Base.Name, Edges: f.Edges})
+	return gob.NewEncoder(file).Encode(filteredGob{
+		Name: f.Name, Base: f.Base.Name, Edges: f.Edges,
+		PredSrc: f.PredSrc, On: f.On, Version: f.Version,
+	})
 }
 
 // LoadFiltered loads a persisted filtered view, resolving its base graph
@@ -82,7 +98,11 @@ func LoadFiltered(dir, name string, lookup func(string) (*graph.Graph, error)) (
 	if err != nil {
 		return nil, fmt.Errorf("view %q: %w", name, err)
 	}
-	f := &Filtered{Name: fg.Name, Base: base, Edges: fg.Edges}
+	if fg.Version != base.Version {
+		return nil, fmt.Errorf("view %q: %w: reflects graph %s at version %d, graph is at %d",
+			name, ErrStale, base.Name, fg.Version, base.Version)
+	}
+	f := &Filtered{Name: fg.Name, Base: base, Edges: fg.Edges, PredSrc: fg.PredSrc, On: fg.On, Version: fg.Version}
 	for _, e := range f.Edges {
 		if int(e) >= base.NumEdges() {
 			return nil, fmt.Errorf("view %q: edge index %d out of range for graph %s", name, e, base.Name)
@@ -101,6 +121,10 @@ type collectionGob struct {
 	Adds  [][]uint32
 	Dels  [][]uint32
 	EBMs  int // number of views, for validation
+	// Maintenance metadata; zero-valued in pre-mutation files.
+	PredSrcs []string
+	On       string
+	Version  uint64
 }
 
 // SaveCollection persists a materialized collection's difference stream
@@ -122,13 +146,16 @@ func SaveCollection(dir string, c *Collection) error {
 	}
 	defer file.Close()
 	return gob.NewEncoder(file).Encode(collectionGob{
-		Name:  c.Name,
-		Base:  c.Graph.Name,
-		Order: c.Order,
-		Names: c.Stream.Names,
-		Adds:  c.Stream.Adds,
-		Dels:  c.Stream.Dels,
-		EBMs:  c.Stream.NumViews(),
+		Name:     c.Name,
+		Base:     c.Graph.Name,
+		Order:    c.Order,
+		Names:    c.Stream.Names,
+		Adds:     c.Stream.Adds,
+		Dels:     c.Stream.Dels,
+		EBMs:     c.Stream.NumViews(),
+		PredSrcs: c.PredSrcs,
+		On:       c.On,
+		Version:  c.Version,
 	})
 }
 
@@ -154,10 +181,17 @@ func LoadCollection(dir, name string, lookup func(string) (*graph.Graph, error))
 		return nil, fmt.Errorf("view: collection %q is corrupt (%d/%d/%d views, want %d)",
 			name, len(cg.Names), len(cg.Adds), len(cg.Dels), cg.EBMs)
 	}
+	if cg.Version != base.Version {
+		return nil, fmt.Errorf("collection %q: %w: reflects graph %s at version %d, graph is at %d",
+			name, ErrStale, base.Name, cg.Version, base.Version)
+	}
 	return &Collection{
-		Name:   cg.Name,
-		Graph:  base,
-		Order:  cg.Order,
-		Stream: &DiffStream{Names: cg.Names, Adds: cg.Adds, Dels: cg.Dels},
+		Name:     cg.Name,
+		Graph:    base,
+		Order:    cg.Order,
+		Stream:   &DiffStream{Names: cg.Names, Adds: cg.Adds, Dels: cg.Dels},
+		PredSrcs: cg.PredSrcs,
+		On:       cg.On,
+		Version:  cg.Version,
 	}, nil
 }

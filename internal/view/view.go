@@ -22,21 +22,48 @@ type Filtered struct {
 	Name  string
 	Base  *graph.Graph
 	Edges []uint32 // indices into the base graph's edge arrays, ascending
+
+	// PredSrc is the view's predicate in re-parseable GVDL source form,
+	// retained so the view can be incrementally maintained when its base
+	// graph mutates (predicates are compiled closures over the graph's
+	// column slices and must be recompiled after appends). Empty for
+	// programmatic views, which are not maintainable.
+	PredSrc string
+	// On names the parent filtered view when this is a view over a view;
+	// empty when the view filters the base graph directly.
+	On string
+	// Version is the base graph version this materialization reflects.
+	Version uint64
 }
 
 // NumEdges returns the view's edge count.
 func (f *Filtered) NumEdges() int { return len(f.Edges) }
 
+// Contains reports whether base edge index e is in the view (binary search
+// over the ascending edge list).
+func (f *Filtered) Contains(e uint32) bool {
+	lo, hi := 0, len(f.Edges)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if f.Edges[mid] < e {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(f.Edges) && f.Edges[lo] == e
+}
+
 // MaterializeView evaluates a filtered-view statement against its base
-// graph.
+// graph. Tombstoned edges are never members.
 func MaterializeView(g *graph.Graph, stmt *gvdl.CreateView) (*Filtered, error) {
 	pred, err := gvdl.CompileEdgePredicate(g, stmt.Where)
 	if err != nil {
 		return nil, fmt.Errorf("view %s: %w", stmt.Name, err)
 	}
-	f := &Filtered{Name: stmt.Name, Base: g}
+	f := &Filtered{Name: stmt.Name, Base: g, PredSrc: stmt.Where.String(), Version: g.Version}
 	for i := 0; i < g.NumEdges(); i++ {
-		if pred(i) {
+		if g.EdgeAlive(i) && pred(i) {
 			f.Edges = append(f.Edges, uint32(i))
 		}
 	}
@@ -85,9 +112,9 @@ func BuildEBM(g *graph.Graph, names []string, preds []gvdl.EdgePredicate, worker
 			for j, p := range preds {
 				col := m.Cols[j]
 				// Word-aligned ranges per worker make concurrent writes to
-				// distinct words safe.
+				// distinct words safe. Tombstoned edges are never members.
 				for i := lo; i < hi; i++ {
-					if p(i) {
+					if g.EdgeAlive(i) && p(i) {
 						col.Set(i)
 					}
 				}
@@ -138,6 +165,11 @@ func (d *DiffStream) ViewSizes() []int {
 // MaterializeDiffs walks each edge's row of the EBM in the given column
 // order and emits ±1 transitions, yielding the difference stream. Per-edge
 // work is independent (embarrassingly parallel).
+//
+// Degenerate collections short-circuit: a single-view collection's stream
+// is just that view's members as the first add set (no transitions to
+// walk), and a collection whose views are all empty has an all-empty
+// stream — both skip the per-edge row walk entirely.
 func MaterializeDiffs(m *EBM, order []int) *DiffStream {
 	k := len(order)
 	d := &DiffStream{
@@ -147,6 +179,29 @@ func MaterializeDiffs(m *EBM, order []int) *DiffStream {
 	}
 	for t, c := range order {
 		d.Names[t] = m.Names[c]
+	}
+	if k == 0 {
+		return d
+	}
+	if k == 1 {
+		col := m.Cols[order[0]]
+		d.Adds[0] = make([]uint32, 0, col.Count())
+		for i := 0; i < m.NumEdges; i++ {
+			if col.Get(i) {
+				d.Adds[0] = append(d.Adds[0], uint32(i))
+			}
+		}
+		return d
+	}
+	allEmpty := true
+	for _, c := range order {
+		if m.Cols[c].Count() != 0 {
+			allEmpty = false
+			break
+		}
+	}
+	if allEmpty {
+		return d
 	}
 	for i := 0; i < m.NumEdges; i++ {
 		prev := false
@@ -166,8 +221,32 @@ func MaterializeDiffs(m *EBM, order []int) *DiffStream {
 // OptimizeOrder runs the collection ordering optimizer (Algorithm 1): pad a
 // zero column, compute pairwise Hamming distances between EBM columns, and
 // order via the CBMP1.5/Christofides reduction.
+//
+// Degenerate inputs skip the Hamming matrix and the solver entirely: zero
+// or one view has only one possible order, and all-empty views make every
+// order cost zero, so the written order is returned as-is.
 func OptimizeOrder(m *EBM) []int {
 	k := m.NumViews()
+	switch k {
+	case 0:
+		return []int{}
+	case 1:
+		return []int{0}
+	}
+	allEmpty := true
+	for _, c := range m.Cols {
+		if c.Count() != 0 {
+			allEmpty = false
+			break
+		}
+	}
+	if allEmpty {
+		order := make([]int, k)
+		for i := range order {
+			order[i] = i
+		}
+		return order
+	}
 	// Distance matrix over k view columns plus the zero column (index k).
 	dist := make([][]int64, k+1)
 	for i := range dist {
@@ -231,6 +310,17 @@ type Collection struct {
 	Order   []int // column order used
 	Stream  *DiffStream
 	Timings Timings
+
+	// PredSrcs holds each view's predicate in re-parseable GVDL source form,
+	// parallel to the EBM columns (pre-order view index), retained for
+	// incremental maintenance. Nil for programmatic collections, which are
+	// not maintainable.
+	PredSrcs []string
+	// On names the parent filtered view when the collection was declared
+	// over a view; empty when it filters the base graph directly.
+	On string
+	// Version is the base graph version this materialization reflects.
+	Version uint64
 }
 
 // NewCollection wraps a pre-computed difference stream as a materialized
@@ -242,7 +332,7 @@ func NewCollection(name string, g *graph.Graph, stream *DiffStream) *Collection 
 	for i := range order {
 		order[i] = i
 	}
-	return &Collection{Name: name, Graph: g, Order: order, Stream: stream}
+	return &Collection{Name: name, Graph: g, Order: order, Stream: stream, Version: g.Version}
 }
 
 // Materialize runs the three-step pipeline of §3.2: EBM computation,
@@ -250,14 +340,21 @@ func NewCollection(name string, g *graph.Graph, stream *DiffStream) *Collection 
 func Materialize(g *graph.Graph, stmt *gvdl.CreateCollection, opts Options) (*Collection, error) {
 	names := make([]string, len(stmt.Views))
 	preds := make([]gvdl.EdgePredicate, len(stmt.Views))
+	srcs := make([]string, len(stmt.Views))
 	for i, v := range stmt.Views {
 		p, err := gvdl.CompileEdgePredicate(g, v.Pred)
 		if err != nil {
 			return nil, fmt.Errorf("collection %s, view %s: %w", stmt.Name, v.Name, err)
 		}
 		names[i], preds[i] = v.Name, p
+		srcs[i] = v.Pred.String()
 	}
-	return materialize(stmt.Name, g, names, preds, opts)
+	c, err := materialize(stmt.Name, g, names, preds, opts)
+	if err != nil {
+		return nil, err
+	}
+	c.PredSrcs = srcs
+	return c, nil
 }
 
 // MaterializeFromPredicates materializes a collection from pre-compiled
@@ -273,7 +370,7 @@ func materialize(name string, g *graph.Graph, names []string, preds []gvdl.EdgeP
 	if len(preds) == 0 {
 		return nil, fmt.Errorf("collection %s: no views", name)
 	}
-	c := &Collection{Name: name, Graph: g}
+	c := &Collection{Name: name, Graph: g, Version: g.Version}
 
 	start := time.Now()
 	c.EBM = BuildEBM(g, names, preds, opts.Workers)
