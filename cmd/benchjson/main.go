@@ -13,11 +13,18 @@
 // allocation counters (allocs/op, B/op) and the cluster benchmarks'
 // wire-bytes/op metric are additionally lifted to stable top-level fields
 // for trajectory tooling.
+//
+// -metrics FILE additionally folds a Prometheus text scrape (a saved
+// `curl /metrics` body — see internal/obs) into the report's top-level
+// "metrics" map: counters and gauges by name, histograms as NAME_count and
+// NAME_sum. CI's metrics-smoke scrapes the serve process after its runs and
+// archives the snapshot alongside the benchmarks.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -51,6 +58,36 @@ type Benchmark struct {
 // Report is the top-level BENCH.json document.
 type Report struct {
 	Benchmarks []Benchmark `json:"benchmarks"`
+	// Metrics is a flat snapshot parsed from a Prometheus text scrape
+	// (-metrics FILE): counter and gauge samples by series name, histograms
+	// as their _count and _sum samples (per-bucket lines are skipped — the
+	// trajectory cares about totals, not shape). Absent without -metrics.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// parseProm parses Prometheus text exposition into a name → value map,
+// keeping scalar samples (counters, gauges, histogram _count/_sum) and
+// skipping comments and bucket lines.
+func parseProm(r io.Reader) (map[string]float64, error) {
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, value, ok := strings.Cut(line, " ")
+		if !ok || strings.Contains(name, "{") {
+			continue // labeled samples (histogram buckets) are shape, not totals
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(value), 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchjson: bad metric sample %q: %v", line, err)
+		}
+		out[name] = v
+	}
+	return out, sc.Err()
 }
 
 // parseLine parses one `go test -bench` output line, reporting ok=false for
@@ -78,9 +115,10 @@ func parseLine(line string) (Benchmark, bool) {
 	return b, true
 }
 
-// convert reads bench output from r and writes the JSON report to w.
-func convert(r io.Reader, w io.Writer) error {
-	rep := Report{Benchmarks: []Benchmark{}}
+// convert reads bench output from r and writes the JSON report to w,
+// folding in the metrics snapshot when one was provided.
+func convert(r io.Reader, w io.Writer, metrics map[string]float64) error {
+	rep := Report{Benchmarks: []Benchmark{}, Metrics: metrics}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -97,7 +135,23 @@ func convert(r io.Reader, w io.Writer) error {
 }
 
 func main() {
-	if err := convert(os.Stdin, os.Stdout); err != nil {
+	metricsPath := flag.String("metrics", "", "Prometheus text scrape to fold into the report's metrics map")
+	flag.Parse()
+	var metrics map[string]float64
+	if *metricsPath != "" {
+		f, err := os.Open(*metricsPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		metrics, err = parseProm(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if err := convert(os.Stdin, os.Stdout, metrics); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}

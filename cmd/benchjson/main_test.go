@@ -20,7 +20,7 @@ ok  	graphsurge	3.211s
 
 func TestConvert(t *testing.T) {
 	var out bytes.Buffer
-	if err := convert(strings.NewReader(sample), &out); err != nil {
+	if err := convert(strings.NewReader(sample), &out, nil); err != nil {
 		t.Fatal(err)
 	}
 	var rep Report
@@ -58,10 +58,47 @@ func TestConvert(t *testing.T) {
 	}
 }
 
+// TestParsePromAndFold: a Prometheus text scrape parses into the report's
+// metrics map — scalar samples kept, comments and bucket lines skipped.
+func TestParsePromAndFold(t *testing.T) {
+	prom := `# HELP graphsurge_runs_started_total Counter of runs started.
+# TYPE graphsurge_runs_started_total counter
+graphsurge_runs_started_total 7
+graphsurge_runs_inflight 0
+# TYPE graphsurge_segment_setup_seconds histogram
+graphsurge_segment_setup_seconds_bucket{le="0.0001"} 2
+graphsurge_segment_setup_seconds_bucket{le="+Inf"} 12
+graphsurge_segment_setup_seconds_sum 0.0421
+graphsurge_segment_setup_seconds_count 12
+`
+	m, err := parseProm(strings.NewReader(prom))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["graphsurge_runs_started_total"] != 7 || m["graphsurge_segment_setup_seconds_count"] != 12 {
+		t.Fatalf("parsed metrics: %+v", m)
+	}
+	if _, ok := m[`graphsurge_segment_setup_seconds_bucket{le="+Inf"}`]; ok {
+		t.Fatal("bucket sample leaked into the flat map")
+	}
+
+	var out bytes.Buffer
+	if err := convert(strings.NewReader(sample), &out, m); err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Metrics["graphsurge_runs_started_total"] != 7 {
+		t.Fatalf("report metrics: %+v", rep.Metrics)
+	}
+}
+
 func TestConvertIgnoresNoise(t *testing.T) {
 	var out bytes.Buffer
 	noise := "Benchmark\nBenchmarkX not-a-number ns/op\n--- FAIL: TestFoo\n"
-	if err := convert(strings.NewReader(noise), &out); err != nil {
+	if err := convert(strings.NewReader(noise), &out, nil); err != nil {
 		t.Fatal(err)
 	}
 	var rep Report

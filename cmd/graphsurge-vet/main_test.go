@@ -9,9 +9,11 @@ import (
 )
 
 // TestVetCatchesSeededRegressions is the lint suite's own regression test:
-// it copies the repository source to a scratch directory, re-introduces two
+// it copies the repository source to a scratch directory, re-introduces
 // historical bug shapes — a context.TODO() severing the worker's cancellation
-// chain and a dropped Pool.Release — and asserts that a graphsurge-vet run
+// chain, a dropped Pool.Release, and a shard-span End demoted to the happy
+// path only — and asserts
+// that a graphsurge-vet run
 // over the mutated packages fails naming the right analyzer. A clean copy
 // must vet clean first, so the test also pins that the tool has no spurious
 // findings on the shipped tree.
@@ -67,6 +69,13 @@ func TestVetCatchesSeededRegressions(t *testing.T) {
 			pkg:      "./internal/analytics/",
 			anchor:   "\tp.Release(r1)\n",
 			mutation: "",
+		},
+		{
+			name:     "spanend",
+			file:     filepath.Join("internal", "cluster", "coordinator.go"),
+			pkg:      "./internal/cluster/",
+			anchor:   "\t\t\t\tspan.End()\n",
+			mutation: "\t\t\t\tif err == nil {\n\t\t\t\t\tspan.End()\n\t\t\t\t}\n",
 		},
 	}
 	for _, seed := range seeds {

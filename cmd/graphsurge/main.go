@@ -31,6 +31,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -42,6 +43,7 @@ import (
 	"graphsurge/internal/cluster"
 	"graphsurge/internal/core"
 	"graphsurge/internal/datagen"
+	"graphsurge/internal/obs"
 	"graphsurge/internal/schedule"
 	"graphsurge/internal/server"
 	"graphsurge/internal/view"
@@ -85,13 +87,16 @@ func usage() {
   graphsurge run   -data DIR (-collection NAME | -view NAME) -algorithm ALG [-gvdl STMTS]
                    [-mode diff|scratch|adaptive] [-workers N] [-parallel N] [-weight PROP]
                    [-schedule fifo|lpt] [-speculate] [-incremental] [-source ID] [-ordering optimize]
-                   [-cluster HOST:PORT,...]
+                   [-cluster HOST:PORT,...] [-trace] [-progress]
+                   [-profile cpu|heap] [-profile-out FILE]
   graphsurge mutate -data DIR -graph NAME -json FILE
   graphsurge gen    -out DIR [-nodes N] [-edges M] [-days D] [-seed S]
                     [-split-day K] [-name NAME]
   graphsurge worker -listen ADDR [-workers N] [-parallel N]
+                    [-http ADDR] [-log-level LEVEL]
   graphsurge serve  -listen ADDR [-data DIR] [-workers N] [-parallel N]
                     [-ordering optimize] [-cluster HOST:PORT,...]
+                    [-log-level LEVEL] [-pprof]
 algorithms: wcc, bfs, sssp, pagerank, scc, degree
 -parallel runs up to N independent collection segments concurrently, each on
 its own dataflow replica (scratch mode: every view; adaptive mode: as the
@@ -132,7 +137,16 @@ request ({"statements":...}, {"run":...}, {"runView":...}, {"load":...},
 finish, then the summary and one result record per vertex. Disconnecting
 mid-run cancels it (segment dispatch stops, replicas return to their
 pools), locally and with -cluster. Interrupting a run (Ctrl-C) cancels the
-same way.`)
+same way.
+Observability: every run is traced (plan, segment, shard and worker spans
+under one run span — cluster workers stitch their spans into the
+coordinator's trace). run -trace prints the span tree; -progress streams a
+line per finished segment; -profile cpu|heap writes a pprof profile of the
+run. serve exposes Prometheus metrics at GET /metrics and finished-run
+traces at GET /v1/traces/RUNID (NDJSON; run IDs appear in run summaries);
+-pprof mounts /debug/pprof/. worker -http ADDR serves the same /metrics and
+pprof for the worker process. -log-level enables structured logs on stderr
+for serve (request/run events) and worker (shard events).`)
 }
 
 func cmdLoad(args []string) error {
@@ -218,8 +232,8 @@ func cmdQuery(args []string) error {
 // worker that cannot be reached fails registration rather than running
 // silently degraded; the caller owns Close. ctx bounds the registration
 // dials, so Ctrl-C during startup aborts instead of waiting out each dial.
-func coordinatorFor(ctx context.Context, e *core.Engine, addrs string) (*cluster.Coordinator, error) {
-	coord := cluster.NewCoordinator(e, cluster.Options{})
+func coordinatorFor(ctx context.Context, e *core.Engine, addrs string, log *slog.Logger) (*cluster.Coordinator, error) {
+	coord := cluster.NewCoordinator(e, cluster.Options{Logger: log})
 	for _, addr := range strings.Split(addrs, ",") {
 		if addr = strings.TrimSpace(addr); addr == "" {
 			continue
@@ -381,6 +395,8 @@ func cmdWorker(args []string) error {
 	workers := fs.Int("workers", 1, "dataflow workers per replica")
 	parallel := fs.Int("parallel", 1, "shards run concurrently (advertised capacity)")
 	data := fs.String("data", "", "data directory (optional; shards are self-contained)")
+	httpAddr := fs.String("http", "", "address for the worker's HTTP observability listener (/metrics, /debug/pprof/); empty disables it")
+	logLevel := fs.String("log-level", "", "structured log level on stderr: debug | info | warn | error; empty logs nothing")
 	fs.Parse(args)
 	e, err := core.NewEngine(core.Options{DataDir: *data, Workers: *workers, Parallelism: *parallel})
 	if err != nil {
@@ -391,6 +407,24 @@ func cmdWorker(args []string) error {
 		return err
 	}
 	srv := cluster.NewServer(e, *parallel)
+	if *logLevel != "" {
+		level, err := obs.ParseLevel(*logLevel)
+		if err != nil {
+			return err
+		}
+		srv.SetLogger(obs.NewLogger(os.Stderr, level))
+	}
+	if *httpAddr != "" {
+		hl, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			return err
+		}
+		mux := http.NewServeMux()
+		mux.Handle("GET /metrics", obs.MetricsHandler())
+		obs.RegisterPprof(mux)
+		go http.Serve(hl, mux) //nolint:errcheck // dies with the process, like the RPC listener
+		fmt.Printf("worker metrics on %s\n", hl.Addr())
+	}
 	// Printed once the listener is live, so scripts can wait on this line.
 	fmt.Printf("worker listening on %s (capacity %d, workers %d)\n", l.Addr(), *parallel, *workers)
 	srv.Serve(l) // serves until the process is killed
@@ -409,6 +443,8 @@ func cmdServe(args []string) error {
 	parallel := fs.Int("parallel", 1, "default run parallelism (engine default)")
 	ordering := fs.String("ordering", "", `"optimize" to run the collection ordering optimizer`)
 	clusterAddrs := fs.String("cluster", "", "comma-separated worker addresses to shard static-plan runs across")
+	logLevel := fs.String("log-level", "", "structured log level on stderr: debug | info | warn | error; empty logs nothing")
+	pprof := fs.Bool("pprof", false, "mount /debug/pprof/ on the HTTP listener")
 	fs.Parse(args)
 	e, err := engineFor(*data, *ordering, *workers, *parallel)
 	if err != nil {
@@ -417,9 +453,16 @@ func cmdServe(args []string) error {
 	defer e.Close()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	var opts server.Options
+	opts := server.Options{EnablePprof: *pprof}
+	if *logLevel != "" {
+		level, err := obs.ParseLevel(*logLevel)
+		if err != nil {
+			return err
+		}
+		opts.Logger = obs.NewLogger(os.Stderr, level)
+	}
 	if *clusterAddrs != "" {
-		coord, err := coordinatorFor(ctx, e, *clusterAddrs)
+		coord, err := coordinatorFor(ctx, e, *clusterAddrs, opts.Logger)
 		if err != nil {
 			return err
 		}
@@ -465,6 +508,10 @@ func cmdRun(args []string) error {
 	source := fs.Uint64("source", 0, "source vertex for bfs/sssp")
 	ordering := fs.String("ordering", "", `"optimize" to run the collection ordering optimizer`)
 	top := fs.Int("top", 10, "print the top-N result vertices")
+	trace := fs.Bool("trace", false, "print the run's span tree after the summary")
+	progress := fs.Bool("progress", false, "stream segment completion lines as segments finish")
+	profile := fs.String("profile", "", "write a pprof profile of the run: cpu | heap")
+	profileOut := fs.String("profile-out", "", "profile output path (default graphsurge.<kind>.pprof)")
 	fs.Parse(args)
 	if *collection == "" && *viewName == "" {
 		return fmt.Errorf("run: -collection or -view is required")
@@ -525,27 +572,52 @@ func cmdRun(args []string) error {
 			Incremental: *incremental,
 		},
 	}
+	// All run output flows through one LockedWriter: each renderer issues its
+	// block as a single Write, so -progress lines firing from concurrent
+	// segment goroutines interleave with the summary only at block boundaries.
+	out := core.NewLockedWriter(os.Stdout)
+	if *progress {
+		req.Options.OnSegment = func(st core.SegmentStats) { core.WriteSegmentProgress(out, st) }
+	}
 	var coord *cluster.Coordinator
 	if *clusterAddrs != "" {
-		if coord, err = coordinatorFor(ctx, e, *clusterAddrs); err != nil {
+		if coord, err = coordinatorFor(ctx, e, *clusterAddrs, nil); err != nil {
 			return err
 		}
 		defer coord.Close()
 		req.Runner = coord
 	}
+	var prof *obs.Profile
+	if *profile != "" {
+		path := *profileOut
+		if path == "" {
+			path = "graphsurge." + *profile + ".pprof"
+		}
+		if prof, err = obs.StartProfile(*profile, path); err != nil {
+			return err
+		}
+	}
 	resp, err := sess.Do(ctx, req)
+	if perr := prof.Stop(); perr != nil && err == nil {
+		err = perr
+	}
 	if err != nil {
 		return err
 	}
 	res := resp.(*core.RunResult)
-	core.WriteRunSummary(os.Stdout, res)
+	core.WriteRunSummary(out, res)
 	if *speculate {
-		core.WriteSpeculation(os.Stdout, res)
+		core.WriteSpeculation(out, res)
 	}
 	if coord != nil {
-		coord.WriteStats(os.Stdout)
+		coord.WriteStats(out)
 	}
-	core.WritePoolStats(os.Stdout, e.PoolStats())
-	core.WriteResults(os.Stdout, res.FinalResults(), *top)
+	core.WritePoolStats(out, e.PoolStats())
+	core.WriteResults(out, res.FinalResults(), *top)
+	if *trace {
+		if tr := e.Traces().Get(res.RunID); tr != nil {
+			obs.WriteTree(out, tr.Records())
+		}
+	}
 	return nil
 }

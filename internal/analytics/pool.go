@@ -4,6 +4,8 @@ import (
 	"context"
 	"sync"
 	"time"
+
+	"graphsurge/internal/obs"
 )
 
 // Resettable is implemented by runners that can return themselves to their
@@ -237,6 +239,7 @@ func (p *Pool) prepare(r Runner) (Runner, time.Duration, error) {
 				p.mu.Lock()
 				p.reused++
 				p.mu.Unlock()
+				obs.M.PoolReused.Inc()
 				return r, time.Since(start), nil
 			}
 		}
@@ -252,6 +255,7 @@ func (p *Pool) prepare(r Runner) (Runner, time.Duration, error) {
 	p.mu.Lock()
 	p.built++
 	p.mu.Unlock()
+	obs.M.PoolBuilt.Inc()
 	return r, time.Since(start), nil
 }
 
@@ -299,6 +303,7 @@ func (p *Pool) Release(r Runner) {
 	if _, ok := r.(Resettable); ok {
 		if p.maxIdle > 0 && len(p.idle) >= p.maxIdle {
 			p.dropped++
+			obs.M.PoolDropped.Inc()
 		} else {
 			p.idle = append(p.idle, idleReplica{r: r, since: time.Now()})
 		}

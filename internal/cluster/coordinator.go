@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/rpc"
 	"sync"
@@ -12,6 +13,7 @@ import (
 
 	"graphsurge/internal/analytics"
 	"graphsurge/internal/core"
+	"graphsurge/internal/obs"
 	"graphsurge/internal/schedule"
 	"graphsurge/internal/view"
 )
@@ -28,6 +30,10 @@ type Options struct {
 	Heartbeat time.Duration
 	// DialTimeout bounds AddWorker's dial and handshake (0 = 5 seconds).
 	DialTimeout time.Duration
+	// Logger receives the coordinator's structured membership and failure
+	// events (worker registered/killed/redialed, shards re-queued). nil
+	// discards them.
+	Logger *slog.Logger
 }
 
 func (o *Options) defaults() {
@@ -197,8 +203,19 @@ func (w *workerConn) runSegment(ctx context.Context, spec *core.SegmentSpec) (*c
 	}
 	var reply RunSegmentReply
 	args := &RunSegmentArgs{Spec: payload, TimeoutMillis: w.jobTimeout.Milliseconds()}
+	tr := obs.FromContext(ctx)
+	if tr != nil {
+		// Ship the trace context (the caller's shard span) so the worker's
+		// spans come back parented under it.
+		args.RunID = tr.RunID()
+		args.Trace = obs.CurrentSpanContext(ctx)
+	}
+	obs.M.WireBytes.Add(int64(len(payload)))
 	if err := callClient(ctx, client, w.addr, ServiceName+".RunSegment", args, &reply, w.jobTimeout); err != nil {
 		return nil, client, err
+	}
+	if tr != nil {
+		tr.AddRecords(reply.Spans)
 	}
 	// Stamp what actually crossed the network: the encoded spec size, under
 	// the columnar edge codec. The worker can't know it (it sees the payload
@@ -235,6 +252,7 @@ type RunStats struct {
 type Coordinator struct {
 	eng  *core.Engine
 	opts Options
+	log  *slog.Logger
 
 	mu      sync.Mutex
 	workers []*workerConn
@@ -244,7 +262,11 @@ type Coordinator struct {
 // NewCoordinator creates a coordinator around a local engine.
 func NewCoordinator(eng *core.Engine, opts Options) *Coordinator {
 	opts.defaults()
-	return &Coordinator{eng: eng, opts: opts}
+	log := opts.Logger
+	if log == nil {
+		log = obs.Discard()
+	}
+	return &Coordinator{eng: eng, opts: opts, log: log}
 }
 
 // dialWorker dials an address and completes the Hello handshake, returning
@@ -288,6 +310,7 @@ func (c *Coordinator) AddWorker(ctx context.Context, addr string) error {
 	c.mu.Lock()
 	c.workers = append(c.workers, w)
 	c.mu.Unlock()
+	c.log.Info("cluster: worker registered", obs.WorkerID(addr), slog.Int("capacity", capacity))
 	return nil
 }
 
@@ -334,6 +357,8 @@ func (c *Coordinator) redialDead(ctx context.Context) {
 				return
 			}
 			w.revive(client, capacity)
+			obs.M.WorkerRedials.Inc()
+			c.log.Info("cluster: worker redialed", obs.WorkerID(w.addr), slog.Int("capacity", capacity))
 		}(w)
 	}
 	wg.Wait()
@@ -441,7 +466,7 @@ func (c *Coordinator) RunOn(ctx context.Context, col *view.Collection, comp anal
 // their own engines and keep their replicas pooled; they are not marked
 // dead), and locally re-queued shards cancel through the engine's own ctx
 // path. A canceled run returns ctx's error and no result.
-func (c *Coordinator) RunCollection(ctx context.Context, col *view.Collection, comp analytics.Computation, ropts core.RunOptions) (*core.RunResult, error) {
+func (c *Coordinator) RunCollection(ctx context.Context, col *view.Collection, comp analytics.Computation, ropts core.RunOptions) (res *core.RunResult, err error) {
 	start := time.Now()
 	wireSpec, ok := analytics.SpecOf(comp)
 	k := col.Stream.NumViews()
@@ -458,8 +483,32 @@ func (c *Coordinator) RunCollection(ctx context.Context, col *view.Collection, c
 		c.mu.Lock()
 		c.stats = RunStats{Remote: map[string]int{}}
 		c.mu.Unlock()
+		c.log.Info("cluster: run degraded to local engine",
+			slog.String("collection", col.Name), slog.Bool("shardable", ok),
+			slog.Int("views", k), slog.Int("workers_alive", len(alive)))
 		return c.eng.RunOn(ctx, col, comp, ropts)
 	}
+	// The sharded path is a run in its own right: it gets the same root
+	// span and run counters the local executor gives engine runs, so shard
+	// spans nest under "run" and /metrics on a coordinator process counts
+	// cluster runs. (The degrade branch above went through the engine,
+	// which instruments itself.)
+	ctx, span := obs.StartSpan(ctx, "run",
+		obs.String("collection", col.Name),
+		obs.String("computation", comp.Name()),
+		obs.String("mode", ropts.Mode.String()))
+	obs.M.RunsStarted.Inc()
+	obs.M.RunsInflight.Add(1)
+	defer func() {
+		span.End()
+		obs.M.RunsInflight.Add(-1)
+		if err != nil {
+			obs.M.RunsCanceled.Inc()
+		} else {
+			obs.M.RunsFinished.Inc()
+		}
+	}()
+
 	// ropts.Workers is shipped as-is: 0 means "the executing engine's
 	// default", letting each worker apply its own -workers setting; an
 	// explicit value pins every replica's dataflow parallelism cluster-wide.
@@ -492,6 +541,13 @@ func (c *Coordinator) RunCollection(ctx context.Context, col *view.Collection, c
 		}
 	}
 	assign, _ := schedule.AssignLPT(est.PlanCosts(plan, sizes, diffs), len(slots))
+	runID := ""
+	if tr := obs.FromContext(ctx); tr != nil {
+		runID = tr.RunID()
+	}
+	c.log.Info("cluster: run sharded", obs.RunID(runID),
+		slog.String("collection", col.Name), slog.Int("segments", len(plan.Segments)),
+		slog.Int("workers", len(alive)), slog.Int("slots", len(slots)))
 	slotOf := make([]int, len(plan.Segments))
 	for b, idxs := range assign {
 		// Buffered to the slot's full assignment: the shard builder never
@@ -597,6 +653,8 @@ func (c *Coordinator) RunCollection(ctx context.Context, col *view.Collection, c
 						//lint:ignore ctxflow heartbeat liveness is bounded by its own interval, not the run's ctx
 						if err := callClient(context.Background(), client, w.addr, ServiceName+".Ping", &PingArgs{}, &reply, 2*c.opts.Heartbeat); err != nil {
 							if misses++; misses >= 2 {
+								obs.M.HeartbeatFailures.Inc()
+								c.log.Warn("cluster: worker killed after missed heartbeats", obs.WorkerID(w.addr), slog.Int("misses", misses))
 								w.killClient(client)
 								return
 							}
@@ -622,7 +680,14 @@ func (c *Coordinator) RunCollection(ctx context.Context, col *view.Collection, c
 					requeue(sp)
 					continue
 				}
-				out, observed, err := s.w.runSegment(ctx, sp)
+				// The shard span is the wire boundary: runSegment ships its
+				// context to the worker, whose returned spans stitch in as its
+				// children. Ended per iteration (never deferred in the loop) so
+				// a long slot backlog can't hold spans open.
+				sctx, span := obs.StartSpan(ctx, "shard",
+					obs.String("worker", s.w.addr), obs.Int("start", sp.Start), obs.Int("end", sp.End))
+				out, observed, err := s.w.runSegment(sctx, sp)
+				span.End()
 				if err != nil {
 					if ctx.Err() != nil {
 						// Cancellation, not failure: the in-flight call is
@@ -637,6 +702,8 @@ func (c *Coordinator) RunCollection(ctx context.Context, col *view.Collection, c
 					// concurrent run's redial may already have installed a
 					// fresh one.
 					s.w.killClient(observed)
+					c.log.Warn("cluster: shard failed on worker, re-queueing locally",
+						obs.WorkerID(s.w.addr), slog.Int("start", sp.Start), slog.Int("end", sp.End), slog.Any("error", err))
 					requeue(sp)
 					continue
 				}
@@ -687,7 +754,7 @@ func (c *Coordinator) RunCollection(ctx context.Context, col *view.Collection, c
 	if firstErr != nil {
 		return nil, firstErr
 	}
-	res, err := core.MergeSegmentOutcomes(comp.Name(), col.Name, ropts.Mode, plan, outcomes, time.Since(start))
+	res, err = core.MergeSegmentOutcomes(comp.Name(), col.Name, ropts.Mode, plan, outcomes, time.Since(start))
 	if err != nil {
 		return nil, err
 	}

@@ -22,6 +22,7 @@ import (
 	"fmt"
 
 	"graphsurge/internal/core"
+	"graphsurge/internal/obs"
 )
 
 // ProtocolVersion guards coordinator/worker compatibility: the Hello
@@ -103,9 +104,19 @@ type RunSegmentArgs struct {
 	// the shard's execution with it so a call the coordinator has already
 	// timed out cannot pin a replica indefinitely; 0 means no deadline.
 	TimeoutMillis int64
+	// RunID and Trace carry the coordinator's trace context: the worker opens
+	// its spans under Trace (the coordinator's shard span) so the returned
+	// records stitch into the coordinator's trace. Zero values mean the run is
+	// untraced. gob tolerates these fields being absent on an older peer, so
+	// they ride on protocol version 2.
+	RunID string
+	Trace obs.SpanContext
 }
 
-// RunSegmentReply carries the shard's outcome back.
+// RunSegmentReply carries the shard's outcome back, plus the worker-side
+// span records for the coordinator to stitch into its trace (empty when the
+// call carried no trace context).
 type RunSegmentReply struct {
 	Outcome core.SegmentOutcome
+	Spans   []obs.SpanRecord
 }

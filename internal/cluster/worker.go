@@ -3,12 +3,14 @@ package cluster
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/rpc"
 	"sync"
 	"time"
 
 	"graphsurge/internal/core"
+	"graphsurge/internal/obs"
 )
 
 // service is the RPC surface a worker exposes. It is deliberately thin:
@@ -17,6 +19,7 @@ import (
 type service struct {
 	eng      *core.Engine
 	capacity int
+	log      *slog.Logger
 
 	// ctx is the server's shutdown context: Server.Close cancels it, which
 	// aborts an in-flight segment at its next view boundary so the replica
@@ -69,14 +72,31 @@ func (s *service) RunSegment(args *RunSegmentArgs, reply *RunSegmentReply) error
 		ctx, cancel = context.WithTimeout(ctx, time.Duration(args.TimeoutMillis)*time.Millisecond)
 		defer cancel()
 	}
-	out, err := s.eng.RunSegment(ctx, &spec)
+	// When the coordinator shipped trace context, the worker's spans join
+	// that trace: the remote Trace parents new spans under the coordinator's
+	// shard span, and its records travel back in the reply to be stitched in.
+	var tr *obs.Trace
+	if args.RunID != "" && args.Trace.TraceID != "" {
+		ctx, tr = obs.WithRemoteParent(ctx, args.RunID, args.Trace)
+	}
+	wctx, span := obs.StartSpan(ctx, "worker",
+		obs.Int("start", spec.Start), obs.Int("end", spec.End), obs.String("collection", spec.Collection))
+	out, err := s.eng.RunSegment(wctx, &spec)
+	span.End()
 	if err != nil {
+		s.log.Warn("cluster: shard failed", obs.RunID(args.RunID),
+			slog.Int("start", spec.Start), slog.Int("end", spec.End), slog.Any("error", err))
 		return err
+	}
+	if tr != nil {
+		reply.Spans = tr.Records()
 	}
 	reply.Outcome = *out
 	s.mu.Lock()
 	s.jobs++
 	s.mu.Unlock()
+	s.log.Debug("cluster: shard completed", obs.RunID(args.RunID),
+		slog.Int("start", spec.Start), slog.Int("end", spec.End))
 	return nil
 }
 
@@ -106,7 +126,7 @@ func NewServer(eng *core.Engine, capacity int) *Server {
 	//lint:ignore ctxflow server lifetime root: Close cancels it, no caller ctx outlives the server
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		svc:    &service{eng: eng, capacity: capacity, ctx: ctx},
+		svc:    &service{eng: eng, capacity: capacity, ctx: ctx, log: obs.Discard()},
 		rpc:    rpc.NewServer(),
 		cancel: cancel,
 		conns:  make(map[net.Conn]struct{}),
@@ -117,6 +137,16 @@ func NewServer(eng *core.Engine, capacity int) *Server {
 		panic(err)
 	}
 	return s
+}
+
+// SetLogger routes the worker's structured job events to log (nil
+// discards). Call before Start/Serve; the logger is read by RPC handler
+// goroutines.
+func (s *Server) SetLogger(log *slog.Logger) {
+	if log == nil {
+		log = obs.Discard()
+	}
+	s.svc.log = log
 }
 
 // Jobs returns the number of shards completed over the server's lifetime.

@@ -13,12 +13,14 @@ import (
 	"reflect"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"graphsurge/internal/aggregate"
 	"graphsurge/internal/analytics"
 	"graphsurge/internal/graph"
 	"graphsurge/internal/gvdl"
+	"graphsurge/internal/obs"
 	"graphsurge/internal/schedule"
 	"graphsurge/internal/view"
 )
@@ -89,6 +91,12 @@ type Engine struct {
 	active   int
 	closing  bool
 	mutating bool
+
+	// traces retains recent completed run traces keyed by run ID — what
+	// `GET /v1/traces/<runID>` and `run -trace` read; runSeq numbers the
+	// runs this engine admits.
+	traces *obs.TraceStore
+	runSeq atomic.Uint64
 }
 
 // poolEntry is one warm-pool map slot: the pool, its scheduling estimator,
@@ -188,9 +196,26 @@ func NewEngine(opts Options) (*Engine, error) {
 		aggStmts:    make(map[string]*gvdl.CreateAggView),
 		pools:       make(map[poolKey]*poolEntry),
 		incStates:   make(map[incKey]*incState),
+		traces:      obs.NewTraceStore(0),
 	}
 	e.runDone = sync.NewCond(&e.runMu)
 	return e, nil
+}
+
+// Traces returns the engine's completed-trace store. The HTTP server
+// serves it at /v1/traces; the CLI renders from it after a -trace run.
+func (e *Engine) Traces() *obs.TraceStore { return e.traces }
+
+// ensureTrace returns a context carrying a run trace, creating one (with
+// a fresh engine-scoped run ID) when the caller supplied none. created
+// reports whether this call made the trace — the creator is responsible
+// for adding it to the trace store once the run completes.
+func (e *Engine) ensureTrace(ctx context.Context) (context.Context, *obs.Trace, bool) {
+	if tr := obs.FromContext(ctx); tr != nil {
+		return ctx, tr, false
+	}
+	tr := obs.NewTrace(fmt.Sprintf("run-%d", e.runSeq.Add(1)))
+	return obs.WithTrace(ctx, tr), tr, true
 }
 
 // beginRun admits one run (RunOn, RunSegment, a materializing statement)

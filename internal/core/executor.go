@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"graphsurge/internal/analytics"
+	"graphsurge/internal/obs"
 	"graphsurge/internal/schedule"
 	"graphsurge/internal/splitting"
 	"graphsurge/internal/view"
@@ -176,6 +177,14 @@ type RunResult struct {
 	// previously built key); the work counters and stats are delta-sized. A
 	// cold incremental run — the replica build — reports false.
 	Incremental bool `json:"incremental,omitempty"`
+	// RunID names the run's trace: `graphsurge run -trace` renders it and
+	// `GET /v1/traces/<runID>` on a serve process replays it as NDJSON.
+	RunID string `json:"runId,omitempty"`
+	// Metrics is the process metrics snapshot (obs.Default) taken as the run
+	// completed — the same counters /metrics exposes, so the CLI, HTTP
+	// responses, and BENCH.json all read one set of numbers. Counters are
+	// process-lifetime values, not per-run deltas.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 
 	final   map[analytics.VertexValue]int64
 	work    []int64
@@ -247,17 +256,52 @@ func (e *Engine) RunOn(ctx context.Context, col *view.Collection, comp analytics
 		opts.Parallelism = e.opts.Parallelism
 	}
 	normalizeRunOptions(&opts)
+	ctx, tr, created := e.ensureTrace(ctx)
+	ctx, span := obs.StartSpan(ctx, "run",
+		obs.String("collection", col.Name),
+		obs.String("computation", comp.Name()),
+		obs.String("mode", opts.Mode.String()))
+	obs.M.RunsStarted.Inc()
+	obs.M.RunsInflight.Add(1)
+	var res *RunResult
+	var err error
 	if opts.Incremental {
 		// Incremental runs keep private warm replicas (incremental.go) —
 		// never pool slots, whose in-place reset would discard exactly the
 		// accumulated state an incremental run exists to reuse.
-		return e.runIncremental(ctx, col, comp, opts)
+		res, err = e.runIncremental(ctx, col, comp, opts)
+	} else {
+		pool, est := e.runnerPool(comp, opts.Workers, opts.Parallelism)
+		if opts.Estimator == nil {
+			opts.Estimator = est
+		}
+		res, err = runCollection(ctx, col, comp, opts, pool)
 	}
-	pool, est := e.runnerPool(comp, opts.Workers, opts.Parallelism)
-	if opts.Estimator == nil {
-		opts.Estimator = est
+	span.End()
+	obs.M.RunsInflight.Add(-1)
+	if err != nil {
+		obs.M.RunsCanceled.Inc()
+	} else {
+		obs.M.RunsFinished.Inc()
+		stampRun(res, tr)
 	}
-	return runCollection(ctx, col, comp, opts, pool)
+	if created {
+		e.traces.Add(tr)
+	}
+	return res, err
+}
+
+// stampRun attaches the run's trace identity and the process metrics
+// snapshot to a completed result — one place, so the engine path and the
+// cluster coordinator stamp identically.
+func stampRun(res *RunResult, tr *obs.Trace) {
+	if res == nil {
+		return
+	}
+	if tr != nil {
+		res.RunID = tr.RunID()
+	}
+	res.Metrics = obs.Default.Snapshot()
 }
 
 // CostEstimator returns the engine's persistent scheduling cost estimator
@@ -347,8 +391,13 @@ func runCollection(ctx context.Context, col *view.Collection, comp analytics.Com
 
 	var plan splitting.Plan
 	if opts.Mode == Adaptive {
+		// Adaptive mode plans online, interleaved with execution — its
+		// planning cost is inside the run span, not a separate plan span.
 		plan, err = cr.runAdaptive(ctx, opts, pool, scan)
 	} else {
+		_, planSpan := obs.StartSpan(ctx, "plan",
+			obs.String("schedule", opts.Schedule.String()),
+			obs.Int("views", k))
 		plan = staticPlan(opts.Mode, k)
 		order := fifoOrder(len(plan.Segments))
 		if opts.Schedule == schedule.LPT {
@@ -358,7 +407,9 @@ func runCollection(ctx context.Context, col *view.Collection, comp analytics.Com
 			}
 			order = schedule.LPTOrder(est.PlanCosts(plan, cr.sizes, diffs))
 		}
-		err = cr.runStatic(ctx, plan, newSeedCache(scan, plan, cr.cols), pool, order)
+		seeds := newSeedCache(scan, plan, cr.cols)
+		planSpan.End()
+		err = cr.runStatic(ctx, plan, seeds, pool, order)
 	}
 	if err != nil {
 		return nil, err

@@ -8,6 +8,7 @@ import (
 
 	"graphsurge/internal/analytics"
 	"graphsurge/internal/graph"
+	"graphsurge/internal/obs"
 	"graphsurge/internal/splitting"
 	"graphsurge/internal/view"
 )
@@ -163,9 +164,19 @@ func (e *Engine) runIncremental(ctx context.Context, col *view.Collection, comp 
 		}
 	}
 	if !warm {
-		return e.incColdRun(ctx, st, col, comp, opts)
+		// A miss: the replica is absent or stale and rebuilds from the
+		// whole stream.
+		obs.M.IncrementalCold.Inc()
+		ictx, span := obs.StartSpan(ctx, "incremental-cold")
+		res, err := e.incColdRun(ictx, st, col, comp, opts)
+		span.End()
+		return res, err
 	}
-	return e.incWarmRun(ctx, st, col, comp, opts)
+	obs.M.IncrementalWarm.Inc()
+	ictx, span := obs.StartSpan(ctx, "incremental-warm", obs.Int("pending", len(st.pending)))
+	res, err := e.incWarmRun(ictx, st, col, comp, opts)
+	span.End()
+	return res, err
 }
 
 // incColdRun builds the replica: a fresh runner absorbs the entire

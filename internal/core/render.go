@@ -1,9 +1,11 @@
 package core
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 
 	"graphsurge/internal/analytics"
 )
@@ -13,16 +15,44 @@ import (
 // and the HTTP server's text projections alike — prints identical bytes
 // from identical results, and the output format is pinned by tests against
 // the types rather than against ad-hoc printf calls scattered in main.
+//
+// Every renderer assembles its block in a buffer and issues exactly ONE
+// Write. Combined with a LockedWriter that serializes Write calls, blocks
+// from concurrent producers (an OnSegment progress callback firing from a
+// segment goroutine while the main goroutine prints pool stats) can
+// interleave only at block boundaries, never mid-line.
+
+// A LockedWriter serializes Write calls from concurrent renderers onto one
+// underlying writer. Each renderer's whole block is a single Write, so
+// routing all of a front-end's output through one LockedWriter pins block
+// atomicity: run summaries, pool stats and progress lines never shear.
+type LockedWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewLockedWriter wraps w. The zero value is not usable; all of a
+// process's renderers must share one LockedWriter for the ordering
+// guarantee to mean anything.
+func NewLockedWriter(w io.Writer) *LockedWriter { return &LockedWriter{w: w} }
+
+// Write forwards one block to the underlying writer under the lock.
+func (lw *LockedWriter) Write(p []byte) (int, error) {
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	return lw.w.Write(p)
+}
 
 // WriteRunSummary renders a collection run: the header line followed by the
 // per-segment and per-view lines, segments interleaved at the view that
 // opens them, exactly as `graphsurge run` prints them.
 func WriteRunSummary(w io.Writer, res *RunResult) {
+	var buf bytes.Buffer
 	mode := res.Mode.String()
 	if res.Incremental {
 		mode += ", incremental"
 	}
-	fmt.Fprintf(w, "%s on %s (%s): %v total, %v wall, %d splits\n",
+	fmt.Fprintf(&buf, "%s on %s (%s): %v total, %v wall, %d splits\n",
 		res.Computation, res.Collection, mode, res.Total.Round(1000), res.Wall.Round(1000), res.Splits)
 	segAt := make(map[int]SegmentStats, len(res.Segments))
 	for _, seg := range res.Segments {
@@ -34,12 +64,13 @@ func WriteRunSummary(w io.Writer, res *RunResult) {
 			if seg.Speculative {
 				spec = ", speculative"
 			}
-			fmt.Fprintf(w, "  segment views [%d,%d): replica setup %v, drain %v%s\n",
+			fmt.Fprintf(&buf, "  segment views [%d,%d): replica setup %v, drain %v%s\n",
 				seg.Start, seg.End, seg.Setup.Round(1000), seg.Drain.Round(1000), spec)
 		}
-		fmt.Fprintf(w, "  view %-3d %-16s %-8s |GV|=%-8d |dC|=%-8d out-diffs=%-8d %v\n",
+		fmt.Fprintf(&buf, "  view %-3d %-16s %-8s |GV|=%-8d |dC|=%-8d out-diffs=%-8d %v\n",
 			st.Index, st.Name, st.Mode, st.ViewSize, st.DiffSize, st.OutputDiffs, st.Duration.Round(1000))
 	}
+	w.Write(buf.Bytes())
 }
 
 // WriteSpeculation renders the speculation hit/miss line.
@@ -48,12 +79,22 @@ func WriteSpeculation(w io.Writer, res *RunResult) {
 }
 
 // WritePoolStats renders per-pool replica statistics, one line per pool in
-// the given (already deterministic) order.
+// the given (already deterministic) order — one Write for the whole block.
 func WritePoolStats(w io.Writer, stats []PoolStat) {
+	var buf bytes.Buffer
 	for _, ps := range stats {
-		fmt.Fprintf(w, "pool %s/w=%d: capacity=%d live=%d idle=%d built=%d reused=%d dropped=%d\n",
+		fmt.Fprintf(&buf, "pool %s/w=%d: capacity=%d live=%d idle=%d built=%d reused=%d dropped=%d\n",
 			ps.Computation, ps.Workers, ps.Capacity, ps.Live, ps.Idle, ps.Built, ps.Reused, ps.Dropped)
 	}
+	w.Write(buf.Bytes())
+}
+
+// WriteSegmentProgress renders one segment's completion line — the
+// streaming form of a run summary's segment line, printed by `run
+// -progress` as OnSegment fires from concurrent segment goroutines.
+func WriteSegmentProgress(w io.Writer, st SegmentStats) {
+	fmt.Fprintf(w, "segment views [%d,%d) done: replica setup %v, drain %v\n",
+		st.Start, st.End, st.Setup.Round(1000), st.Drain.Round(1000))
 }
 
 // WriteMutation renders an applied mutation batch's one-line summary — the
@@ -89,8 +130,10 @@ func WriteResults(w io.Writer, final map[analytics.VertexValue]int64, n int) {
 	if n > len(items) {
 		n = len(items)
 	}
-	fmt.Fprintf(w, "results (%d vertices, first %d):\n", len(items), n)
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "results (%d vertices, first %d):\n", len(items), n)
 	for _, it := range items[:n] {
-		fmt.Fprintf(w, "  vertex %-10d value %d\n", it.V, it.Val)
+		fmt.Fprintf(&buf, "  vertex %-10d value %d\n", it.V, it.Val)
 	}
+	w.Write(buf.Bytes())
 }

@@ -8,6 +8,7 @@ import (
 
 	"graphsurge/internal/analytics"
 	"graphsurge/internal/graph"
+	"graphsurge/internal/obs"
 	"graphsurge/internal/splitting"
 	"graphsurge/internal/view"
 )
@@ -137,6 +138,13 @@ func (e *Engine) RunSegment(ctx context.Context, spec *SegmentSpec) (*SegmentOut
 	if err != nil {
 		return nil, err
 	}
+	// The segment-latency histograms are observed where the time was spent:
+	// a worker's /metrics reflects the shards it executed, while the
+	// coordinator's reflects only its local segments (remote detail arrives
+	// in the merged RunResult.Stats instead). The in-process executor path
+	// observes in finishSegment and never comes through here.
+	obs.M.SegmentSetup.Observe(out.Segment.Setup.Seconds())
+	obs.M.SegmentDrain.Observe(out.Segment.Drain.Seconds())
 	return out, nil
 }
 

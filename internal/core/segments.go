@@ -8,6 +8,7 @@ import (
 
 	"graphsurge/internal/analytics"
 	"graphsurge/internal/graph"
+	"graphsurge/internal/obs"
 	"graphsurge/internal/schedule"
 	"graphsurge/internal/splitting"
 	"graphsurge/internal/view"
@@ -144,6 +145,13 @@ type segmentExec struct {
 	setupStat time.Duration // setup cost, surviving the fold into the seed view
 	drain     time.Duration // summed wall time of the segment's Steps
 	spec      bool          // opened by a committed speculation
+
+	// span covers the segment from replica acquisition to release. It is
+	// ended by releaseSeg — the one choke point every lifecycle path
+	// (finish, cancel, speculation discard) already goes through — so a
+	// canceled run closes its spans exactly as reliably as it releases its
+	// replicas. Nil when the run carries no trace.
+	span *obs.Span
 }
 
 // runJob executes one view on the segment's runner and records its stats.
@@ -240,11 +248,21 @@ func (cr *collectionRun) finishSegment(s *segmentExec, end int) {
 		cr.finalRes = finalRes
 	}
 	cr.accMu.Unlock()
+	obs.M.SegmentSetup.Observe(st.Setup.Seconds())
+	obs.M.SegmentDrain.Observe(st.Drain.Seconds())
 	if cr.progress != nil {
 		// Outside accMu: the callback may write to a network client and must
 		// never hold the run's aggregation lock while it does.
 		cr.progress(st)
 	}
+}
+
+// releaseSeg ends the segment's span and returns its replica to the
+// pool — the single release path, so spans and replicas can never leak
+// independently.
+func (cr *collectionRun) releaseSeg(pool *runPool, s *segmentExec) {
+	s.span.End()
+	pool.Release(s.r)
 }
 
 // segmentStats returns the per-segment timings in collection order. Segments
@@ -260,13 +278,15 @@ func (cr *collectionRun) segmentStats() []SegmentStats {
 // cost the seed view will report (the cache attributes a seed built ahead
 // of dispatch to the segment that uses it).
 func acquireSegment(ctx context.Context, pool *runPool, seeds *seedCache, t int) (*segmentExec, *graph.EdgeBatch, error) {
+	_, span := obs.StartSpan(ctx, "segment", obs.Int("start", t))
 	r, setup, err := pool.Acquire(ctx)
 	if err != nil {
+		span.End()
 		return nil, nil, err
 	}
 	seed, build := seeds.take(t)
 	setup += build
-	return &segmentExec{r: r, setup: setup, start: t, setupStat: setup}, seed, nil
+	return &segmentExec{r: r, setup: setup, start: t, setupStat: setup, span: span}, seed, nil
 }
 
 // runStatic dispatches a fully precomputed plan's segments onto the pool in
@@ -298,7 +318,7 @@ func (cr *collectionRun) runStatic(ctx context.Context, plan splitting.Plan, see
 		wg.Add(1)
 		go func(seg splitting.Segment, s *segmentExec, seed *graph.EdgeBatch) {
 			defer wg.Done()
-			defer pool.Release(s.r)
+			defer cr.releaseSeg(pool, s)
 			cr.runJob(s, viewJob{t: seg.Start, mode: plan.Modes[seg.Start], seed: seed})
 			for t := seg.Start + 1; t < seg.End; t++ {
 				if ctx.Err() != nil {
@@ -334,7 +354,7 @@ type speculation struct {
 // replica idle time into overlap, a miss releases the replica (its state
 // is discarded by the pool's reset on the next acquire). Returns nil when
 // no split is predicted.
-func (cr *collectionRun) speculate(opt *splitting.Optimizer, mu *sync.Mutex, pool *runPool, scan *seedScan, from, k int, diffs []int) *speculation {
+func (cr *collectionRun) speculate(ctx context.Context, opt *splitting.Optimizer, mu *sync.Mutex, pool *runPool, scan *seedScan, from, k int, diffs []int) *speculation {
 	mu.Lock()
 	p, ok := schedule.PredictSplit(opt, from, k, cr.sizes, diffs)
 	mu.Unlock()
@@ -349,6 +369,8 @@ func (cr *collectionRun) speculate(opt *splitting.Optimizer, mu *sync.Mutex, poo
 		if !ok {
 			return
 		}
+		_, span := obs.StartSpan(ctx, "segment",
+			obs.Int("start", p), obs.String("speculative", "true"))
 		jobStart := time.Now()
 		fork.advance(p)
 		scanStart := time.Now()
@@ -370,7 +392,7 @@ func (cr *collectionRun) speculate(opt *splitting.Optimizer, mu *sync.Mutex, poo
 			OutputDiffs: r.OutputDiffs(v),
 		}
 		r.DropOutputsBefore(v)
-		sp.s = &segmentExec{r: r, start: p, setupStat: setup, drain: time.Since(jobStart), spec: true}
+		sp.s = &segmentExec{r: r, start: p, setupStat: setup, drain: time.Since(jobStart), spec: true, span: span}
 	}()
 	return sp
 }
@@ -450,7 +472,7 @@ func (cr *collectionRun) runAdaptive(ctx context.Context, opts RunOptions, pool 
 		if sp.t == commitAt {
 			return sp
 		}
-		pool.Release(sp.s.r)
+		cr.releaseSeg(pool, sp.s)
 		cr.accMu.Lock()
 		cr.specMisses++
 		cr.accMu.Unlock()
@@ -483,7 +505,7 @@ func (cr *collectionRun) runAdaptive(ctx context.Context, opts RunOptions, pool 
 			handoffs.Wait()
 			resolveSpec(-1)
 			if cur != nil {
-				pool.Release(cur.r)
+				cr.releaseSeg(pool, cur)
 			}
 			return planner.Plan(), err
 		}
@@ -496,7 +518,7 @@ func (cr *collectionRun) runAdaptive(ctx context.Context, opts RunOptions, pool 
 			if cur != nil {
 				if inline {
 					cr.finishSegment(cur, t)
-					pool.Release(cur.r)
+					cr.releaseSeg(pool, cur)
 				} else {
 					// Hand the closed segment off: it keeps draining while
 					// the new segment seeds; its replica returns to the pool
@@ -507,7 +529,7 @@ func (cr *collectionRun) runAdaptive(ctx context.Context, opts RunOptions, pool 
 						defer handoffs.Done()
 						<-s.done
 						cr.finishSegment(s, end)
-						pool.Release(s.r)
+						cr.releaseSeg(pool, s)
 					}(cur, t)
 				}
 			}
@@ -562,7 +584,7 @@ func (cr *collectionRun) runAdaptive(ctx context.Context, opts RunOptions, pool 
 			}
 		}
 		if speculating && spec == nil && pool.Free() > 0 {
-			spec = cr.speculate(opt, &mu, pool, scan, t+1, k, diffs)
+			spec = cr.speculate(ctx, opt, &mu, pool, scan, t+1, k, diffs)
 		}
 	}
 	if cur == nil {
@@ -578,7 +600,7 @@ func (cr *collectionRun) runAdaptive(ctx context.Context, opts RunOptions, pool 
 	}
 	resolveSpec(-1)
 	cr.finishSegment(cur, k)
-	pool.Release(cur.r)
+	cr.releaseSeg(pool, cur)
 	// A cancellation that lands during the tail drain still fails the run:
 	// consumers discard queued views after cancel, so the stats would be
 	// partial even though every queue closed normally.

@@ -225,12 +225,21 @@ func (s *Session) Do(ctx context.Context, req Request) (Response, error) {
 			// equivalent.
 			runner = s.eng
 		}
+		// The trace is created here, at the narrow waist, so cluster runs
+		// (whose RunOn never reaches Engine.RunOn) are traced identically to
+		// engine runs, and every front-end can look the trace up by the
+		// result's RunID afterwards.
+		ctx, tr, created := s.eng.ensureTrace(ctx)
 		res, err := runner.RunOn(ctx, col, comp, r.Options)
+		if created {
+			s.eng.traces.Add(tr)
+		}
 		if err != nil {
 			// A literal nil Response, never a typed-nil *RunResult wrapped in
 			// a non-nil interface — callers may check resp != nil.
 			return nil, err
 		}
+		stampRun(res, tr)
 		return res, nil
 
 	case *RunViewRequest:

@@ -9,6 +9,7 @@ import (
 	"graphsurge/internal/lint/ctxflow"
 	"graphsurge/internal/lint/lockhold"
 	"graphsurge/internal/lint/poolrelease"
+	"graphsurge/internal/lint/spanend"
 	"graphsurge/internal/lint/wiretypes"
 )
 
@@ -17,5 +18,6 @@ var Analyzers = []*analysis.Analyzer{
 	ctxflow.Analyzer,
 	lockhold.Analyzer,
 	poolrelease.Analyzer,
+	spanend.Analyzer,
 	wiretypes.Analyzer,
 }

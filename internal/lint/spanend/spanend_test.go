@@ -1,0 +1,12 @@
+package spanend_test
+
+import (
+	"testing"
+
+	"graphsurge/internal/lint/analysistest"
+	"graphsurge/internal/lint/spanend"
+)
+
+func TestSpanEnd(t *testing.T) {
+	analysistest.Run(t, "testdata", spanend.Analyzer, "a", "ignored")
+}

@@ -1,0 +1,163 @@
+// Fixture for the spanend analyzer: each function is one span-lifecycle
+// shape, with // want comments on the ones that must be reported.
+package a
+
+import (
+	"context"
+
+	"obs"
+)
+
+// deferEnd is the canonical clean shape: End deferred right after StartSpan.
+func deferEnd(ctx context.Context) {
+	ctx, span := obs.StartSpan(ctx, "work")
+	defer span.End()
+	_ = ctx
+}
+
+// linearEnd ends the span on the single straight-line path.
+func linearEnd(ctx context.Context) {
+	_, span := obs.StartSpan(ctx, "work")
+	span.End()
+}
+
+// earlyReturnLeak skips the End on the error path.
+func earlyReturnLeak(ctx context.Context, err error) {
+	_, span := obs.StartSpan(ctx, "work") // want `span started with obs\.StartSpan is not ended on every path`
+	if err != nil {
+		return
+	}
+	span.End()
+}
+
+// oneArmLeak ends the span in only one branch of an if/else.
+func oneArmLeak(ctx context.Context, ok bool) {
+	_, span := obs.StartSpan(ctx, "work") // want `span started with obs\.StartSpan is not ended on every path`
+	if ok {
+		span.End()
+	} else {
+		return
+	}
+}
+
+// bothArmsEnd covers every branch, so the merge point is clean.
+func bothArmsEnd(ctx context.Context, ok bool) {
+	_, span := obs.StartSpan(ctx, "work")
+	if ok {
+		span.End()
+		return
+	}
+	span.End()
+}
+
+// setAttrThenLeak: method calls on the span are uses, not ownership
+// transfers — the early return still leaks.
+func setAttrThenLeak(ctx context.Context, err error) {
+	_, span := obs.StartSpan(ctx, "work") // want `span started with obs\.StartSpan is not ended on every path`
+	span.SetAttr(obs.String("k", "v"))
+	if err != nil {
+		return
+	}
+	span.End()
+}
+
+// nilCheckClean: comparing the span is a use; the End still runs on every
+// path so nothing is reported.
+func nilCheckClean(ctx context.Context) {
+	_, span := obs.StartSpan(ctx, "work")
+	if span == nil {
+		span.End()
+		return
+	}
+	span.End()
+}
+
+type holder struct {
+	span *obs.Span
+}
+
+// storeEscape hands the span to a struct field — ownership transfers (the
+// executor stores segment spans on segmentExec and ends them in its release
+// choke point), so the site is not flagged.
+func storeEscape(ctx context.Context, h *holder) {
+	_, span := obs.StartSpan(ctx, "work")
+	h.span = span
+}
+
+func endLater(s *obs.Span) { s.End() }
+
+// passEscape hands the span to a callee — same ownership transfer.
+func passEscape(ctx context.Context) {
+	_, span := obs.StartSpan(ctx, "work")
+	endLater(span)
+}
+
+// closureEscape captures the span in a function literal that outlives the
+// walkable paths of this frame.
+func closureEscape(ctx context.Context) func() {
+	_, span := obs.StartSpan(ctx, "work")
+	return func() { span.End() }
+}
+
+// returnEscape returns the span to the caller.
+func returnEscape(ctx context.Context) *obs.Span {
+	_, span := obs.StartSpan(ctx, "work")
+	return span
+}
+
+// blankSpan throws the span away at the assignment — it can never be ended.
+func blankSpan(ctx context.Context) context.Context {
+	ctx, _ = obs.StartSpan(ctx, "work") // want `span from obs\.StartSpan assigned to the blank identifier`
+	return ctx
+}
+
+// discardedCall drops both results on the floor.
+func discardedCall(ctx context.Context) {
+	obs.StartSpan(ctx, "work") // want `result of obs\.StartSpan is discarded`
+}
+
+// loopIterLeak opens a span per iteration but continues past the End on the
+// skip path, abandoning that iteration's span.
+func loopIterLeak(ctx context.Context, items []int) {
+	for _, it := range items {
+		_, span := obs.StartSpan(ctx, "item") // want `span started with obs\.StartSpan is not ended on every path`
+		if it < 0 {
+			continue
+		}
+		span.End()
+	}
+}
+
+// loopIterEnd ends the span before every way out of the iteration.
+func loopIterEnd(ctx context.Context, items []int) {
+	for _, it := range items {
+		_, span := obs.StartSpan(ctx, "item")
+		if it < 0 {
+			span.End()
+			continue
+		}
+		span.End()
+	}
+}
+
+// switchLeak misses the End in one case of an exhaustive switch.
+func switchLeak(ctx context.Context, mode int) {
+	_, span := obs.StartSpan(ctx, "work") // want `span started with obs\.StartSpan is not ended on every path`
+	switch mode {
+	case 0:
+		span.End()
+	default:
+		return
+	}
+}
+
+// switchNonExhaustive falls through to a shared End when no case matches.
+func switchNonExhaustive(ctx context.Context, mode int) {
+	_, span := obs.StartSpan(ctx, "work")
+	switch mode {
+	case 0:
+		span.End()
+		return
+	}
+	span.End()
+}

@@ -1,0 +1,32 @@
+// Fixture for //lint:ignore handling by the spanend analyzer: an honored
+// suppression with a reason, and a malformed one that suppresses nothing
+// and is itself reported.
+package ignored
+
+import (
+	"context"
+
+	"obs"
+)
+
+// held deliberately leaves the span open on the early path; the directive's
+// reason documents why.
+func held(ctx context.Context, draining bool) {
+	//lint:ignore spanend process-lifetime span, closed by the shutdown hook
+	_, span := obs.StartSpan(ctx, "lifetime")
+	if draining {
+		return
+	}
+	span.End()
+}
+
+// badDirective omits the reason, so the directive is malformed: it is
+// reported itself and the leak it meant to suppress is still reported.
+func badDirective(ctx context.Context, draining bool) {
+	//lint:ignore spanend // want `malformed //lint:ignore directive: missing reason`
+	_, span := obs.StartSpan(ctx, "lifetime") // want `span started with obs\.StartSpan is not ended on every path`
+	if draining {
+		return
+	}
+	span.End()
+}

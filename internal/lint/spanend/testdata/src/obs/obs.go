@@ -1,0 +1,32 @@
+// Stub of graphsurge/internal/obs for the spanend fixtures: just enough
+// surface to type-check. The analyzer matches the package by import-path
+// suffix, so this "obs" stands in for the real package.
+package obs
+
+import "context"
+
+// Attr is one span attribute.
+type Attr struct {
+	Key   string
+	Value string
+}
+
+// String builds a string attribute.
+func String(key, value string) Attr { return Attr{Key: key, Value: value} }
+
+// Int builds an integer attribute.
+func Int(key string, value int) Attr { return Attr{Key: key} }
+
+// Span is one timed operation in a trace.
+type Span struct{}
+
+// End closes the span. Nil-safe.
+func (s *Span) End() {}
+
+// SetAttr attaches an attribute after the span started.
+func (s *Span) SetAttr(a Attr) {}
+
+// StartSpan opens a child span of the context's current span.
+func StartSpan(ctx context.Context, name string, attrs ...Attr) (context.Context, *Span) {
+	return ctx, nil
+}

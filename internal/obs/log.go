@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// ParseLevel maps the -log-level flag values to slog levels.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("unknown log level %q (want debug, info, warn, or error)", s)
+}
+
+// NewLogger builds a text-handler logger at the given level — what serve
+// and worker install from their -log-level flag.
+func NewLogger(w io.Writer, level slog.Level) *slog.Logger {
+	return slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{Level: level}))
+}
+
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (h discardHandler) WithAttrs([]slog.Attr) slog.Handler      { return h }
+func (h discardHandler) WithGroup(string) slog.Handler           { return h }
+
+// Discard returns a logger that drops everything. Library code defaults
+// to it when no logger is configured, so instrumented packages stay
+// byte-silent under tests and embedding.
+func Discard() *slog.Logger { return slog.New(discardHandler{}) }
+
+// RunID is the canonical structured-log attribute for a run.
+func RunID(id string) slog.Attr { return slog.String("run_id", id) }
+
+// WorkerID is the canonical structured-log attribute for a cluster
+// worker (its dial address).
+func WorkerID(addr string) slog.Attr { return slog.String("worker_id", addr) }

@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("t_total", "help")
+	g := r.NewGauge("t_gauge", "help")
+	h := r.NewHistogram("t_seconds", "help", []float64{0.1, 1})
+
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.Inc()
+			g.Add(1)
+			h.Observe(0.05)
+			h.Observe(0.5)
+			h.Observe(5)
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 20 {
+		t.Fatalf("counter = %d, want 20", c.Value())
+	}
+	if g.Value() != 20 {
+		t.Fatalf("gauge = %d, want 20", g.Value())
+	}
+	if h.Count() != 60 {
+		t.Fatalf("histogram count = %d, want 60", h.Count())
+	}
+	if got, want := h.Sum(), 20*(0.05+0.5+5.0); got < want-1e-9 || got > want+1e-9 {
+		t.Fatalf("histogram sum = %v, want %v", got, want)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("x_total", "a counter")
+	g := r.NewGauge("x_inflight", "a gauge")
+	h := r.NewHistogram("x_seconds", "a histogram", []float64{0.5})
+	c.Add(3)
+	g.Set(-2)
+	h.Observe(0.1)
+	h.Observe(2)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE x_total counter\nx_total 3\n",
+		"# TYPE x_inflight gauge\nx_inflight -2\n",
+		"# TYPE x_seconds histogram\n",
+		"x_seconds_bucket{le=\"0.5\"} 1\n",
+		"x_seconds_bucket{le=\"+Inf\"} 2\n",
+		"x_seconds_sum 2.1\n",
+		"x_seconds_count 2\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("s_total", "h").Add(7)
+	h := r.NewHistogram("s_seconds", "h", []float64{1})
+	h.Observe(0.25)
+	snap := r.Snapshot()
+	if snap["s_total"] != 7 {
+		t.Fatalf("snapshot counter = %v, want 7", snap["s_total"])
+	}
+	if snap["s_seconds_count"] != 1 || snap["s_seconds_sum"] != 0.25 {
+		t.Fatalf("snapshot histogram = %v", snap)
+	}
+	keys := SortedKeys(snap)
+	if len(keys) != 3 || keys[0] != "s_seconds_count" {
+		t.Fatalf("sorted keys = %v", keys)
+	}
+}
+
+func TestDefaultMetricsRegistered(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Default.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, name := range []string{
+		"graphsurge_runs_started_total",
+		"graphsurge_segment_setup_seconds_bucket",
+		"graphsurge_segment_drain_seconds_bucket",
+		"graphsurge_pool_built_total",
+		"graphsurge_incremental_warm_total",
+		"graphsurge_estimator_relative_error",
+		"graphsurge_wire_bytes_total",
+		"graphsurge_heartbeat_failures_total",
+		"graphsurge_worker_redials_total",
+	} {
+		if !strings.Contains(out, name) {
+			t.Fatalf("default exposition missing %s", name)
+		}
+	}
+}

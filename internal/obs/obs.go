@@ -1,0 +1,13 @@
+// Package obs is the stdlib-only observability layer: run-scoped traces
+// carried in context.Context, an atomic metrics registry with Prometheus
+// text exposition, structured-logging helpers over log/slog, and pprof
+// profiling hooks. Every execution path — engine, executor, cluster
+// coordinator and workers, HTTP server — instruments through this package
+// and nothing else, so the CLI, /metrics, and BENCH.json all read the same
+// numbers.
+//
+// The package deliberately has no dependencies outside the standard
+// library and imports nothing else from this module, so any package
+// (analytics, schedule, core, cluster, server) can instrument without
+// creating an import cycle.
+package obs

@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"runtime"
+	rpprof "runtime/pprof"
+)
+
+// A Profile is an in-flight profiling session started by StartProfile;
+// Stop finishes it and closes the output file.
+type Profile struct {
+	kind string
+	f    *os.File
+}
+
+// StartProfile begins writing a profile of the given kind ("cpu" or
+// "heap") to path. CPU profiles record until Stop; heap profiles are
+// captured at Stop time (after a GC) so the snapshot reflects live
+// memory at the end of the run.
+func StartProfile(kind, path string) (*Profile, error) {
+	switch kind {
+	case "cpu", "heap":
+	default:
+		return nil, fmt.Errorf("unknown profile kind %q (want cpu or heap)", kind)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if kind == "cpu" {
+		if err := rpprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return &Profile{kind: kind, f: f}, nil
+}
+
+// Stop finishes the profile and closes its file. Safe on a nil profile.
+func (p *Profile) Stop() error {
+	if p == nil {
+		return nil
+	}
+	var err error
+	switch p.kind {
+	case "cpu":
+		rpprof.StopCPUProfile()
+	case "heap":
+		runtime.GC()
+		err = rpprof.WriteHeapProfile(p.f)
+	}
+	if cerr := p.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// RegisterPprof mounts the net/http/pprof handlers on mux under
+// /debug/pprof/ — the opt-in profiling surface on serve and worker
+// listeners. Registration is explicit (not the pprof package's
+// DefaultServeMux side effect) so profiling stays off unless asked for.
+func RegisterPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// MetricsHandler serves the default registry in Prometheus text format —
+// mounted at /metrics on both serve and worker.
+func MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		Default.WritePrometheus(w)
+	})
+}

@@ -1,0 +1,63 @@
+package obs
+
+import "sync"
+
+// A TraceStore keeps the most recent completed traces keyed by run ID,
+// bounded FIFO so a long-lived serve process cannot grow without limit.
+// The engine owns one; `GET /v1/traces/<runID>` and `run -trace` read
+// from it.
+type TraceStore struct {
+	mu    sync.Mutex
+	max   int
+	order []string
+	m     map[string]*Trace
+}
+
+// NewTraceStore returns a store retaining up to max traces (max <= 0
+// defaults to 128).
+func NewTraceStore(max int) *TraceStore {
+	if max <= 0 {
+		max = 128
+	}
+	return &TraceStore{max: max, m: make(map[string]*Trace)}
+}
+
+// Add records a completed trace, evicting the oldest past capacity.
+// Re-adding a run ID refreshes its slot.
+func (s *TraceStore) Add(t *Trace) {
+	if s == nil || t == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := t.RunID()
+	if _, ok := s.m[id]; !ok {
+		s.order = append(s.order, id)
+	}
+	s.m[id] = t
+	for len(s.order) > s.max {
+		old := s.order[0]
+		s.order = s.order[1:]
+		delete(s.m, old)
+	}
+}
+
+// Get returns the trace for a run ID, nil when unknown or evicted.
+func (s *TraceStore) Get(runID string) *Trace {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m[runID]
+}
+
+// RunIDs lists retained run IDs, oldest first.
+func (s *TraceStore) RunIDs() []string {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.order...)
+}

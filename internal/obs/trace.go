@@ -1,0 +1,317 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// An Attr is one key/value annotation on a span. A flat struct (rather
+// than a map) keeps SpanRecord gob-encodable with a deterministic wire
+// shape, which the wiretypes analyzer checks once records ride in RPC
+// replies.
+type Attr struct {
+	Key   string `json:"k"`
+	Value string `json:"v"`
+}
+
+// String builds a string-valued attribute.
+func String(k, v string) Attr { return Attr{Key: k, Value: v} }
+
+// Int builds an integer-valued attribute.
+func Int(k string, v int) Attr { return Attr{Key: k, Value: fmt.Sprintf("%d", v)} }
+
+// A SpanContext identifies a span inside a trace. The coordinator ships
+// one in RunSegmentArgs so worker-side spans parent under the
+// coordinator's shard span and carry its trace ID.
+type SpanContext struct {
+	TraceID string
+	SpanID  uint64
+}
+
+// A SpanRecord is the exported, immutable form of a span: what traces
+// serialize to NDJSON, what workers return over the wire, and what the
+// span-tree renderer consumes. End is zero while the span is open.
+type SpanRecord struct {
+	TraceID string `json:"trace_id"`
+	ID      uint64 `json:"id"`
+	Parent  uint64 `json:"parent,omitempty"`
+	Name    string `json:"name"`
+	Start   int64  `json:"start_unix_ns"`
+	End     int64  `json:"end_unix_ns,omitempty"`
+	Attrs   []Attr `json:"attrs,omitempty"`
+}
+
+// Duration returns the span's wall time, zero while open.
+func (r SpanRecord) Duration() time.Duration {
+	if r.End == 0 {
+		return 0
+	}
+	return time.Duration(r.End - r.Start)
+}
+
+// A Trace collects the spans of one run. It is created once per run —
+// by Session.Do, Engine.RunOn, or the worker's RunSegment handler — and
+// carried in the context so every layer appends to the same trace.
+type Trace struct {
+	runID   string
+	traceID string
+	nextID  atomic.Uint64
+	open    atomic.Int64
+
+	mu    sync.Mutex
+	spans []*Span
+	// remote holds records stitched in from worker replies; they already
+	// carry this trace's ID and their own span IDs from the worker's
+	// numbering (disambiguated by AddRecords).
+	remote []SpanRecord
+}
+
+// NewTrace creates a trace for the given run ID with a fresh random
+// trace ID.
+func NewTrace(runID string) *Trace {
+	return &Trace{runID: runID, traceID: newTraceID()}
+}
+
+// newRemoteTrace creates a worker-side trace bound to a coordinator's
+// trace ID; its span IDs start in a high band so they cannot collide
+// with the coordinator's own numbering when stitched back.
+func newRemoteTrace(runID, traceID string) *Trace {
+	t := &Trace{runID: runID, traceID: traceID}
+	t.nextID.Store(uint64(1) << 32)
+	return t
+}
+
+func newTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand never fails on supported platforms; a zero ID is
+		// still a functioning trace.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// RunID returns the run this trace belongs to.
+func (t *Trace) RunID() string { return t.runID }
+
+// TraceID returns the trace's globally unique ID.
+func (t *Trace) TraceID() string { return t.traceID }
+
+// OpenSpans returns the number of locally started spans not yet ended.
+// Canceled runs must drive this to zero — pinned by tests.
+func (t *Trace) OpenSpans() int { return int(t.open.Load()) }
+
+// AddRecords stitches completed span records from another process (a
+// worker) into this trace. Records with a foreign trace ID are rewritten
+// to this trace's ID so a tree renders even if a worker raced a
+// handshake; in practice workers echo the ID they were given.
+func (t *Trace) AddRecords(recs []SpanRecord) {
+	if t == nil || len(recs) == 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, r := range recs {
+		r.TraceID = t.traceID
+		t.remote = append(t.remote, r)
+	}
+}
+
+// Records snapshots every span — local and stitched — ordered by start
+// time then span ID, the pinned order WriteTree and NDJSON export use.
+func (t *Trace) Records() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	recs := make([]SpanRecord, 0, len(t.spans)+len(t.remote))
+	for _, s := range t.spans {
+		recs = append(recs, s.snapshot())
+	}
+	recs = append(recs, t.remote...)
+	t.mu.Unlock()
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].Start != recs[j].Start {
+			return recs[i].Start < recs[j].Start
+		}
+		return recs[i].ID < recs[j].ID
+	})
+	return recs
+}
+
+// A Span is one timed operation inside a trace. Spans are created by
+// StartSpan and MUST reach End on every path — enforced by the spanend
+// analyzer in internal/lint.
+type Span struct {
+	tr    *Trace
+	ended atomic.Bool
+	mu    sync.Mutex
+	rec   SpanRecord
+}
+
+// End stamps the span's end time. Safe on a nil span (tracing disabled)
+// and idempotent, so defers and explicit error paths can both call it.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	if s.ended.Swap(true) {
+		return
+	}
+	s.mu.Lock()
+	s.rec.End = time.Now().UnixNano()
+	s.mu.Unlock()
+	s.tr.open.Add(-1)
+}
+
+// SetAttr adds an annotation after span creation (e.g. an error note on
+// a failure path). No-op on a nil span.
+func (s *Span) SetAttr(a Attr) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.rec.Attrs = append(s.rec.Attrs, a)
+	s.mu.Unlock()
+}
+
+// Context returns the span's wire identity for cross-process
+// propagation. The zero SpanContext means "no active trace".
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return SpanContext{TraceID: s.rec.TraceID, SpanID: s.rec.ID}
+}
+
+func (s *Span) snapshot() SpanRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rec
+}
+
+type traceCtxKey struct{}
+type parentCtxKey struct{}
+
+// WithTrace installs a trace in the context; spans started from the
+// returned context append to it.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, traceCtxKey{}, t)
+}
+
+// FromContext returns the context's trace, or nil when tracing is off.
+func FromContext(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceCtxKey{}).(*Trace)
+	return t
+}
+
+// WithRemoteParent installs a worker-side trace stitched to a
+// coordinator's span: the returned context carries a new trace with the
+// coordinator's trace ID, and spans started from it parent under the
+// coordinator's shard span. The trace is returned so the caller can
+// export its records into the RPC reply.
+func WithRemoteParent(ctx context.Context, runID string, sc SpanContext) (context.Context, *Trace) {
+	t := newRemoteTrace(runID, sc.TraceID)
+	ctx = context.WithValue(ctx, traceCtxKey{}, t)
+	ctx = context.WithValue(ctx, parentCtxKey{}, sc.SpanID)
+	return ctx, t
+}
+
+// CurrentSpanContext returns the identity of the innermost span in ctx,
+// or the zero SpanContext when no span is active.
+func CurrentSpanContext(ctx context.Context) SpanContext {
+	t := FromContext(ctx)
+	if t == nil {
+		return SpanContext{}
+	}
+	parent, _ := ctx.Value(parentCtxKey{}).(uint64)
+	return SpanContext{TraceID: t.traceID, SpanID: parent}
+}
+
+// StartSpan begins a span named name under the context's current span.
+// When the context carries no trace it returns the context unchanged and
+// a nil span whose End is a no-op, so instrumentation costs nothing with
+// tracing off. Every StartSpan must be paired with End on all paths (see
+// the spanend analyzer).
+func StartSpan(ctx context.Context, name string, attrs ...Attr) (context.Context, *Span) {
+	t := FromContext(ctx)
+	if t == nil {
+		return ctx, nil
+	}
+	parent, _ := ctx.Value(parentCtxKey{}).(uint64)
+	s := &Span{tr: t}
+	s.rec = SpanRecord{
+		TraceID: t.traceID,
+		ID:      t.nextID.Add(1),
+		Parent:  parent,
+		Name:    name,
+		Start:   time.Now().UnixNano(),
+		Attrs:   attrs,
+	}
+	t.open.Add(1)
+	t.mu.Lock()
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+	return context.WithValue(ctx, parentCtxKey{}, s.rec.ID), s
+}
+
+// WriteNDJSON writes one JSON object per span record — the format
+// `GET /v1/traces/<runID>` streams.
+func WriteNDJSON(w io.Writer, recs []SpanRecord) error {
+	enc := json.NewEncoder(w)
+	for _, r := range recs {
+		if err := enc.Encode(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteTree renders the span records as an indented tree in start-time
+// order — what `graphsurge run -trace` prints. Spans whose parent is
+// missing (e.g. a worker span whose coordinator-side parent was pruned)
+// render as roots rather than disappearing.
+func WriteTree(w io.Writer, recs []SpanRecord) {
+	byID := make(map[uint64]bool, len(recs))
+	for _, r := range recs {
+		byID[r.ID] = true
+	}
+	children := make(map[uint64][]SpanRecord)
+	var roots []SpanRecord
+	for _, r := range recs {
+		if r.Parent != 0 && byID[r.Parent] {
+			children[r.Parent] = append(children[r.Parent], r)
+		} else {
+			roots = append(roots, r)
+		}
+	}
+	var walk func(r SpanRecord, depth int)
+	walk = func(r SpanRecord, depth int) {
+		for i := 0; i < depth; i++ {
+			fmt.Fprint(w, "  ")
+		}
+		dur := "open"
+		if r.End != 0 {
+			dur = r.Duration().Round(time.Microsecond).String()
+		}
+		fmt.Fprintf(w, "%s %s", r.Name, dur)
+		for _, a := range r.Attrs {
+			fmt.Fprintf(w, " %s=%s", a.Key, a.Value)
+		}
+		fmt.Fprintln(w)
+		for _, c := range children[r.ID] {
+			walk(c, depth+1)
+		}
+	}
+	for _, r := range roots {
+		walk(r, 0)
+	}
+}

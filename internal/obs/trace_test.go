@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestStartSpanWithoutTraceIsNoop(t *testing.T) {
+	ctx := context.Background()
+	ctx2, span := StartSpan(ctx, "anything")
+	if span != nil {
+		t.Fatalf("expected nil span without a trace, got %+v", span)
+	}
+	if ctx2 != ctx {
+		t.Fatal("context should pass through unchanged without a trace")
+	}
+	span.End() // must not panic
+	span.SetAttr(String("k", "v"))
+	if sc := span.Context(); sc != (SpanContext{}) {
+		t.Fatalf("nil span context = %+v, want zero", sc)
+	}
+}
+
+func TestSpanNestingAndRecords(t *testing.T) {
+	tr := NewTrace("r1")
+	ctx := WithTrace(context.Background(), tr)
+	ctx, root := StartSpan(ctx, "run", String("collection", "cc"))
+	cctx, child := StartSpan(ctx, "plan")
+	_, grand := StartSpan(cctx, "segment", Int("start", 0))
+	grand.End()
+	child.End()
+	root.End()
+
+	if got := tr.OpenSpans(); got != 0 {
+		t.Fatalf("open spans = %d, want 0", got)
+	}
+	recs := tr.Records()
+	if len(recs) != 3 {
+		t.Fatalf("records = %d, want 3", len(recs))
+	}
+	byName := map[string]SpanRecord{}
+	for _, r := range recs {
+		byName[r.Name] = r
+		if r.TraceID != tr.TraceID() {
+			t.Fatalf("span %s trace ID %q, want %q", r.Name, r.TraceID, tr.TraceID())
+		}
+		if r.End == 0 {
+			t.Fatalf("span %s still open in records", r.Name)
+		}
+	}
+	if byName["plan"].Parent != byName["run"].ID {
+		t.Fatal("plan should parent under run")
+	}
+	if byName["segment"].Parent != byName["plan"].ID {
+		t.Fatal("segment should parent under plan")
+	}
+	if byName["run"].Parent != 0 {
+		t.Fatal("run should be a root span")
+	}
+}
+
+func TestEndIsIdempotent(t *testing.T) {
+	tr := NewTrace("r2")
+	ctx := WithTrace(context.Background(), tr)
+	_, span := StartSpan(ctx, "x")
+	span.End()
+	span.End()
+	if got := tr.OpenSpans(); got != 0 {
+		t.Fatalf("open spans after double End = %d, want 0", got)
+	}
+}
+
+func TestRemoteParentStitching(t *testing.T) {
+	// Coordinator side: a trace with a shard span.
+	coord := NewTrace("r3")
+	cctx := WithTrace(context.Background(), coord)
+	cctx, shard := StartSpan(cctx, "shard")
+
+	// Worker side: reconstruct from the wire SpanContext.
+	sc := CurrentSpanContext(cctx)
+	if sc.TraceID != coord.TraceID() || sc.SpanID != shard.Context().SpanID {
+		t.Fatalf("wire span context %+v does not match shard span", sc)
+	}
+	wctx, wtr := WithRemoteParent(context.Background(), "r3", sc)
+	_, wspan := StartSpan(wctx, "worker-segment")
+	wspan.End()
+	shard.End()
+
+	// Stitch worker records back into the coordinator trace.
+	coord.AddRecords(wtr.Records())
+	recs := coord.Records()
+	if len(recs) != 2 {
+		t.Fatalf("stitched records = %d, want 2", len(recs))
+	}
+	var worker SpanRecord
+	for _, r := range recs {
+		if r.Name == "worker-segment" {
+			worker = r
+		}
+	}
+	if worker.TraceID != coord.TraceID() {
+		t.Fatalf("worker span trace ID %q, want coordinator's %q", worker.TraceID, coord.TraceID())
+	}
+	if worker.Parent != shard.Context().SpanID {
+		t.Fatalf("worker span parent %d, want shard span %d", worker.Parent, shard.Context().SpanID)
+	}
+	if worker.ID <= 1<<31 {
+		t.Fatalf("worker span ID %d should sit in the remote band", worker.ID)
+	}
+
+	var tree bytes.Buffer
+	WriteTree(&tree, recs)
+	out := tree.String()
+	if !strings.Contains(out, "shard") || !strings.Contains(out, "  worker-segment") {
+		t.Fatalf("tree should nest worker-segment under shard:\n%s", out)
+	}
+}
+
+func TestConcurrentSpans(t *testing.T) {
+	tr := NewTrace("r4")
+	ctx := WithTrace(context.Background(), tr)
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, s := StartSpan(ctx, "w", Int("i", i))
+			s.SetAttr(String("done", "yes"))
+			s.End()
+		}(i)
+	}
+	wg.Wait()
+	if got := tr.OpenSpans(); got != 0 {
+		t.Fatalf("open spans = %d, want 0", got)
+	}
+	recs := tr.Records()
+	if len(recs) != 50 {
+		t.Fatalf("records = %d, want 50", len(recs))
+	}
+	seen := map[uint64]bool{}
+	for _, r := range recs {
+		if seen[r.ID] {
+			t.Fatalf("duplicate span ID %d", r.ID)
+		}
+		seen[r.ID] = true
+	}
+}
+
+func TestWriteNDJSON(t *testing.T) {
+	tr := NewTrace("r5")
+	ctx := WithTrace(context.Background(), tr)
+	_, s := StartSpan(ctx, "only", String("a", "b"))
+	s.End()
+	var buf bytes.Buffer
+	if err := WriteNDJSON(&buf, tr.Records()); err != nil {
+		t.Fatal(err)
+	}
+	line := strings.TrimSpace(buf.String())
+	if strings.Count(line, "\n") != 0 {
+		t.Fatalf("expected exactly one NDJSON line, got %q", buf.String())
+	}
+	for _, want := range []string{`"name":"only"`, `"trace_id":"` + tr.TraceID() + `"`, `"k":"a"`} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("NDJSON line missing %s: %s", want, line)
+		}
+	}
+}
+
+func TestTraceStoreEviction(t *testing.T) {
+	s := NewTraceStore(2)
+	a, b, c := NewTrace("a"), NewTrace("b"), NewTrace("c")
+	s.Add(a)
+	s.Add(b)
+	s.Add(c)
+	if s.Get("a") != nil {
+		t.Fatal("oldest trace should have been evicted")
+	}
+	if s.Get("b") != b || s.Get("c") != c {
+		t.Fatal("recent traces should be retained")
+	}
+	ids := s.RunIDs()
+	if len(ids) != 2 || ids[0] != "b" || ids[1] != "c" {
+		t.Fatalf("run IDs = %v, want [b c]", ids)
+	}
+}

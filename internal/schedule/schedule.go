@@ -29,6 +29,7 @@ import (
 	"sync"
 	"time"
 
+	"graphsurge/internal/obs"
 	"graphsurge/internal/splitting"
 )
 
@@ -88,17 +89,40 @@ type Estimator struct {
 }
 
 // ObserveScratch records a from-scratch run of a view with |GV| = size.
+// When the scratch model was already warm, the prediction it would have
+// made for this view is scored against the measurement first — the
+// estimator-accuracy signal /metrics exposes.
 func (e *Estimator) ObserveScratch(size int, d time.Duration) {
 	e.mu.Lock()
+	pred, warm := e.scratch.Predict(float64(size))
 	e.scratch.Observe(float64(size), d.Seconds())
 	e.mu.Unlock()
+	scorePrediction(pred, warm, d)
 }
 
-// ObserveDiff records a differential run of a view with |δC| = size.
+// ObserveDiff records a differential run of a view with |δC| = size,
+// scoring the diff model's prediction like ObserveScratch.
 func (e *Estimator) ObserveDiff(size int, d time.Duration) {
 	e.mu.Lock()
+	pred, warm := e.diff.Predict(float64(size))
 	e.diff.Observe(float64(size), d.Seconds())
 	e.mu.Unlock()
+	scorePrediction(pred, warm, d)
+}
+
+// scorePrediction feeds |predicted−actual|/actual into the estimator
+// error histogram. Sub-microsecond measurements are skipped: their
+// relative error is all timer noise and would drown the signal.
+func scorePrediction(pred float64, warm bool, actual time.Duration) {
+	secs := actual.Seconds()
+	if !warm || secs < 1e-6 {
+		return
+	}
+	err := pred - secs
+	if err < 0 {
+		err = -err
+	}
+	obs.M.EstimatorError.Observe(err / secs)
 }
 
 // Observations reports how many scratch and differential runs the estimator

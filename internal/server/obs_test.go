@@ -1,0 +1,181 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"graphsurge/internal/obs"
+)
+
+// TestServeMetricsEndpoint: /metrics serves Prometheus text exposition, the
+// core run counters appear, and counters move when runs execute.
+func TestServeMetricsEndpoint(t *testing.T) {
+	e := testEngine(t, 4)
+	ts := httptest.NewServer(New(e, Options{}).Handler())
+	defer ts.Close()
+
+	scrape := func() string {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("metrics status %d", resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+			t.Fatalf("metrics content type %q", ct)
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+
+	before := scrape()
+	for _, series := range []string{
+		"graphsurge_runs_started_total",
+		"graphsurge_runs_finished_total",
+		"graphsurge_pool_built_total",
+		"graphsurge_segment_setup_seconds_bucket",
+	} {
+		if !strings.Contains(before, series) {
+			t.Fatalf("/metrics missing series %s:\n%s", series, before)
+		}
+	}
+
+	started := func(body string) float64 {
+		t.Helper()
+		for _, line := range strings.Split(body, "\n") {
+			if v, ok := strings.CutPrefix(line, "graphsurge_runs_started_total "); ok {
+				f, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
+				if err != nil {
+					t.Fatalf("bad counter value %q: %v", v, err)
+				}
+				return f
+			}
+		}
+		t.Fatalf("no graphsurge_runs_started_total sample in:\n%s", body)
+		return 0
+	}
+
+	b0 := started(before)
+	resp := postJSON(t, ts.URL, `{"run":{"collection":"cc","algorithm":{"algorithm":"wcc"},"options":{"mode":"scratch"}}}`)
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if b1 := started(scrape()); b1 < b0+1 {
+		t.Fatalf("runs_started_total did not advance: %v -> %v", b0, b1)
+	}
+}
+
+// TestServeTraceEndpoint: a run's summary carries its RunID; GET
+// /v1/traces/<id> replays the trace as NDJSON with a root run span; unknown
+// IDs 404.
+func TestServeTraceEndpoint(t *testing.T) {
+	e := testEngine(t, 4)
+	ts := httptest.NewServer(New(e, Options{}).Handler())
+	defer ts.Close()
+
+	resp := postJSON(t, ts.URL, `{"run":{"collection":"cc","algorithm":{"algorithm":"wcc"},"options":{"mode":"scratch"}}}`)
+	var runID string
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev struct {
+			Event string `json:"event"`
+			Run   *struct {
+				RunID string `json:"runId"`
+			} `json:"run"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatal(err)
+		}
+		if ev.Event == "summary" {
+			if ev.Run == nil || ev.Run.RunID == "" {
+				t.Fatalf("summary carries no runId: %s", sc.Text())
+			}
+			runID = ev.Run.RunID
+		}
+	}
+	resp.Body.Close()
+	if runID == "" {
+		t.Fatal("no summary event")
+	}
+
+	tresp, err := http.Get(ts.URL + "/v1/traces/" + runID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tresp.Body.Close()
+	if tresp.StatusCode != http.StatusOK {
+		t.Fatalf("trace status %d", tresp.StatusCode)
+	}
+	if ct := tresp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("trace content type %q", ct)
+	}
+	var recs []obs.SpanRecord
+	tsc := bufio.NewScanner(tresp.Body)
+	tsc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for tsc.Scan() {
+		var r obs.SpanRecord
+		if err := json.Unmarshal(tsc.Bytes(), &r); err != nil {
+			t.Fatalf("bad trace line %q: %v", tsc.Text(), err)
+		}
+		recs = append(recs, r)
+	}
+	names := make(map[string]int)
+	for _, r := range recs {
+		names[r.Name]++
+		if r.End == 0 {
+			t.Fatalf("span %q still open in a finished run's trace", r.Name)
+		}
+	}
+	if names["run"] != 1 || names["segment"] != 4 {
+		t.Fatalf("span names = %v, want 1 run and 4 segment spans", names)
+	}
+
+	// Unknown run IDs 404.
+	nresp, err := http.Get(ts.URL + "/v1/traces/run-does-not-exist")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nresp.Body.Close()
+	if nresp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown trace status %d, want 404", nresp.StatusCode)
+	}
+}
+
+// TestServePprofGate: /debug/pprof/ is absent by default and present when
+// EnablePprof asks for it.
+func TestServePprofGate(t *testing.T) {
+	e := testEngine(t, 2)
+	off := httptest.NewServer(New(e, Options{}).Handler())
+	defer off.Close()
+	resp, err := http.Get(off.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pprof mounted without opt-in: status %d", resp.StatusCode)
+	}
+
+	on := httptest.NewServer(New(e, Options{EnablePprof: true}).Handler())
+	defer on.Close()
+	resp, err = http.Get(on.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index status %d with EnablePprof", resp.StatusCode)
+	}
+}

@@ -18,12 +18,15 @@ import (
 	"fmt"
 	"io"
 	"io/fs"
+	"log/slog"
 	"net/http"
 	"sync"
+	"time"
 
 	"graphsurge/internal/analytics"
 	"graphsurge/internal/core"
 	"graphsurge/internal/gvdl"
+	"graphsurge/internal/obs"
 )
 
 // maxRequestBytes bounds a request body; statements and run requests are
@@ -35,6 +38,13 @@ type Options struct {
 	// Runner, when set, executes collection runs — a cluster Coordinator
 	// shards them across workers. Nil runs on the engine, locally.
 	Runner core.CollectionRunner
+	// Logger receives the server's structured request and run events (run
+	// started/finished with run IDs, request failures). nil discards them.
+	Logger *slog.Logger
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ — opt-in because
+	// the profiles expose process internals and belong behind the same trust
+	// boundary as the rest of the API only when an operator asks for them.
+	EnablePprof bool
 }
 
 // Server serves a Session over HTTP. One Server multiplexes concurrent
@@ -42,22 +52,50 @@ type Options struct {
 type Server struct {
 	eng    *core.Engine
 	runner core.CollectionRunner
+	log    *slog.Logger
+	pprof  bool
 }
 
 // New creates a server over an engine.
 func New(eng *core.Engine, opts Options) *Server {
-	return &Server{eng: eng, runner: opts.Runner}
+	log := opts.Logger
+	if log == nil {
+		log = obs.Discard()
+	}
+	return &Server{eng: eng, runner: opts.Runner, log: log, pprof: opts.EnablePprof}
 }
 
 // Handler returns the HTTP handler: POST /v1/do for requests, GET /healthz
-// for liveness (scripts wait on it before issuing requests).
+// for liveness (scripts wait on it before issuing requests), GET /metrics
+// for Prometheus text exposition, and GET /v1/traces/{id} for a finished
+// run's span records as NDJSON. /debug/pprof/ mounts only when
+// Options.EnablePprof asked for it.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/do", s.handleDo)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		io.WriteString(w, "ok\n")
 	})
+	mux.Handle("GET /metrics", obs.MetricsHandler())
+	mux.HandleFunc("GET /v1/traces/{id}", s.handleTrace)
+	if s.pprof {
+		obs.RegisterPprof(mux)
+	}
 	return mux
+}
+
+// handleTrace streams one run's span records as NDJSON, looked up by the
+// RunID a run response carried. Traces are retained in a bounded FIFO, so an
+// old run's ID eventually 404s.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	tr := s.eng.Traces().Get(id)
+	if tr == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("server: no trace for run %q", id))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	obs.WriteNDJSON(w, tr.Records())
 }
 
 // Envelope is the wire form of a core.Request: exactly one field set. The
@@ -162,6 +200,7 @@ func (s *Server) handleDo(w http.ResponseWriter, r *http.Request) {
 	sess := s.eng.NewSession()
 	resp, err := sess.Do(r.Context(), req)
 	if err != nil {
+		s.log.Warn("server: request failed", slog.String("type", fmt.Sprintf("%T", req)), slog.Any("error", err))
 		if sr, ok := resp.(*core.StatementsResponse); ok && len(sr.Results) > 0 {
 			// A failed batch still reports the statements that completed —
 			// they materialized; pretending otherwise would misdescribe the
@@ -264,13 +303,20 @@ func (s *Server) serveRun(w http.ResponseWriter, r *http.Request, req *core.RunR
 	req.Options.OnSegment = func(st core.SegmentStats) {
 		writeEvent(segmentEvent{Event: "segment", Segment: st}, true)
 	}
+	s.log.Info("server: run started",
+		slog.String("collection", req.Collection), slog.String("algorithm", req.Algorithm.Algorithm))
+	start := time.Now()
 	sess := s.eng.NewSession()
 	resp, err := sess.Do(r.Context(), req)
 	if err != nil {
+		s.log.Warn("server: run failed", slog.String("collection", req.Collection),
+			slog.Duration("elapsed", time.Since(start)), slog.Any("error", err))
 		writeEvent(errorEvent{Event: "error", Error: err.Error()}, true)
 		return
 	}
 	res := resp.(*core.RunResult)
+	s.log.Info("server: run finished", obs.RunID(res.RunID),
+		slog.String("collection", req.Collection), slog.Duration("elapsed", time.Since(start)))
 	writeEvent(summaryEvent{Event: "summary", Run: res}, true)
 	n := 0
 	for _, vv := range core.SortedResults(res.FinalResults()) {
