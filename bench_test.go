@@ -16,7 +16,11 @@ import (
 	"io"
 	"math/rand"
 	"net"
+	"net/http"
+	"net/http/httptest"
 	"sort"
+	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -27,7 +31,10 @@ import (
 	"graphsurge/internal/experiments"
 	"graphsurge/internal/graph"
 	"graphsurge/internal/gvdl"
+	"graphsurge/internal/obs"
 	"graphsurge/internal/schedule"
+	"graphsurge/internal/server"
+	"graphsurge/internal/tenant"
 	"graphsurge/internal/view"
 )
 
@@ -709,4 +716,142 @@ func BenchmarkIncrementalMaintenance(b *testing.B) {
 			b.ReportMetric(float64(work)/float64(b.N), "work")
 		})
 	}
+}
+
+// BenchmarkServeCached measures the multi-tenant serving layer end to end
+// over HTTP. Eight concurrent clients post the same RunRequest against (a) a
+// bare server that executes every request and (b) one fronted by the tenant
+// result cache, and the benchmark reports the p99 request latency of each
+// path plus their ratio — the acceptance bar is a >=5x p99 improvement on the
+// warm cache. It also reports the cache hit rate observed during the cached
+// herd and, from a prefix-extended ladder of collections run in diff mode,
+// how many runs were answered by differential suffix replay instead of a
+// fresh execution.
+func BenchmarkServeCached(b *testing.B) {
+	const (
+		clients = 8
+		rounds  = 4
+		baseK   = 8
+		topK    = 16
+	)
+	e, err := core.NewEngine(core.Options{Workers: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer e.Close()
+	g := datagen.Temporal(datagen.TemporalConfig{Nodes: 1_500, Edges: 15_000, Days: 100, Seed: 7})
+	g.Name = "g"
+	if err := e.AddGraph(g); err != nil {
+		b.Fatal(err)
+	}
+	// A ladder of collections srv8..srv16 sharing view names and predicates:
+	// srv(k+1) extends srv(k) by one view, so their diff streams share
+	// byte-identical prefixes — the property suffix replay keys on.
+	for k := baseK; k <= topK; k++ {
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "create view collection srv%d on g ", k)
+		for i := 0; i < k; i++ {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(&sb, "[srv_v%d: ts < %d]", i, 5*(i+1))
+		}
+		if _, err := e.Execute(sb.String()); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	bare := httptest.NewServer(server.New(e, server.Options{}).Handler())
+	defer bare.Close()
+	mw := tenant.New(e, tenant.Options{CacheEntries: 256, CacheReplicas: 8})
+	cached := httptest.NewServer(server.New(e, server.Options{Tenant: mw}).Handler())
+	defer cached.Close()
+
+	runBody := func(col, mode string) string {
+		return fmt.Sprintf(`{"run": {"collection": %q, "algorithm": {"algorithm": "wcc"}, "options": {"mode": %q}}}`, col, mode)
+	}
+	post := func(url, body string) (time.Duration, error) {
+		start := time.Now()
+		resp, err := http.Post(url+"/v1/do", "application/json", strings.NewReader(body))
+		if err != nil {
+			return 0, err
+		}
+		_, cerr := io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if cerr != nil {
+			return 0, cerr
+		}
+		if resp.StatusCode != http.StatusOK {
+			return 0, fmt.Errorf("status %d", resp.StatusCode)
+		}
+		return time.Since(start), nil
+	}
+	// herd fires clients*rounds identical requests from `clients` concurrent
+	// goroutines and returns every request latency, sorted.
+	herd := func(url, body string) []time.Duration {
+		lat := make([]time.Duration, clients*rounds)
+		errs := make(chan error, clients)
+		var wg sync.WaitGroup
+		for c := 0; c < clients; c++ {
+			c := c
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for r := 0; r < rounds; r++ {
+					d, err := post(url, body)
+					if err != nil {
+						errs <- err
+						return
+					}
+					lat[c*rounds+r] = d
+				}
+			}()
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			b.Fatal(err)
+		}
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		return lat
+	}
+	p99 := func(lat []time.Duration) float64 {
+		return float64(lat[len(lat)*99/100]) / float64(time.Millisecond)
+	}
+
+	// Suffix-replay ladder (once, before timing): the first diff-mode run
+	// builds a replay replica, and each one-view-longer collection after it
+	// extends that replica instead of executing from scratch.
+	if _, err := post(cached.URL, runBody(fmt.Sprintf("srv%d", baseK), "diff")); err != nil {
+		b.Fatal(err)
+	}
+	replaysBefore := obs.M.CacheReplays.Value()
+	for k := baseK + 1; k <= topK; k++ {
+		if _, err := post(cached.URL, runBody(fmt.Sprintf("srv%d", k), "diff")); err != nil {
+			b.Fatal(err)
+		}
+	}
+	replayRuns := float64(obs.M.CacheReplays.Value() - replaysBefore)
+
+	scratch := runBody(fmt.Sprintf("srv%d", baseK), "scratch")
+	if _, err := post(cached.URL, scratch); err != nil { // warm the cache
+		b.Fatal(err)
+	}
+	var uncachedP99, cachedP99, hitRate float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		uncachedLat := herd(bare.URL, scratch)
+		hitsBefore := obs.M.CacheHits.Value()
+		cachedLat := herd(cached.URL, scratch)
+		hits := float64(obs.M.CacheHits.Value() - hitsBefore)
+		uncachedP99, cachedP99 = p99(uncachedLat), p99(cachedLat)
+		hitRate = hits / float64(len(cachedLat))
+	}
+	b.ReportMetric(uncachedP99, "p99-uncached-ms")
+	b.ReportMetric(cachedP99, "p99-cached-ms")
+	if cachedP99 > 0 {
+		b.ReportMetric(uncachedP99/cachedP99, "p99-speedup")
+	}
+	b.ReportMetric(hitRate, "hit-rate")
+	b.ReportMetric(replayRuns, "replay-runs")
 }

@@ -38,6 +38,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"graphsurge/internal/analytics"
 	"graphsurge/internal/cluster"
@@ -46,6 +47,7 @@ import (
 	"graphsurge/internal/obs"
 	"graphsurge/internal/schedule"
 	"graphsurge/internal/server"
+	"graphsurge/internal/tenant"
 	"graphsurge/internal/view"
 )
 
@@ -445,6 +447,13 @@ func cmdServe(args []string) error {
 	clusterAddrs := fs.String("cluster", "", "comma-separated worker addresses to shard static-plan runs across")
 	logLevel := fs.String("log-level", "", "structured log level on stderr: debug | info | warn | error; empty logs nothing")
 	pprof := fs.Bool("pprof", false, "mount /debug/pprof/ on the HTTP listener")
+	tenantConc := fs.Int("tenant-concurrency", 0, "executions a tenant may have in flight at once (0 = unlimited)")
+	tenantQueue := fs.Int("tenant-queue", 16, "over-limit requests a tenant may queue for a slot before 503")
+	tenantQueueTimeout := fs.Duration("tenant-queue-timeout", 5*time.Second, "longest a queued request waits for a slot before 429 (0 = wait until the client gives up)")
+	tenantRate := fs.Float64("tenant-rate", 0, "requests per second each tenant's token bucket refills (0 = unlimited)")
+	tenantBurst := fs.Float64("tenant-burst", 0, "token bucket capacity (0 = max(1, -tenant-rate))")
+	cacheEntries := fs.Int("cache-entries", 256, "run results the serving cache retains (0 disables caching)")
+	cacheReplicas := fs.Int("cache-replicas", 8, "warm suffix-replay replicas retained (0 disables replay)")
 	fs.Parse(args)
 	e, err := engineFor(*data, *ordering, *workers, *parallel)
 	if err != nil {
@@ -454,6 +463,17 @@ func cmdServe(args []string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	opts := server.Options{EnablePprof: *pprof}
+	opts.Tenant = tenant.New(e, tenant.Options{
+		Limits: tenant.Limits{
+			MaxConcurrent: *tenantConc,
+			MaxQueue:      *tenantQueue,
+			QueueTimeout:  *tenantQueueTimeout,
+			RatePerSec:    *tenantRate,
+			Burst:         *tenantBurst,
+		},
+		CacheEntries:  *cacheEntries,
+		CacheReplicas: *cacheReplicas,
+	})
 	if *logLevel != "" {
 		level, err := obs.ParseLevel(*logLevel)
 		if err != nil {

@@ -239,6 +239,22 @@ func (e *Engine) beginRun() error {
 	return nil
 }
 
+// Admit runs fn under the engine's run barrier: fn executes only while no
+// mutation is editing catalog artifacts in place, and any mutation arriving
+// meanwhile waits for fn to return. Serving middleware (internal/tenant)
+// uses it to read collection difference streams — for cache fingerprinting —
+// race-free against incremental maintenance. fn must not re-enter the
+// engine's run or mutation paths (RunOn, ExtendReplay, ApplyMutation): a
+// nested admission would deadlock behind a mutation waiting for this one to
+// drain. Refuses with ErrClosing while Close is draining.
+func (e *Engine) Admit(fn func() error) error {
+	if err := e.beginRun(); err != nil {
+		return err
+	}
+	defer e.endRun()
+	return fn()
+}
+
 func (e *Engine) endRun() {
 	e.runMu.Lock()
 	e.active--

@@ -177,6 +177,17 @@ type RunResult struct {
 	// previously built key); the work counters and stats are delta-sized. A
 	// cold incremental run — the replica build — reports false.
 	Incremental bool `json:"incremental,omitempty"`
+	// CacheStatus reports how the serving cache (internal/tenant) satisfied
+	// the run: empty for runs executed outside a cache, "miss" for a run the
+	// cache executed and stored, "hit" for a stored result served without
+	// execution, "dedup" for a request coalesced onto a concurrent identical
+	// run, "replay" for a differential suffix replay on a warm replica.
+	CacheStatus string `json:"cacheStatus,omitempty"`
+	// CachedPrefix is the number of leading collection views whose
+	// differential state a warm serving replica had already absorbed when
+	// this run executed — the run stepped only the remaining suffix, so the
+	// stats and work counters are suffix-sized (see Engine.ExtendReplay).
+	CachedPrefix int `json:"cachedPrefix,omitempty"`
 	// RunID names the run's trace: `graphsurge run -trace` renders it and
 	// `GET /v1/traces/<runID>` on a serve process replays it as NDJSON.
 	RunID string `json:"runId,omitempty"`
@@ -195,6 +206,17 @@ type RunResult struct {
 // are snapshotted when the run completes — the replicas that produced them
 // have already been returned to the pool.
 func (r *RunResult) FinalResults() map[analytics.VertexValue]int64 { return r.final }
+
+// CloneShared returns a shallow copy sharing the result's payload — the
+// stats slices, the final-results map and the work counters. The serving
+// cache hands one to each caller of a cached run so per-response stamps
+// (CacheStatus) never mutate the stored entry; the shared payload is treated
+// as read-only by every consumer (renderers and the HTTP server only
+// iterate it).
+func (r *RunResult) CloneShared() *RunResult {
+	cp := *r
+	return &cp
+}
 
 // MaxWork returns the maximum per-worker work counter aggregated across
 // every segment replica of the run, a critical-path proxy for distributed

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"graphsurge/internal/analytics"
+	"graphsurge/internal/obs"
+	"graphsurge/internal/splitting"
+	"graphsurge/internal/view"
+)
+
+// Serving-layer replay replicas (the warm half of the multi-tenant result
+// cache, internal/tenant): a Replay is a single dataflow runner that has
+// absorbed a prefix of some collection's difference stream, exactly the way
+// an incremental replica (incremental.go) absorbs a whole stream. When a
+// later run arrives over a collection that extends the absorbed prefix by k
+// views — a redefinition that appends views, or a sibling collection sharing
+// the prefix — Engine.ExtendReplay steps only the k-view suffix, so the run
+// costs its delta rather than the collection. RunResult.CachedPrefix records
+// the skipped prefix.
+//
+// The engine does not own Replays: the caller (the tenant middleware) keys,
+// stores, bounds and invalidates them, and is responsible for only extending
+// a replica over a stream whose absorbed prefix is byte-identical — the
+// engine re-checks the graph version under the run barrier (ErrReplayStale)
+// but cannot re-derive the caller's content fingerprints.
+
+// ErrReplayStale reports that a replay replica's absorbed state predates the
+// collection's current graph version — a mutation committed between the
+// caller's fingerprint check and admission — so extending it would step new
+// diffs onto state computed from edited ones. The caller drops the replica
+// and re-executes from scratch; nothing stale is ever served.
+var ErrReplayStale = errors.New("core: replay replica is stale")
+
+// Replay is a warm serving replica. The zero value is ready: the first
+// ExtendReplay builds the runner and absorbs the stream from view zero.
+// A Replay is single-threaded — the owner serializes extends.
+type Replay struct {
+	runner  analytics.Runner
+	pos     int    // stream views absorbed so far
+	version uint64 // graph version the absorbed diffs were read at
+}
+
+// Pos returns how many stream views the replica has absorbed.
+func (r *Replay) Pos() int { return r.pos }
+
+// Version returns the graph version the replica's state reflects (zero
+// before the first extend).
+func (r *Replay) Version() uint64 { return r.version }
+
+// ExtendReplay steps the suffix [rep.Pos(), n) of col's difference stream
+// into the replay replica under the engine's run barrier and returns a
+// result whose CachedPrefix records the skipped prefix; FinalResults are the
+// accumulated per-vertex values of the collection's last view, identical to
+// any other execution mode's (the determinism the incremental-equivalence
+// tests pin). Stats and work counters cover only the suffix. Only
+// opts.Workers and opts.WeightProp matter — a replay is one replica stepping
+// diffs, so Mode, Parallelism and scheduling options have nothing to select.
+//
+// A replica whose state predates col's current graph version refuses with
+// ErrReplayStale. A canceled or failed extend poisons the replica (its state
+// is part-stepped); the caller must discard it.
+func (e *Engine) ExtendReplay(ctx context.Context, rep *Replay, col *view.Collection, comp analytics.Computation, opts RunOptions) (*RunResult, error) {
+	if err := e.beginRun(); err != nil {
+		return nil, err
+	}
+	defer e.endRun()
+	if opts.Workers == 0 {
+		opts.Workers = e.opts.Workers
+	}
+	normalizeRunOptions(&opts)
+	if col.Stream == nil || col.Stream.NumViews() == 0 {
+		return nil, fmt.Errorf("core: collection %q has no views to replay", col.Name)
+	}
+	ctx, tr, created := e.ensureTrace(ctx)
+	ctx, span := obs.StartSpan(ctx, "replay",
+		obs.String("collection", col.Name),
+		obs.String("computation", comp.Name()),
+		obs.Int("prefix", rep.pos))
+	obs.M.RunsStarted.Inc()
+	obs.M.RunsInflight.Add(1)
+	res, err := e.extendReplay(ctx, rep, col, comp, opts)
+	span.End()
+	obs.M.RunsInflight.Add(-1)
+	if err != nil {
+		obs.M.RunsCanceled.Inc()
+	} else {
+		obs.M.RunsFinished.Inc()
+		stampRun(res, tr)
+	}
+	if created {
+		e.traces.Add(tr)
+	}
+	return res, err
+}
+
+func (e *Engine) extendReplay(ctx context.Context, rep *Replay, col *view.Collection, comp analytics.Computation, opts RunOptions) (*RunResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if rep.runner != nil && rep.version != col.Version {
+		return nil, fmt.Errorf("core: replica at graph version %d, collection at %d: %w",
+			rep.version, col.Version, ErrReplayStale)
+	}
+	wc, err := col.Graph.WeightColumn(opts.WeightProp)
+	if err != nil {
+		return nil, err
+	}
+	if rep.runner == nil {
+		runner, err := analytics.NewRunner(comp, opts.Workers)
+		if err != nil {
+			return nil, err
+		}
+		rep.runner, rep.pos = runner, 0
+	}
+	runner := rep.runner
+	preWork := append([]int64(nil), runner.WorkCounts()...)
+	cols := edgeBatcher(col.Graph, wc)
+	stream := col.Stream
+	k := stream.NumViews()
+	sizes := stream.ViewSizes()
+	start := rep.pos
+	stats := make([]ViewStats, 0, k-start)
+	wallStart := time.Now()
+	for t := start; t < k; t++ {
+		if err := ctx.Err(); err != nil {
+			// The replica is part-stepped; poison it so the owner rebuilds
+			// instead of serving a half-extended state.
+			rep.runner = nil
+			return nil, err
+		}
+		dur := runner.StepBatch(cols(stream.Adds[t]), cols(stream.Dels[t]))
+		stats = append(stats, ViewStats{
+			Index:       t,
+			Name:        stream.Names[t],
+			Mode:        splitting.ModeDiff,
+			Duration:    dur,
+			ViewSize:    sizes[t],
+			DiffSize:    stream.DiffSize(t),
+			OutputDiffs: runner.OutputDiffs(uint32(t)),
+		})
+		runner.DropOutputsBefore(uint32(t))
+	}
+	rep.pos = k
+	rep.version = col.Version
+
+	work := runner.WorkCounts()
+	delta := make([]int64, len(work))
+	for i := range work {
+		delta[i] = work[i]
+		if i < len(preWork) {
+			delta[i] -= preWork[i]
+		}
+	}
+	final := make(map[analytics.VertexValue]int64)
+	for kk, v := range runner.Results() {
+		final[kk] = v
+	}
+	res := &RunResult{
+		Computation:  comp.Name(),
+		Collection:   col.Name,
+		Mode:         DiffOnly,
+		Stats:        stats,
+		Wall:         time.Since(wallStart),
+		CachedPrefix: start,
+		final:        final,
+		work:         delta,
+		iterCap:      runner.IterCapHit(),
+	}
+	for _, st := range stats {
+		res.Total += st.Duration
+	}
+	return res, nil
+}

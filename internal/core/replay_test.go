@@ -1,0 +1,95 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"graphsurge/internal/analytics"
+)
+
+// TestReplayMatchesScratch pins the replay replica's correctness contract:
+// absorbing a whole stream on a fresh replica yields exactly the final
+// results a normal run produces, a second extend over an unchanged
+// collection steps nothing and still answers correctly, and the CachedPrefix
+// accounting reflects how much work was skipped.
+func TestReplayMatchesScratch(t *testing.T) {
+	e := newTestEngine(t)
+	defer e.Close()
+	if _, err := e.Execute(`create view collection days on so [d1: ts < 25], [d2: ts < 50], [d3: ts < 75], [d4: ts < 100]`); err != nil {
+		t.Fatal(err)
+	}
+	col, err := e.LookupCollection("days")
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp := analytics.WCC{}
+
+	want, err := e.RunOn(context.Background(), col, comp, RunOptions{Mode: Scratch})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rep := &Replay{}
+	cold, err := e.ExtendReplay(context.Background(), rep, col, comp, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.CachedPrefix != 0 || len(cold.Stats) != 4 {
+		t.Fatalf("cold extend: prefix=%d stats=%d, want 0 and 4", cold.CachedPrefix, len(cold.Stats))
+	}
+	if !reflect.DeepEqual(cold.FinalResults(), want.FinalResults()) {
+		t.Fatal("cold replay results differ from scratch run")
+	}
+	if rep.Pos() != 4 {
+		t.Fatalf("replica pos = %d, want 4", rep.Pos())
+	}
+
+	// Nothing new to step: a warm extend over the same stream answers from
+	// absorbed state, with an empty suffix.
+	warm, err := e.ExtendReplay(context.Background(), rep, col, comp, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.CachedPrefix != 4 || len(warm.Stats) != 0 {
+		t.Fatalf("warm extend: prefix=%d stats=%d, want 4 and 0", warm.CachedPrefix, len(warm.Stats))
+	}
+	if !reflect.DeepEqual(warm.FinalResults(), want.FinalResults()) {
+		t.Fatal("warm replay results differ from scratch run")
+	}
+}
+
+// TestReplayStaleAfterMutation pins the fail-closed staleness check: a
+// replica built before a mutation refuses to extend afterwards, because its
+// absorbed diffs were edited in place underneath it.
+func TestReplayStaleAfterMutation(t *testing.T) {
+	e := newTestEngine(t)
+	defer e.Close()
+	if _, err := e.Execute(`create view collection days on so [d1: ts < 50], [d2: ts < 100]`); err != nil {
+		t.Fatal(err)
+	}
+	col, err := e.LookupCollection("days")
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp := analytics.WCC{}
+	rep := &Replay{}
+	if _, err := e.ExtendReplay(context.Background(), rep, col, comp, RunOptions{}); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := e.NewSession().Do(context.Background(), &MutateRequest{
+		Graph:   "so",
+		Inserts: []EdgeChange{{Src: 0, Dst: 1, Props: map[string]any{"ts": 10, "duration": 5}}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	col2, err := e.LookupCollection("days")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.ExtendReplay(context.Background(), rep, col2, comp, RunOptions{}); !errors.Is(err, ErrReplayStale) {
+		t.Fatalf("post-mutation extend: %v, want ErrReplayStale", err)
+	}
+}

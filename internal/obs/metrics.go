@@ -233,6 +233,15 @@ var M = struct {
 	WireBytes         *Counter
 	HeartbeatFailures *Counter
 	WorkerRedials     *Counter
+	CacheHits         *Counter
+	CacheMisses       *Counter
+	CacheEvictions    *Counter
+	CacheReplays      *Counter
+	CacheDedup        *Counter
+	AdmissionAccepted *Counter
+	AdmissionQueued   *Counter
+	AdmissionRejected *Counter
+	AdmissionWait     *Histogram
 }{
 	RunsStarted:       Default.NewCounter("graphsurge_runs_started_total", "Collection runs admitted by the engine or coordinator."),
 	RunsFinished:      Default.NewCounter("graphsurge_runs_finished_total", "Collection runs completed successfully."),
@@ -249,4 +258,13 @@ var M = struct {
 	WireBytes:         Default.NewCounter("graphsurge_wire_bytes_total", "Bytes of encoded shard payloads shipped to cluster workers."),
 	HeartbeatFailures: Default.NewCounter("graphsurge_heartbeat_failures_total", "Worker heartbeats missed past the failure threshold."),
 	WorkerRedials:     Default.NewCounter("graphsurge_worker_redials_total", "Dead cluster workers successfully redialed."),
+	CacheHits:         Default.NewCounter("graphsurge_tenant_cache_hits_total", "Serving-cache lookups answered by a stored run result."),
+	CacheMisses:       Default.NewCounter("graphsurge_tenant_cache_misses_total", "Serving-cache lookups that executed the run."),
+	CacheEvictions:    Default.NewCounter("graphsurge_tenant_cache_evictions_total", "Cached run results dropped by LRU pressure or invalidation."),
+	CacheReplays:      Default.NewCounter("graphsurge_tenant_cache_replays_total", "Runs served by differential suffix replay on a warm replica."),
+	CacheDedup:        Default.NewCounter("graphsurge_tenant_dedup_total", "Identical concurrent runs coalesced onto one execution (single-flight joins)."),
+	AdmissionAccepted: Default.NewCounter("graphsurge_tenant_admission_accepted_total", "Requests granted an execution slot, immediately or after queueing."),
+	AdmissionQueued:   Default.NewCounter("graphsurge_tenant_admission_queued_total", "Requests that waited in a tenant's bounded admission queue."),
+	AdmissionRejected: Default.NewCounter("graphsurge_tenant_admission_rejected_total", "Requests refused by quota: rate limit, queue capacity, or queue deadline."),
+	AdmissionWait:     Default.NewHistogram("graphsurge_tenant_queue_wait_seconds", "Time a request spent waiting for a per-tenant execution slot.", LatencyBuckets),
 }

@@ -27,7 +27,15 @@ import (
 	"graphsurge/internal/core"
 	"graphsurge/internal/gvdl"
 	"graphsurge/internal/obs"
+	"graphsurge/internal/tenant"
 )
+
+// TenantHeader names the request header carrying the caller's tenant
+// identity for admission control and quota accounting. Absent or empty
+// means tenant.DefaultTenant. The server trusts the header the way it
+// trusts the rest of the API — tenancy here is fairness isolation between
+// cooperating clients, not an authentication boundary.
+const TenantHeader = "X-Graphsurge-Tenant"
 
 // maxRequestBytes bounds a request body; statements and run requests are
 // small (data travels via server-side paths, not request bodies).
@@ -45,6 +53,11 @@ type Options struct {
 	// the profiles expose process internals and belong behind the same trust
 	// boundary as the rest of the API only when an operator asks for them.
 	EnablePprof bool
+	// Tenant, when set, routes every request through the multi-tenant
+	// middleware: per-tenant admission control (quota failures map to 429
+	// and 503) and the serving result cache (run summaries carry
+	// cacheStatus). Nil serves every request directly, uncached.
+	Tenant *tenant.Middleware
 }
 
 // Server serves a Session over HTTP. One Server multiplexes concurrent
@@ -54,6 +67,7 @@ type Server struct {
 	runner core.CollectionRunner
 	log    *slog.Logger
 	pprof  bool
+	tenant *tenant.Middleware
 }
 
 // New creates a server over an engine.
@@ -62,7 +76,17 @@ func New(eng *core.Engine, opts Options) *Server {
 	if log == nil {
 		log = obs.Discard()
 	}
-	return &Server{eng: eng, runner: opts.Runner, log: log, pprof: opts.EnablePprof}
+	return &Server{eng: eng, runner: opts.Runner, log: log, pprof: opts.EnablePprof, tenant: opts.Tenant}
+}
+
+// do dispatches one typed request: through the tenant middleware when
+// configured (the request header selects the tenant), directly on a fresh
+// session otherwise.
+func (s *Server) do(r *http.Request, req core.Request) (core.Response, error) {
+	if s.tenant != nil {
+		return s.tenant.Do(r.Context(), r.Header.Get(TenantHeader), req)
+	}
+	return s.eng.NewSession().Do(r.Context(), req)
 }
 
 // Handler returns the HTTP handler: POST /v1/do for requests, GET /healthz
@@ -163,15 +187,19 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
 
-// statusFor classifies a Session.Do failure. An engine draining toward
-// Close is a transient server condition clients should retry (503); a
-// filesystem fault underneath the catalog — failed view-store save, corrupt
-// on-disk view — is the server's problem (500); everything else is treated
-// as a malformed or unsatisfiable request (400).
+// statusFor classifies a Session.Do failure. A tenant over its rate or
+// queue deadline should back off and retry later (429); a full admission
+// queue or an engine draining toward Close is a transient server condition
+// clients should retry (503); a filesystem fault underneath the catalog —
+// failed view-store save, corrupt on-disk view — is the server's problem
+// (500); everything else is treated as a malformed or unsatisfiable
+// request (400).
 func statusFor(err error) int {
 	var pathErr *fs.PathError
 	switch {
-	case errors.Is(err, core.ErrClosing):
+	case errors.Is(err, tenant.ErrOverQuota):
+		return http.StatusTooManyRequests
+	case errors.Is(err, tenant.ErrQueueFull), errors.Is(err, core.ErrClosing):
 		return http.StatusServiceUnavailable
 	case errors.As(err, &pathErr) && !errors.Is(err, fs.ErrNotExist):
 		return http.StatusInternalServerError
@@ -197,8 +225,7 @@ func (s *Server) handleDo(w http.ResponseWriter, r *http.Request) {
 		s.serveRun(w, r, run)
 		return
 	}
-	sess := s.eng.NewSession()
-	resp, err := sess.Do(r.Context(), req)
+	resp, err := s.do(r, req)
 	if err != nil {
 		s.log.Warn("server: request failed", slog.String("type", fmt.Sprintf("%T", req)), slog.Any("error", err))
 		if sr, ok := resp.(*core.StatementsResponse); ok && len(sr.Results) > 0 {
@@ -278,9 +305,13 @@ type errorEvent struct {
 // the pinned sort order, and a terminal done (or error) event. The
 // request's context cancels the run end to end.
 func (s *Server) serveRun(w http.ResponseWriter, r *http.Request, req *core.RunRequest) {
-	w.Header().Set("Content-Type", "application/x-ndjson")
 	flusher, _ := w.(http.Flusher)
 	var mu sync.Mutex
+	wrote := false
+	// The NDJSON header (and with it the implicit 200) is written lazily on
+	// the first event: a request the tenant middleware refuses before any
+	// execution — rate limit, full queue, queue deadline — still has the
+	// status line available and returns a real 429/503 JSON error.
 	writeEvent := func(v any, flush bool) {
 		b, err := json.Marshal(v)
 		if err != nil {
@@ -290,6 +321,10 @@ func (s *Server) serveRun(w http.ResponseWriter, r *http.Request, req *core.RunR
 		}
 		mu.Lock()
 		defer mu.Unlock()
+		if !wrote {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			wrote = true
+		}
 		w.Write(b)
 		io.WriteString(w, "\n")
 		if flush && flusher != nil {
@@ -306,11 +341,21 @@ func (s *Server) serveRun(w http.ResponseWriter, r *http.Request, req *core.RunR
 	s.log.Info("server: run started",
 		slog.String("collection", req.Collection), slog.String("algorithm", req.Algorithm.Algorithm))
 	start := time.Now()
-	sess := s.eng.NewSession()
-	resp, err := sess.Do(r.Context(), req)
+	resp, err := s.do(r, req)
 	if err != nil {
 		s.log.Warn("server: run failed", slog.String("collection", req.Collection),
 			slog.Duration("elapsed", time.Since(start)), slog.Any("error", err))
+		mu.Lock()
+		streaming := wrote
+		mu.Unlock()
+		if !streaming && (errors.Is(err, tenant.ErrOverQuota) || errors.Is(err, tenant.ErrQueueFull)) {
+			// Admission refusals happen before execution, so nothing has
+			// streamed and the status line is still available: return a real
+			// 429/503 clients can back off on. Execution failures keep the
+			// established in-band error event.
+			writeError(w, statusFor(err), err)
+			return
+		}
 		writeEvent(errorEvent{Event: "error", Error: err.Error()}, true)
 		return
 	}

@@ -1,0 +1,167 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"graphsurge/internal/tenant"
+)
+
+// postTenant posts a request body with a tenant header.
+func postTenant(t *testing.T, url, tenantID, body string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url+"/v1/do", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if tenantID != "" {
+		req.Header.Set(TenantHeader, tenantID)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// metricValue scrapes /metrics and returns one counter's value.
+func metricValue(t *testing.T, url, name string) float64 {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(string(body), "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			var v float64
+			if _, err := fmt.Sscanf(rest, "%g", &v); err != nil {
+				t.Fatalf("parsing %q: %v", line, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("metric %s not exposed", name)
+	return 0
+}
+
+// TestServeTenantQuota pins the HTTP quota surface: a tenant whose token
+// bucket drains gets 429 (on the run path too, where the NDJSON header is
+// written lazily), the rejection counter is scraped on /metrics, and
+// another tenant's bucket is unaffected.
+func TestServeTenantQuota(t *testing.T) {
+	e := testEngine(t, 3)
+	defer e.Close()
+	mw := tenant.New(e, tenant.Options{
+		Limits:       tenant.Limits{RatePerSec: 1e-9, Burst: 1},
+		CacheEntries: 16,
+	})
+	ts := httptest.NewServer(New(e, Options{Tenant: mw}).Handler())
+	defer ts.Close()
+
+	runBody := `{"run": {"collection": "cc", "algorithm": {"algorithm": "wcc"}, "options": {"mode": "scratch"}}}`
+
+	resp := postTenant(t, ts.URL, "acme", runBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first run: status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	rejectedBefore := metricValue(t, ts.URL, "graphsurge_tenant_admission_rejected_total")
+	resp = postTenant(t, ts.URL, "acme", runBody)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-quota run: status %d, want 429", resp.StatusCode)
+	}
+	var errBody map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&errBody); err != nil {
+		t.Fatalf("429 body is not a JSON error object: %v", err)
+	}
+	resp.Body.Close()
+	if errBody["error"] == "" {
+		t.Fatal("429 carried no error message")
+	}
+	if got := metricValue(t, ts.URL, "graphsurge_tenant_admission_rejected_total"); got != rejectedBefore+1 {
+		t.Fatalf("rejected counter = %g, want %g", got, rejectedBefore+1)
+	}
+
+	// Tenant isolation: a different header owns a fresh bucket.
+	resp = postTenant(t, ts.URL, "umbrella", runBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("isolated tenant: status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+// TestServeCacheStatus pins the cache surface on the wire: the first run
+// reports cacheStatus miss, an identical second run reports hit with
+// byte-identical result events, and the hit/miss counters land on /metrics.
+func TestServeCacheStatus(t *testing.T) {
+	e := testEngine(t, 4)
+	defer e.Close()
+	mw := tenant.New(e, tenant.Options{CacheEntries: 16})
+	ts := httptest.NewServer(New(e, Options{Tenant: mw}).Handler())
+	defer ts.Close()
+
+	runBody := `{"run": {"collection": "cc", "algorithm": {"algorithm": "wcc"}, "options": {"mode": "scratch"}}}`
+
+	type runSummary struct {
+		CacheStatus string `json:"cacheStatus"`
+	}
+	summaryStatus := func(evs []event) string {
+		for _, ev := range evs {
+			if ev.Event == "summary" {
+				var s runSummary
+				if err := json.Unmarshal(*ev.Run, &s); err != nil {
+					t.Fatal(err)
+				}
+				return s.CacheStatus
+			}
+		}
+		t.Fatal("no summary event")
+		return ""
+	}
+	resultLines := func(evs []event) []event {
+		var out []event
+		for _, ev := range evs {
+			if ev.Event == "result" {
+				out = append(out, ev)
+			}
+		}
+		return out
+	}
+
+	missBefore := metricValue(t, ts.URL, "graphsurge_tenant_cache_misses_total")
+	first := readEvents(t, postJSON(t, ts.URL, runBody))
+	if got := summaryStatus(first); got != "miss" {
+		t.Fatalf("first run cacheStatus = %q, want miss", got)
+	}
+	second := readEvents(t, postJSON(t, ts.URL, runBody))
+	if got := summaryStatus(second); got != "hit" {
+		t.Fatalf("second run cacheStatus = %q, want hit", got)
+	}
+	a, b := resultLines(first), resultLines(second)
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("result events: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("result %d differs between miss and hit: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	if hits := metricValue(t, ts.URL, "graphsurge_tenant_cache_hits_total"); hits < 1 {
+		t.Fatalf("cache hits counter = %g", hits)
+	}
+	if miss := metricValue(t, ts.URL, "graphsurge_tenant_cache_misses_total"); miss != missBefore+1 {
+		t.Fatalf("cache misses counter = %g, want %g", miss, missBefore+1)
+	}
+}

@@ -1,0 +1,237 @@
+package tenant
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"graphsurge/internal/obs"
+)
+
+// Admission control: every request first passes a per-tenant token-bucket
+// rate check, and requests that will actually execute a computation then
+// acquire a per-tenant concurrency slot. Over-limit executions wait in a
+// bounded FIFO queue — ctx-aware, the way analytics.Pool.Acquire waits for a
+// replica — up to a deadline; a full queue or an expired wait fails with a
+// typed error the HTTP layer maps to 503/429. Slots transfer directly from a
+// finishing request to the longest-waiting live waiter, so admission order
+// is arrival order, never a free-for-all wakeup race.
+
+// ErrOverQuota reports a request refused by tenant quota: its token bucket
+// is empty, or it queued for an execution slot past the queue deadline. The
+// server maps it to 429 Too Many Requests.
+var ErrOverQuota = errors.New("tenant: over quota")
+
+// ErrQueueFull reports a request that found its tenant's admission queue at
+// capacity — the tenant is saturated beyond what waiting can absorb. The
+// server maps it to 503 Service Unavailable.
+var ErrQueueFull = errors.New("tenant: admission queue full")
+
+// Limits bounds one tenant's load. The zero value disables every limit.
+type Limits struct {
+	// MaxConcurrent is the number of requests a tenant may have executing
+	// at once; 0 means unlimited. Cache hits and coalesced duplicates do
+	// not occupy slots — only actual executions do.
+	MaxConcurrent int
+	// MaxQueue is how many over-limit requests may wait for a slot; at
+	// capacity further requests fail immediately with ErrQueueFull.
+	MaxQueue int
+	// QueueTimeout bounds the wait for a slot; an expired wait fails with
+	// ErrOverQuota. 0 means wait as long as the request context allows.
+	QueueTimeout time.Duration
+	// RatePerSec refills the tenant's token bucket; 0 disables rate
+	// limiting. Every request — cached or not — spends one token.
+	RatePerSec float64
+	// Burst caps the bucket; 0 means max(1, RatePerSec).
+	Burst float64
+}
+
+// waiter is one queued request. granted and canceled are owned by the
+// admission mutex: a release grants by setting granted and closing ch; a
+// timeout or cancellation marks canceled so releases skip the corpse.
+type waiter struct {
+	ch       chan struct{}
+	granted  bool
+	canceled bool
+	enqueued time.Time
+}
+
+// tenantState is one tenant's admission ledger.
+type tenantState struct {
+	running int
+	queue   []*waiter
+	tokens  float64
+	last    time.Time
+}
+
+// admission is the per-tenant limiter shared by all of a middleware's
+// requests. now is injectable so the token bucket is testable without
+// sleeping.
+type admission struct {
+	limits Limits
+	now    func() time.Time
+
+	mu      sync.Mutex
+	tenants map[string]*tenantState
+}
+
+func newAdmission(limits Limits) *admission {
+	return &admission{limits: limits, now: time.Now, tenants: make(map[string]*tenantState)}
+}
+
+func (a *admission) state(tenant string) *tenantState {
+	st := a.tenants[tenant]
+	if st == nil {
+		st = &tenantState{last: a.now()}
+		if a.limits.RatePerSec > 0 {
+			st.tokens = a.burst()
+		}
+		a.tenants[tenant] = st
+	}
+	return st
+}
+
+func (a *admission) burst() float64 {
+	if a.limits.Burst > 0 {
+		return a.limits.Burst
+	}
+	if a.limits.RatePerSec > 1 {
+		return a.limits.RatePerSec
+	}
+	return 1
+}
+
+// rateAdmit spends one token from the tenant's bucket, refilling for the
+// time elapsed since the last request. Every request passes through here
+// before anything else — rate limiting bounds request arrival, not just
+// execution, so a herd of cache hits cannot starve the scrape path.
+func (a *admission) rateAdmit(tenant string) error {
+	if a.limits.RatePerSec <= 0 {
+		return nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st := a.state(tenant)
+	now := a.now()
+	st.tokens += now.Sub(st.last).Seconds() * a.limits.RatePerSec
+	st.last = now
+	if b := a.burst(); st.tokens > b {
+		st.tokens = b
+	}
+	if st.tokens < 1 {
+		obs.M.AdmissionRejected.Inc()
+		return ErrOverQuota
+	}
+	st.tokens--
+	return nil
+}
+
+// acquireSlot obtains an execution slot for the tenant, queueing up to the
+// deadline when the tenant is at MaxConcurrent. The returned release must be
+// called exactly once when the execution finishes; it hands the slot to the
+// oldest live waiter or retires it.
+func (a *admission) acquireSlot(ctx context.Context, tenant string) (release func(), err error) {
+	if a.limits.MaxConcurrent <= 0 {
+		obs.M.AdmissionAccepted.Inc()
+		return func() {}, nil
+	}
+	a.mu.Lock()
+	st := a.state(tenant)
+	if st.running < a.limits.MaxConcurrent {
+		st.running++
+		a.mu.Unlock()
+		obs.M.AdmissionAccepted.Inc()
+		return func() { a.release(tenant) }, nil
+	}
+	if len(st.queue) >= a.limits.MaxQueue {
+		a.mu.Unlock()
+		obs.M.AdmissionRejected.Inc()
+		return nil, ErrQueueFull
+	}
+	w := &waiter{ch: make(chan struct{}), enqueued: a.now()}
+	st.queue = append(st.queue, w)
+	a.mu.Unlock()
+	obs.M.AdmissionQueued.Inc()
+
+	var deadline <-chan time.Time
+	if a.limits.QueueTimeout > 0 {
+		t := time.NewTimer(a.limits.QueueTimeout)
+		defer t.Stop()
+		deadline = t.C
+	}
+	select {
+	case <-w.ch:
+		obs.M.AdmissionAccepted.Inc()
+		obs.M.AdmissionWait.Observe(a.now().Sub(w.enqueued).Seconds())
+		return func() { a.release(tenant) }, nil
+	case <-deadline:
+		if a.abandon(tenant, w) {
+			obs.M.AdmissionRejected.Inc()
+			return nil, ErrOverQuota
+		}
+		// A release granted the slot as the timer fired; the slot is ours.
+		obs.M.AdmissionAccepted.Inc()
+		obs.M.AdmissionWait.Observe(a.now().Sub(w.enqueued).Seconds())
+		return func() { a.release(tenant) }, nil
+	case <-ctx.Done():
+		if a.abandon(tenant, w) {
+			obs.M.AdmissionRejected.Inc()
+			return nil, ctx.Err()
+		}
+		obs.M.AdmissionAccepted.Inc()
+		return func() { a.release(tenant) }, nil
+	}
+}
+
+// abandon withdraws a waiter from the queue. It reports false when a release
+// granted the waiter a slot first — granted is set under the mutex before ch
+// closes, so the check is race-free and the slot is never orphaned.
+func (a *admission) abandon(tenant string, w *waiter) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if w.granted {
+		return false
+	}
+	w.canceled = true
+	st := a.tenants[tenant]
+	for i, q := range st.queue {
+		if q == w {
+			st.queue = append(st.queue[:i], st.queue[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// release retires an execution slot: the oldest live waiter inherits it
+// directly (running never dips, so no third party can steal the slot
+// between release and wakeup), or running decrements.
+func (a *admission) release(tenant string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st := a.tenants[tenant]
+	for len(st.queue) > 0 {
+		w := st.queue[0]
+		st.queue = st.queue[1:]
+		if w.canceled {
+			continue
+		}
+		w.granted = true
+		close(w.ch)
+		return
+	}
+	st.running--
+}
+
+// snapshot reports a tenant's running and queued counts — test hooks for
+// the slot-leak assertions.
+func (a *admission) snapshot(tenant string) (running, queued int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st := a.tenants[tenant]
+	if st == nil {
+		return 0, 0
+	}
+	return st.running, len(st.queue)
+}

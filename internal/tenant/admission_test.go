@@ -1,0 +1,202 @@
+package tenant
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is an injectable time source for the token bucket: tests
+// advance it explicitly instead of sleeping.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// TestTokenBucket pins the rate limiter: a tenant starts with a full
+// bucket, drains it one token per request, refills at RatePerSec, and never
+// exceeds the burst cap.
+func TestTokenBucket(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(1000, 0)}
+	a := newAdmission(Limits{RatePerSec: 2, Burst: 2})
+	a.now = clock.now
+
+	for i := 0; i < 2; i++ {
+		if err := a.rateAdmit("acme"); err != nil {
+			t.Fatalf("request %d within burst: %v", i, err)
+		}
+	}
+	if err := a.rateAdmit("acme"); !errors.Is(err, ErrOverQuota) {
+		t.Fatalf("drained bucket admitted: %v", err)
+	}
+	// Another tenant's bucket is untouched.
+	if err := a.rateAdmit("umbrella"); err != nil {
+		t.Fatalf("isolated tenant rejected: %v", err)
+	}
+
+	clock.advance(500 * time.Millisecond) // refills 1 token at 2/s
+	if err := a.rateAdmit("acme"); err != nil {
+		t.Fatalf("after refill: %v", err)
+	}
+	if err := a.rateAdmit("acme"); !errors.Is(err, ErrOverQuota) {
+		t.Fatalf("second request after half-second refill admitted: %v", err)
+	}
+
+	clock.advance(time.Hour) // refill far past the cap
+	for i := 0; i < 2; i++ {
+		if err := a.rateAdmit("acme"); err != nil {
+			t.Fatalf("request %d after long idle: %v", i, err)
+		}
+	}
+	if err := a.rateAdmit("acme"); !errors.Is(err, ErrOverQuota) {
+		t.Fatal("bucket accumulated past its burst cap")
+	}
+}
+
+// TestSlotQueueAndTransfer pins the concurrency limiter: at MaxConcurrent a
+// request queues; past MaxQueue it fails ErrQueueFull; a release hands the
+// slot to the oldest waiter in arrival order; and when everything drains,
+// no slot or queue entry leaks.
+func TestSlotQueueAndTransfer(t *testing.T) {
+	a := newAdmission(Limits{MaxConcurrent: 1, MaxQueue: 2})
+	ctx := context.Background()
+
+	release, err := a.acquireSlot(ctx, "acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type grant struct {
+		idx     int
+		release func()
+	}
+	grants := make(chan grant, 2)
+	var started sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		i := i
+		started.Add(1)
+		go func() {
+			// Enqueue strictly in index order so FIFO is observable.
+			for {
+				if _, q := a.snapshot("acme"); q == i {
+					break
+				}
+				time.Sleep(time.Millisecond)
+			}
+			started.Done()
+			r, err := a.acquireSlot(ctx, "acme")
+			if err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+				return
+			}
+			grants <- grant{idx: i, release: r}
+		}()
+	}
+	started.Wait()
+	waitFor(t, func() bool { _, q := a.snapshot("acme"); return q == 2 })
+
+	if _, err := a.acquireSlot(ctx, "acme"); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("third waiter: %v, want ErrQueueFull", err)
+	}
+
+	release()
+	g1 := <-grants
+	if g1.idx != 0 {
+		t.Fatalf("first grant went to waiter %d, want 0 (FIFO)", g1.idx)
+	}
+	g1.release()
+	g2 := <-grants
+	if g2.idx != 1 {
+		t.Fatalf("second grant went to waiter %d, want 1 (FIFO)", g2.idx)
+	}
+	g2.release()
+
+	if r, q := a.snapshot("acme"); r != 0 || q != 0 {
+		t.Fatalf("leaked admission state: running=%d queued=%d", r, q)
+	}
+}
+
+// TestQueueDeadline pins the wait bound: a queued request whose
+// QueueTimeout expires fails ErrOverQuota and leaves the queue, and the
+// slot it was waiting for is not lost.
+func TestQueueDeadline(t *testing.T) {
+	a := newAdmission(Limits{MaxConcurrent: 1, MaxQueue: 4, QueueTimeout: 20 * time.Millisecond})
+	release, err := a.acquireSlot(context.Background(), "acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.acquireSlot(context.Background(), "acme"); !errors.Is(err, ErrOverQuota) {
+		t.Fatalf("expired wait: %v, want ErrOverQuota", err)
+	}
+	if r, q := a.snapshot("acme"); r != 1 || q != 0 {
+		t.Fatalf("after timeout: running=%d queued=%d", r, q)
+	}
+	release()
+	// The slot survived the abandoned waiter: it admits immediately again.
+	release2, err := a.acquireSlot(context.Background(), "acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	release2()
+	if r, q := a.snapshot("acme"); r != 0 || q != 0 {
+		t.Fatalf("leaked admission state: running=%d queued=%d", r, q)
+	}
+}
+
+// TestQueueCancellation pins ctx-aware waiting: a canceled context aborts
+// the wait with the context's error, and a release racing the cancellation
+// never orphans the slot.
+func TestQueueCancellation(t *testing.T) {
+	a := newAdmission(Limits{MaxConcurrent: 1, MaxQueue: 4})
+	release, err := a.acquireSlot(context.Background(), "acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := a.acquireSlot(ctx, "acme")
+		errCh <- err
+	}()
+	waitFor(t, func() bool { _, q := a.snapshot("acme"); return q == 1 })
+	cancel()
+	if err := <-errCh; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled wait: %v, want context.Canceled", err)
+	}
+	release()
+	release2, err := a.acquireSlot(context.Background(), "acme")
+	if err != nil {
+		t.Fatalf("slot lost after canceled waiter: %v", err)
+	}
+	release2()
+	if r, q := a.snapshot("acme"); r != 0 || q != 0 {
+		t.Fatalf("leaked admission state: running=%d queued=%d", r, q)
+	}
+}
+
+// waitFor polls a condition with a generous deadline — the admission tests
+// synchronize on observable state, never on sleeps alone.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached within 5s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,340 @@
+// Package tenant makes a shared engine safe and cheap under concurrent
+// multi-client load. Middleware wraps core.Session.Do — the narrow waist
+// every front-end already goes through — with three cooperating layers:
+// per-tenant admission control (concurrency slots, a bounded FIFO wait
+// queue, a token-bucket rate limiter), a single-flight result cache keyed by
+// collection content and graph version, and differential suffix replay —
+// a run over a collection that extends an already-absorbed prefix by k views
+// steps only the k-view suffix on a warm replica (core.Replay), so the run
+// costs its delta, the paper's trick applied to the serving layer.
+//
+// The middleware is a layer, not a fork: requests it cannot accelerate pass
+// through to the wrapped session unchanged, and every result it serves is
+// bit-identical to what an uncached execution would return (execution is
+// deterministic; only the CacheStatus annotation differs).
+package tenant
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+
+	"graphsurge/internal/analytics"
+	"graphsurge/internal/core"
+	"graphsurge/internal/obs"
+	"graphsurge/internal/view"
+)
+
+// DefaultTenant is the tenant identity used when a request carries none.
+const DefaultTenant = "default"
+
+// Options configures the middleware.
+type Options struct {
+	// Limits bounds each tenant's admission; the zero value disables
+	// limiting (every request admits immediately).
+	Limits Limits
+	// CacheEntries bounds the result cache; 0 disables caching (and with it
+	// single-flight dedup and suffix replay).
+	CacheEntries int
+	// CacheReplicas bounds the warm suffix-replay replicas; 0 disables
+	// replay while keeping the exact-hit cache.
+	CacheReplicas int
+}
+
+// flight is one in-progress cacheable execution that duplicate requests
+// join instead of re-executing.
+type flight struct {
+	done chan struct{}
+	res  *core.RunResult
+	err  error
+}
+
+// Middleware wraps a session with admission control and the serving cache.
+// Safe for concurrent use; a server shares one across all connections.
+type Middleware struct {
+	eng  *core.Engine
+	sess *core.Session
+	adm  *admission
+	opts Options
+
+	mu      sync.Mutex
+	flights map[cacheKey]*flight
+	cache   *resultCache // nil when disabled
+	replays *replayStore // nil when disabled
+}
+
+// New builds a middleware over the engine.
+func New(eng *core.Engine, opts Options) *Middleware {
+	m := &Middleware{
+		eng:     eng,
+		sess:    eng.NewSession(),
+		adm:     newAdmission(opts.Limits),
+		opts:    opts,
+		flights: make(map[cacheKey]*flight),
+	}
+	if opts.CacheEntries > 0 {
+		m.cache = newResultCache(opts.CacheEntries)
+		if opts.CacheReplicas > 0 {
+			m.replays = newReplayStore(opts.CacheReplicas)
+		}
+	}
+	return m
+}
+
+// Do performs one typed request on behalf of a tenant (empty means
+// DefaultTenant): rate admission first, then — for run requests — the cache
+// and single-flight path, and an execution slot only around work that
+// actually executes. Catalog-mutating requests (statements, loads,
+// mutations) purge the cache and replay store after the inner call, fail
+// closed: a failed statement batch may still have redefined artifacts.
+func (m *Middleware) Do(ctx context.Context, tenant string, req core.Request) (core.Response, error) {
+	if tenant == "" {
+		tenant = DefaultTenant
+	}
+	if err := m.adm.rateAdmit(tenant); err != nil {
+		return nil, err
+	}
+	if r, ok := req.(*core.RunRequest); ok && m.cache != nil && cacheable(r) {
+		return m.doRun(ctx, tenant, r)
+	}
+	release, err := m.adm.acquireSlot(ctx, tenant)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	resp, err := m.sess.Do(ctx, req)
+	if mutatesCatalog(req) {
+		m.invalidate()
+	}
+	return resp, err
+}
+
+// Session returns the wrapped session for callers that must bypass the
+// middleware (diagnostics, tests).
+func (m *Middleware) Session() *core.Session { return m.sess }
+
+// cacheable reports whether a run request's identity is fully describable:
+// a wire-form algorithm (no closure computation, which has no stable
+// identity) executing on the session's own engine (a custom Runner executes
+// elsewhere, outside this engine's version/invalidation domain).
+func cacheable(r *core.RunRequest) bool {
+	return r.Computation == nil && r.Runner == nil
+}
+
+// mutatesCatalog reports whether a request type can redefine graphs, views
+// or collections.
+func mutatesCatalog(req core.Request) bool {
+	switch req.(type) {
+	case *core.StatementsRequest, *core.LoadGraphRequest, *core.MutateRequest:
+		return true
+	}
+	return false
+}
+
+// invalidate purges the result cache and replay store. Version-keyed
+// entries are already unreachable after a mutation (Graph.Version is
+// monotonic and part of every key); the purge reclaims them eagerly and
+// also covers same-version redefinition.
+func (m *Middleware) invalidate() {
+	if m.cache != nil {
+		m.cache.purge()
+	}
+	if m.replays != nil {
+		m.replays.purge()
+	}
+}
+
+// doRun is the cached run path.
+func (m *Middleware) doRun(ctx context.Context, tenant string, r *core.RunRequest) (core.Response, error) {
+	comp, err := r.Algorithm.Resolve()
+	if err != nil {
+		return nil, err
+	}
+	key, rkey, chain, col, err := m.snapshotKey(r)
+	if err != nil {
+		return nil, err
+	}
+
+	for {
+		if res := m.cache.get(key); res != nil {
+			obs.M.CacheHits.Inc()
+			return stamped(res, "hit"), nil
+		}
+
+		// Single flight: the first request under a key executes; concurrent
+		// duplicates wait for its result. The leader stores into the cache
+		// before the flight closes, so a post-flight re-check never misses.
+		m.mu.Lock()
+		if f, ok := m.flights[key]; ok {
+			m.mu.Unlock()
+			obs.M.CacheDedup.Inc()
+			select {
+			case <-f.done:
+				if f.err == nil {
+					return stamped(f.res, "dedup"), nil
+				}
+				if ctxErr(f.err) && ctx.Err() == nil {
+					// The leader's own context died, not ours: its failure
+					// says nothing about the run. Go around — cache check,
+					// then lead or join whoever got there first.
+					continue
+				}
+				return nil, f.err
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		f := &flight{done: make(chan struct{})}
+		m.flights[key] = f
+		m.mu.Unlock()
+
+		res, err := m.lead(ctx, tenant, r, comp, key, rkey, chain, col)
+		f.res, f.err = res, err
+		m.mu.Lock()
+		delete(m.flights, key)
+		m.mu.Unlock()
+		close(f.done)
+		if err != nil {
+			return nil, err
+		}
+		return stamped(res, res.CacheStatus), nil
+	}
+}
+
+// ctxErr reports whether an error is a context cancellation or deadline.
+func ctxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// lead executes a run as a flight's leader: acquire an execution slot, run
+// (by suffix replay when a warm replica's prefix matches, by the wrapped
+// session otherwise), and store the result.
+func (m *Middleware) lead(ctx context.Context, tenant string, r *core.RunRequest, comp analytics.Computation, key cacheKey, rkey replayKey, chain []uint64, col *view.Collection) (*core.RunResult, error) {
+	release, err := m.adm.acquireSlot(ctx, tenant)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+
+	res, status, err := m.execute(ctx, r, comp, rkey, chain, col)
+	if err != nil {
+		return nil, err
+	}
+	stored := res.CloneShared()
+	stored.CacheStatus = status
+	m.cache.put(key, stored)
+	return stored, nil
+}
+
+// execute picks the cheapest correct execution: extend a warm replay
+// replica over just the suffix, build a fresh replica when the mode allows
+// so the next extension is warm, or fall through to the wrapped session.
+func (m *Middleware) execute(ctx context.Context, r *core.RunRequest, comp analytics.Computation, rkey replayKey, chain []uint64, col *view.Collection) (*core.RunResult, string, error) {
+	norm := normalizeKeyOptions(r.Options)
+	replayable := m.replays != nil && norm.Mode == core.DiffOnly && !norm.Incremental
+	if replayable {
+		if en := m.replays.match(rkey, chain); en != nil {
+			res, err := m.eng.ExtendReplay(ctx, en.rep, col, comp, r.Options)
+			if err == nil {
+				en.chainAt = chain[len(chain)-1]
+				en.mu.Unlock()
+				obs.M.CacheReplays.Inc()
+				return res, "replay", nil
+			}
+			// Stale (a mutation slipped in after the snapshot), canceled, or
+			// failed: the replica is unusable either way. Drop it; only
+			// staleness falls through to a from-scratch rebuild — anything
+			// else would fail the rebuild identically.
+			en.dead = true
+			en.mu.Unlock()
+			if !errors.Is(err, core.ErrReplayStale) {
+				return nil, "", err
+			}
+		}
+		// Miss: build the replica by absorbing the whole stream — full-cost
+		// now, delta-cost for every extension after.
+		rep := &core.Replay{}
+		res, err := m.eng.ExtendReplay(ctx, rep, col, comp, r.Options)
+		if err != nil {
+			return nil, "", err
+		}
+		m.replays.put(rkey, rep, chain[len(chain)-1])
+		obs.M.CacheMisses.Inc()
+		return res, "miss", nil
+	}
+	res, err := m.runInner(ctx, r)
+	if err != nil {
+		return nil, "", err
+	}
+	obs.M.CacheMisses.Inc()
+	return res, "miss", nil
+}
+
+// runInner delegates to the wrapped session and narrows the response type.
+func (m *Middleware) runInner(ctx context.Context, r *core.RunRequest) (*core.RunResult, error) {
+	resp, err := m.sess.Do(ctx, r)
+	if err != nil {
+		return nil, err
+	}
+	return resp.(*core.RunResult), nil
+}
+
+// snapshotKey resolves the collection and computes the cache/replay identity
+// as one consistent snapshot under the engine's run barrier: the lookup, the
+// graph version, and the stream fingerprints are all read with no mutation
+// in flight, so the key names exactly the bytes a subsequent execution will
+// see (or, if a mutation lands in between, a version the replay path's
+// staleness check refuses).
+func (m *Middleware) snapshotKey(r *core.RunRequest) (key cacheKey, rkey replayKey, chain []uint64, col *view.Collection, err error) {
+	specJSON, jerr := json.Marshal(r.Algorithm)
+	if jerr != nil {
+		return key, rkey, nil, nil, jerr
+	}
+	// Resolve the engine's worker default before normalizing, so Workers: 0
+	// and an explicit Workers: <engine default> share a key — they run the
+	// same dataflow.
+	opts := r.Options
+	if opts.Workers == 0 {
+		opts.Workers = m.eng.Options().Workers
+	}
+	opts = normalizeKeyOptions(opts)
+	aerr := m.eng.Admit(func() error {
+		c, lerr := m.eng.LookupCollection(r.Collection)
+		if lerr != nil {
+			return lerr
+		}
+		if c.Stream == nil || c.Stream.NumViews() == 0 {
+			return fmt.Errorf("tenant: collection %q has no views", r.Collection)
+		}
+		col = c
+		chain = chainFingerprints(c.Stream)
+		key = cacheKey{
+			collection: c.Name,
+			version:    c.Version,
+			chain:      chain[len(chain)-1],
+			spec:       string(specJSON),
+			opts:       optionsKey(opts),
+		}
+		rkey = replayKey{
+			graph:   c.Graph.Name,
+			spec:    string(specJSON),
+			workers: opts.Workers,
+			weight:  opts.WeightProp,
+		}
+		return nil
+	})
+	if aerr != nil {
+		return key, rkey, nil, nil, aerr
+	}
+	return key, rkey, chain, col, nil
+}
+
+// stamped hands out a per-caller copy of a stored result carrying the
+// lookup's cache status — stored entries stay immutable.
+func stamped(res *core.RunResult, status string) *core.RunResult {
+	cp := res.CloneShared()
+	cp.CacheStatus = status
+	return cp
+}
